@@ -1,0 +1,38 @@
+"""Benchmarks for the design-choice ablations."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_constants_ablation(experiment):
+    """ABL-CONSTANTS: cost tracks the multiplier; density never breaks."""
+    (table,) = experiment("ABL-CONSTANTS")
+    normalized = _column(table, "rounds/multiplier")
+    assert max(normalized) / min(normalized) < 3.0
+    assert sum(_column(table, "dense violations")) == 0
+
+
+def test_threshold_ablation(experiment):
+    """ABL-THRESHOLD: extremes trade correctness against strict runs."""
+    (table,) = experiment("ABL-THRESHOLD")
+    violations = _column(table, "dense violations (of |N+| candidates)")
+    strict = _column(table, "mean strict runs")
+    # The shipped ratio (middle row) is clean.
+    assert violations[1] == 0
+    # A too-high threshold needs at least as many strict runs.
+    assert strict[-1] >= strict[1]
+
+
+def test_dwell_ablation(experiment):
+    """ABL-DWELL: sweep truncation appears only below the safe slack."""
+    (table,) = experiment("ABL-DWELL")
+    slacks = _column(table, "dwell slack")
+    overflows = _column(table, "total sweep overflows")
+    by_slack = dict(zip(slacks, overflows))
+    assert by_slack[1.5] == 0
+    assert by_slack[1.0] == 0
+    assert by_slack[0.25] > 0

@@ -1,0 +1,20 @@
+"""Benchmark for complete graphs: Anderson-Weber [6] vs theorem1."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_complete_graph_comparison(experiment):
+    """COMPLETE-AW: AW ~ sqrt(n); the trivial probe is Theta(n)."""
+    (table,) = experiment("COMPLETE-AW")
+    aw_norm = _column(table, "AW/sqrt(n)")
+    # sqrt-n scaling: normalized values stay within a small band.
+    assert max(aw_norm) / min(aw_norm) < 5.0, f"AW not ~sqrt(n): {aw_norm}"
+    # AW beats the trivial probe at every size.
+    aw = _column(table, "AW mean rounds")
+    trivial = _column(table, "trivial mean")
+    assert all(a < t for a, t in zip(aw, trivial))

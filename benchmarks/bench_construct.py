@@ -1,0 +1,19 @@
+"""Benchmark for Construct (Lemmas 6-8)."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_construct_lemmas(experiment):
+    """CONSTRUCT: iterations within Lemma 6's cap, few strict runs."""
+    (table,) = experiment("CONSTRUCT")
+    iterations = _column(table, "mean iterations")
+    caps = _column(table, "2n/delta cap")
+    for iters, cap in zip(iterations, caps):
+        assert iters <= cap + 1, f"Lemma 6 violated: {iters} > {cap}"
+    for strict in _column(table, "max strict runs"):
+        assert strict <= 12, f"Lemma 7 violated: {strict} strict runs"

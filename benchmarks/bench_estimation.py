@@ -1,0 +1,17 @@
+"""Benchmark for the doubling estimation overhead (Corollary 2)."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_estimation_constant_overhead(experiment):
+    """ESTIMATION: estimated-delta runs stay within a constant factor."""
+    (table,) = experiment("ESTIMATION")
+    for ratio in _column(table, "ratio"):
+        assert 0.1 <= ratio <= 10.0, f"estimation overhead ratio {ratio}"
+    for restarts in _column(table, "max restarts"):
+        assert restarts <= 10

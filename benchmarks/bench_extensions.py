@@ -1,0 +1,26 @@
+"""Benchmarks for the gathering and distance-two extensions."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_gathering_extension(experiment):
+    """EXT-GATHER: every k gathers; cost grows with k."""
+    (table,) = experiment("EXT-GATHER")
+    for gathered in _column(table, "gathered"):
+        done, total = gathered.split("/")
+        assert done == total
+    rounds = _column(table, "mean rounds")
+    assert rounds[-1] >= rounds[0]  # more agents cannot be cheaper
+
+
+def test_distance_two_extension(experiment):
+    """EXT-DIST2: the trail extension succeeds at distance two."""
+    (table,) = experiment("EXT-DIST2")
+    for met in _column(table, "multihop met"):
+        done, total = met.split("/")
+        assert done == total

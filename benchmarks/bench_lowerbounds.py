@@ -1,0 +1,42 @@
+"""Benchmarks for the four lower bounds (Theorems 3-6, Figures 1-3)."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_lb_min_degree(experiment):
+    """LB-MINDEG: Ω(Δ) on double stars — rounds/n bounded below."""
+    (table,) = experiment("LB-MINDEG")
+    for ratio in _column(table, "trivial rounds/n"):
+        assert ratio >= 0.1, f"trivial finished in o(n) rounds: {ratio}"
+    for ratio in _column(table, "walk rounds/n"):
+        assert ratio >= 0.1
+
+
+def test_lb_kt0(experiment):
+    """LB-KT0: Ω(n) without neighborhood IDs."""
+    (table,) = experiment("LB-KT0")
+    for ratio in _column(table, "rounds/n"):
+        assert ratio >= 1.0, f"KT0 instance solved in o(n): {ratio}"
+
+
+def test_lb_distance_two(experiment):
+    """LB-DIST2: the trivial probe fails outright at distance 2."""
+    (table,) = experiment("LB-DIST2")
+    for met in _column(table, "trivial met"):
+        assert met.startswith("0/"), f"trivial probe met at distance 2: {met}"
+    for ratio in _column(table, "walk rounds/n"):
+        assert ratio >= 0.5
+
+
+def test_lb_deterministic(experiment):
+    """LB-DET: deterministic pair blocked; randomization breaks through."""
+    (table,) = experiment("LB-DET")
+    for det_met in _column(table, "deterministic met"):
+        assert det_met is False
+    for rand_met in _column(table, "randomized (theorem1) met"):
+        assert rand_met is True

@@ -1,0 +1,17 @@
+"""Benchmark for Main-Rendezvous with an oracle dense set (Lemma 1)."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_main_rendezvous_bound_ratio(experiment):
+    """MAIN-RDV: measured rounds stay within a constant of Lemma 1."""
+    (table,) = experiment("MAIN-RDV")
+    ratios = _column(table, "rounds/bound")
+    assert all(r < 40 for r in ratios), f"bound ratios exploded: {ratios}"
+    # The ratio should not grow systematically: last within 4x of first.
+    assert ratios[-1] < 4 * max(ratios[0], 1.0)

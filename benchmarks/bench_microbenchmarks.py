@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the core primitives (wall-clock, via pytest-benchmark).
+
+Unlike the experiment benchmarks (which measure *rounds*, the paper's
+metric), these measure the simulator's wall-clock throughput so
+regressions in the substrate are caught.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import rendezvous
+from repro.core.constants import Constants
+from repro.core.construct import ConstructOnlyProgram
+from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+from repro.runtime.single import run_single_agent
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return random_graph_with_min_degree(400, 90, random.Random("bench"))
+
+
+def test_scheduler_round_throughput(benchmark, bench_graph):
+    """Wall time of a full random-walk execution (many simulated rounds)."""
+
+    def run():
+        return rendezvous(bench_graph, "random-walk", seed=5, max_rounds=200_000)
+
+    result = benchmark(run)
+    assert result.met
+
+
+def test_construct_wall_time(benchmark, bench_graph):
+    """Wall time of one solo Construct run (tuned constants)."""
+    constants = Constants.tuned()
+
+    def run():
+        program = ConstructOnlyProgram(bench_graph.min_degree, constants)
+        run_single_agent(
+            program, bench_graph, bench_graph.vertices[0], rounds=10**9,
+            seed=0, id_space=bench_graph.id_space,
+        )
+        return program.outcome
+
+    outcome = benchmark(run)
+    assert outcome.completed
+
+
+def test_theorem1_wall_time(benchmark, bench_graph):
+    """Wall time of a full Theorem 1 execution."""
+
+    def run():
+        return rendezvous(bench_graph, "theorem1", seed=3,
+                          constants=Constants.tuned())
+
+    result = benchmark(run)
+    assert result.met
+
+
+def test_anderson_weber_wall_time(benchmark):
+    """Wall time of the Anderson-Weber baseline on K_400."""
+    graph = complete_graph(400)
+
+    def run():
+        return rendezvous(graph, "anderson-weber", seed=1)
+
+    result = benchmark(run)
+    assert result.met
+
+
+def test_graph_generation_wall_time(benchmark):
+    """Wall time of the main workload generator."""
+
+    def run():
+        return random_graph_with_min_degree(1000, 180, random.Random(0))
+
+    graph = benchmark(run)
+    assert graph.min_degree >= 180

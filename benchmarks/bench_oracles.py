@@ -1,0 +1,19 @@
+"""Benchmark: oracle-equipped related work vs the oracle-free algorithm."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_oracle_hierarchy(experiment):
+    """ORACLES: map < distance-detection < oracle-free, at every size."""
+    (table,) = experiment("ORACLES")
+    map_rounds = _column(table, "map-oracle mean")
+    dist_rounds = _column(table, "distance-oracle mean")
+    t1_rounds = _column(table, "theorem1 mean")
+    for m, d, t in zip(map_rounds, dist_rounds, t1_rounds):
+        assert m <= d, "the map oracle must dominate distance detection"
+        assert d <= t, "distance detection must dominate the oracle-free algorithm"

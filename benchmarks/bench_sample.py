@@ -1,0 +1,15 @@
+"""Benchmark for Sample's classification accuracy (Lemma 2)."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_sample_accuracy(experiment):
+    """SAMPLE-ACC: no Lemma 2 errors at testing constants."""
+    (table,) = experiment("SAMPLE-ACC")
+    assert sum(_column(table, "alpha-light declared heavy")) == 0
+    assert sum(_column(table, "4alpha-heavy declared light")) == 0

@@ -1,0 +1,15 @@
+"""Benchmark: all algorithms across graph families."""
+
+from __future__ import annotations
+
+import math
+
+
+def test_shootout(experiment):
+    """SHOOTOUT: every cell is populated (all algorithms succeed)."""
+    (table,) = experiment("SHOOTOUT")
+    for row in table.rows:
+        for cell in row[3:]:
+            assert not (isinstance(cell, float) and math.isnan(cell)), (
+                f"algorithm failed on family {row[0]}"
+            )

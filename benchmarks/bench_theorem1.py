@@ -1,0 +1,32 @@
+"""Benchmarks for Theorem 1: scaling in n and the δ crossover."""
+
+from __future__ import annotations
+
+
+def _column(table, name):
+    index = table.headers.index(name)
+    return [row[index] for row in table.rows]
+
+
+def test_t1_scaling(experiment):
+    """T1-SCALING: rounds grow sublinearly in n at delta = n^0.75."""
+    (table,) = experiment("T1-SCALING")
+    assert len(table.rows) >= 3
+    medians = _column(table, "median rounds")
+    ns = _column(table, "n")
+    # Sublinear growth: quadrupling n should not quadruple rounds.
+    growth = medians[-1] / medians[0]
+    n_growth = ns[-1] / ns[0]
+    assert growth < n_growth, (
+        f"theorem1 grew {growth:.1f}x over an n-growth of {n_growth:.1f}x"
+    )
+
+
+def test_t1_delta_crossover(experiment):
+    """T1-DELTA: theorem1 overtakes the trivial probe at dense delta."""
+    (table,) = experiment("T1-DELTA")
+    ratios = _column(table, "t1/trivial")
+    # The sparse end loses to the trivial probe...
+    assert ratios[0] > 1.0
+    # ...and the dense end wins (crossover inside the sweep).
+    assert min(ratios[-3:]) < 1.0, f"no crossover observed: {ratios}"

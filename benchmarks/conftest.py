@@ -1,0 +1,40 @@
+"""Shared machinery for the benchmark suite.
+
+Every benchmark runs one registered experiment (quick parameters),
+prints its tables to the terminal (bypassing capture so
+``pytest benchmarks/ --benchmark-only`` shows them), saves markdown
+copies under ``results/``, and asserts loose shape invariants — the
+reproduction's analogue of "the table in the paper looks like this".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.workloads import run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def experiment(benchmark, capsys):
+    """Run one experiment under pytest-benchmark and show its tables."""
+
+    def _run(key: str):
+        tables = benchmark.pedantic(
+            run_experiment,
+            args=(key,),
+            kwargs={"quick": True, "save_dir": str(RESULTS_DIR)},
+            iterations=1,
+            rounds=1,
+        )
+        with capsys.disabled():
+            print()
+            for table in tables:
+                print(table.render())
+                print()
+        return tables
+
+    return _run

@@ -1,0 +1,48 @@
+"""Compare every registered algorithm on one instance.
+
+Prints a small table of rounds and moves per algorithm on a dense
+random graph — a compact view of the trade-offs the paper discusses
+(structure exploitation vs the trivial sweep vs blind walking).
+
+Usage::
+
+    python examples/algorithm_shootout.py [n] [delta]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import ALGORITHMS, Constants, random_graph_with_min_degree, rendezvous
+from repro.experiments.report import Table
+
+
+def main(n: int = 500, delta: int | None = None) -> None:
+    delta = delta if delta is not None else max(8, round(n ** 0.8))
+    graph = random_graph_with_min_degree(n, delta, random.Random("shootout"))
+    print(f"instance: {graph}\n")
+
+    table = Table(
+        title="algorithm shootout",
+        headers=["algorithm", "needs whiteboards", "met", "rounds", "total moves"],
+    )
+    for name, spec in ALGORITHMS.items():
+        if name == "anderson-weber" and graph.min_degree < graph.n - 1:
+            # Only meaningful on complete graphs; still runs, but skip
+            # for fairness of the comparison.
+            continue
+        result = rendezvous(
+            graph, algorithm=name, seed=11,
+            constants=Constants.tuned(), max_rounds=4_000_000,
+        )
+        table.add_row(
+            name, spec.uses_whiteboards, result.met, result.rounds,
+            result.total_moves,
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

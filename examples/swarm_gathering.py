@@ -1,0 +1,58 @@
+"""Gathering demo: k agents converge on one vertex (extension).
+
+A leader and k-1 followers start within one neighborhood of a dense
+graph (all followers adjacent to the leader).  The leader builds its
+dense set (Algorithm 3), discovers the followers through their
+whiteboard marks (the Algorithm 1 birthday process, once per
+follower), and rallies each to its own start vertex.
+
+Usage::
+
+    python examples/swarm_gathering.py [n] [k]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import Constants, random_graph_with_min_degree
+from repro.core.gathering import gathering_programs
+from repro.runtime.multi import MultiAgentScheduler
+
+
+def main(n: int = 400, k: int = 5) -> None:
+    graph = random_graph_with_min_degree(n, max(8, round(n ** 0.75)),
+                                         random.Random("gathering"))
+    leader_home = graph.vertices[0]
+    follower_homes = list(graph.neighbors(leader_home))[: k - 1]
+    print(f"graph: {graph.n} vertices, min degree {graph.min_degree}")
+    print(f"leader at {leader_home}; {k - 1} followers at {follower_homes}")
+
+    leader, followers = gathering_programs(
+        k - 1, delta=graph.min_degree, constants=Constants.tuned()
+    )
+    result = MultiAgentScheduler(
+        graph,
+        [leader, *followers],
+        [leader_home, *follower_homes],
+        names=["leader"] + [f"f{i}" for i in range(k - 1)],
+        seed=3,
+        max_rounds=6_000_000,
+    ).run()
+
+    print(f"\ngathered: {result.completed} at vertex {result.meeting_vertex} "
+          f"after {result.rounds:,} rounds")
+    report = result.reports["leader"]
+    if report.get("discovered"):
+        print("discovery timeline (leader finds follower marks):")
+        for entry in report["discovered"]:
+            print(f"  round {entry['round']:>7,}: follower home {entry['home']}")
+    else:
+        print("the agents stumbled into full co-location before the protocol "
+              "finished — an incidental gathering, still a success")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

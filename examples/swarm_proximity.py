@@ -1,0 +1,50 @@
+"""Robot-swarm scenario: rendezvous on a dense proximity graph.
+
+Models the setting that motivates neighborhood rendezvous: two robots
+in a dense swarm are already within communication range (adjacent in
+the proximity graph) and need to physically meet.  Compares the
+paper's Theorem 1 algorithm against the trivial O(Δ) sweep and a
+random walk on a random geometric graph (unit torus).
+
+Usage::
+
+    python examples/swarm_proximity.py [n] [trials]
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import sys
+
+from repro import Constants, random_geometric_dense_graph, rendezvous
+
+
+def main(n: int = 500, trials: int = 5) -> None:
+    delta = max(8, round(n ** 0.75))
+    graph = random_geometric_dense_graph(n, delta, random.Random("swarm"))
+    print(f"proximity graph: {graph.n} robots, communication degree "
+          f"{graph.min_degree}..{graph.max_degree}")
+    print(f"running {trials} trials per algorithm\n")
+
+    for algorithm in ("theorem1", "trivial", "random-walk"):
+        rounds = []
+        for seed in range(trials):
+            result = rendezvous(
+                graph, algorithm=algorithm, seed=seed,
+                constants=Constants.tuned(), max_rounds=2_000_000,
+            )
+            if result.met:
+                rounds.append(result.rounds)
+        mean = statistics.fmean(rounds) if rounds else float("nan")
+        print(f"{algorithm:>12}: met {len(rounds)}/{trials}, "
+              f"mean rounds {mean:,.0f}")
+
+    print("\nThe geometric graph's clustered neighborhoods are the favorable")
+    print("case for Construct: optimistic sampling classifies candidates")
+    print("quickly, so Theorem 1's round count stays near its bound.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,25 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+Kept in a private module so that public modules can import them without
+creating import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+#: A vertex identifier.  Identifiers are distinct non-negative integers
+#: drawn from ``[0, n')`` where ``n' >= n`` and ``n' = n^{O(1)}``
+#: (paper Section 2.1).  They need not be contiguous.
+VertexId = int
+
+#: The name of one of the two agents.  The paper calls them ``a`` and
+#: ``b``; they may run different algorithms (asymmetric model).
+AgentName = Literal["a", "b"]
+
+#: An accessible port key.  Under the KT1 model this is the neighbor's
+#: vertex identifier; under KT0 it is a local index in ``[0, deg(v))``.
+PortKey = int
+
+AGENT_A: AgentName = "a"
+AGENT_B: AgentName = "b"

@@ -1,0 +1,58 @@
+"""Analysis utilities: theoretical bounds, fits, and summary statistics."""
+
+from repro.analysis.bounds import (
+    theorem1_bound,
+    theorem1_construct_bound,
+    theorem1_meeting_bound,
+    theorem2_phase_bound,
+    theorem2_total_bound,
+    trivial_bound,
+    exploration_bound,
+    anderson_weber_bound,
+    sublinear_threshold_theorem1,
+    sublinear_threshold_theorem2,
+    crossover_delta,
+)
+from repro.analysis.fitting import PowerLawFit, fit_power_law
+from repro.analysis.ascii_plot import scatter_plot
+from repro.analysis.trace_tools import (
+    TraceStats,
+    trace_stats,
+    occupancy,
+    distance_series,
+    near_misses,
+    movement_rate,
+)
+from repro.analysis.stats import (
+    Summary,
+    summarize,
+    wilson_interval,
+    success_rate,
+)
+
+__all__ = [
+    "theorem1_bound",
+    "theorem1_construct_bound",
+    "theorem1_meeting_bound",
+    "theorem2_phase_bound",
+    "theorem2_total_bound",
+    "trivial_bound",
+    "exploration_bound",
+    "anderson_weber_bound",
+    "sublinear_threshold_theorem1",
+    "sublinear_threshold_theorem2",
+    "crossover_delta",
+    "PowerLawFit",
+    "fit_power_law",
+    "scatter_plot",
+    "TraceStats",
+    "trace_stats",
+    "occupancy",
+    "distance_series",
+    "near_misses",
+    "movement_rate",
+    "Summary",
+    "summarize",
+    "wilson_interval",
+    "success_rate",
+]

@@ -1,0 +1,76 @@
+"""Terminal scatter plots for scaling experiments.
+
+A minimal dependency-free plotter: log-log or linear scatter of
+(x, y) series rendered as a character grid, used by the CLI to make
+scaling shapes visible without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["scatter_plot"]
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def scatter_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Each series gets a marker character (``*``, ``o``, ``+``, ...);
+    axes are annotated with the data ranges.  Points outside the grid
+    (degenerate ranges) are clamped to the border.
+    """
+    markers = "*o+x#@%&"
+    points = [
+        (name, x, y)
+        for name, data in series.items()
+        for x, y in data
+        if x > 0 and y > 0
+    ]
+    if not points:
+        return f"{title}\n(no positive data to plot)"
+
+    xs = [_transform(x, log_x) for _, x, _ in points]
+    ys = [_transform(y, log_y) for _, _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, x, y) in enumerate(points):
+        marker = markers[list(series).index(name) % len(markers)]
+        col = round((_transform(x, log_x) - x_lo) / x_span * (width - 1))
+        row = round((_transform(y, log_y) - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    x_label = "log10(x)" if log_x else "x"
+    y_label = "log10(y)" if log_y else "y"
+    lines.append(
+        f"{x_label}: [{x_lo:.2f}, {x_hi:.2f}]   {y_label}: [{y_lo:.2f}, {y_hi:.2f}]"
+    )
+    return "\n".join(lines)

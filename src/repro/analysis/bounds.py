@@ -1,0 +1,117 @@
+"""Closed-form theoretical bounds from the paper (unit constants).
+
+These functions evaluate the asymptotic expressions of the theorems
+with all hidden constants set to one.  Experiments compare *shapes*:
+measured rounds divided by the corresponding bound should stay roughly
+flat across a sweep (the ratio absorbs the preset-dependent constant).
+
+All logarithms are natural, matching the constants module.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "theorem1_bound",
+    "theorem1_construct_bound",
+    "theorem1_meeting_bound",
+    "theorem2_phase_bound",
+    "theorem2_total_bound",
+    "trivial_bound",
+    "exploration_bound",
+    "anderson_weber_bound",
+    "sublinear_threshold_theorem1",
+    "sublinear_threshold_theorem2",
+    "crossover_delta",
+]
+
+
+def _ln(n: float) -> float:
+    return max(1.0, math.log(max(2.0, n)))
+
+
+def theorem1_construct_bound(n: float, delta: float) -> float:
+    """Lemma 8: ``Construct`` runs in ``O(n·log²n/δ)`` rounds."""
+    return n * _ln(n) ** 2 / max(delta, 1.0)
+
+
+def theorem1_meeting_bound(n: float, delta: float, max_degree: float) -> float:
+    """Lemma 1: the sampling phase takes ``O(√(nΔ)/δ·log n)`` rounds."""
+    return math.sqrt(n * max_degree) * _ln(n) / max(delta, 1.0)
+
+
+def theorem1_bound(n: float, delta: float, max_degree: float) -> float:
+    """Theorem 1: ``O(n/δ·log²n + √(nΔ)/δ·log n)`` rounds."""
+    return theorem1_construct_bound(n, delta) + theorem1_meeting_bound(
+        n, delta, max_degree
+    )
+
+
+def theorem2_phase_bound(n: float, delta: float) -> float:
+    """Theorem 2 (post-barrier part): ``O(n/√δ·log²n)`` rounds."""
+    return n * _ln(n) ** 2 / math.sqrt(max(delta, 1.0))
+
+
+def theorem2_total_bound(n: float, delta: float, c1: float = 1.0) -> float:
+    """Theorem 2 with the barrier: ``O(t' + n/√δ·log²n)``."""
+    t_prime = c1 * n * _ln(n) ** 2 / max(delta, 1.0)
+    return t_prime + theorem2_phase_bound(n, delta)
+
+
+def trivial_bound(max_degree: float) -> float:
+    """The trivial neighbor probe: ``O(Δ)`` rounds."""
+    return float(max_degree)
+
+
+def exploration_bound(n: float) -> float:
+    """Wait-and-explore via DFS: ``2(n - 1)`` moves."""
+    return 2.0 * (n - 1.0)
+
+
+def anderson_weber_bound(n: float) -> float:
+    """Anderson-Weber on complete graphs: ``O(√n)`` expected rounds."""
+    return math.sqrt(n)
+
+
+def sublinear_threshold_theorem1(n: float) -> float:
+    """Theorem 1 beats ``O(Δ)`` when ``δ = ω(√n·log n)``."""
+    return math.sqrt(n) * _ln(n)
+
+
+def sublinear_threshold_theorem2(n: float) -> float:
+    """Theorem 2 beats ``O(Δ)`` when ``δ = ω(n^{2/3}·log^{4/3} n)``."""
+    return n ** (2.0 / 3.0) * _ln(n) ** (4.0 / 3.0)
+
+
+def crossover_delta(
+    n: float,
+    max_degree: float,
+    bound=theorem1_bound,
+    lo: float = 1.0,
+    hi: float | None = None,
+    tolerance: float = 0.5,
+) -> float:
+    """The δ where ``bound(n, δ, Δ)`` crosses the trivial ``Δ`` bound.
+
+    ``bound(n, δ, Δ)`` must be decreasing in δ.  Bisection; returns
+    ``hi`` when even the densest graphs don't cross (bound above Δ
+    everywhere) and ``lo`` when everything crosses.
+    """
+    hi = hi if hi is not None else max(2.0, n - 1.0)
+    target = trivial_bound(max_degree)
+
+    def gap(delta: float) -> float:
+        return bound(n, delta, max_degree) - target
+
+    if gap(hi) > 0:
+        return hi
+    if gap(lo) < 0:
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

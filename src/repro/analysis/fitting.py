@@ -1,0 +1,55 @@
+"""Log-log power-law fits for scaling experiments.
+
+The scaling experiments verify *shapes*: e.g. Theorem 1 predicts rounds
+``~ n^0.25·polylog`` at ``δ = Θ(n^0.75)``, so the fitted log-log slope
+over an n-sweep should land near the predicted exponent (polylog
+factors bias slopes slightly upward; the experiment tables report both
+the fit and the bound-normalized ratios).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = coefficient · x^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted curve at ``x``."""
+        return self.coefficient * x ** self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ c·x^e`` by linear regression in log-log space.
+
+    Requires at least two strictly positive points.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points to fit")
+    log_x = np.array([math.log(x) for x, _ in pairs])
+    log_y = np.array([math.log(y) for _, y in pairs])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    r_squared = 1.0 if total == 0 else max(0.0, 1.0 - residual / total)
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )

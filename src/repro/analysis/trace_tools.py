@@ -1,0 +1,98 @@
+"""Execution-trace analysis: what the agents actually did.
+
+The scheduler can record ``(round, pos_a, pos_b)`` triples
+(``record_trace=True``).  These helpers turn a trace into diagnostics
+used by tests and by debugging sessions:
+
+* :func:`occupancy` — how many rounds each agent spent at each vertex
+  (marking loops and dwell schedules have characteristic signatures);
+* :func:`distance_series` — the agents' graph distance over time (a
+  rendezvous run should end at 0; the series shows how directed the
+  approach was);
+* :func:`near_misses` — rounds where the agents were adjacent but did
+  not meet (including the classic "swap" where both cross the same
+  edge — the scheduler's no-meeting-on-edge semantics);
+* :func:`movement_rate` — fraction of rounds each agent moved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro._typing import VertexId
+from repro.graphs.graph import StaticGraph, bfs_distance
+
+__all__ = ["occupancy", "distance_series", "near_misses", "movement_rate", "TraceStats", "trace_stats"]
+
+Trace = tuple[tuple[int, VertexId, VertexId], ...]
+
+
+def occupancy(trace: Trace) -> tuple[Counter, Counter]:
+    """Rounds spent per vertex, for agents a and b respectively."""
+    counter_a: Counter = Counter()
+    counter_b: Counter = Counter()
+    for _, pos_a, pos_b in trace:
+        counter_a[pos_a] += 1
+        counter_b[pos_b] += 1
+    return counter_a, counter_b
+
+
+def distance_series(graph: StaticGraph, trace: Trace) -> list[int]:
+    """The agents' BFS distance at each recorded round.
+
+    O(|trace| · BFS); intended for short diagnostic traces.
+    """
+    return [bfs_distance(graph, pos_a, pos_b) for _, pos_a, pos_b in trace]
+
+
+def near_misses(graph: StaticGraph, trace: Trace) -> list[int]:
+    """Rounds at which the agents were adjacent but not co-located."""
+    return [
+        round_number
+        for round_number, pos_a, pos_b in trace
+        if pos_a != pos_b and graph.has_edge(pos_a, pos_b)
+    ]
+
+
+def movement_rate(trace: Trace) -> tuple[float, float]:
+    """Fraction of recorded transitions in which each agent moved."""
+    if len(trace) < 2:
+        return (0.0, 0.0)
+    moves_a = moves_b = 0
+    for (_, a0, b0), (_, a1, b1) in zip(trace, trace[1:]):
+        moves_a += a0 != a1
+        moves_b += b0 != b1
+    steps = len(trace) - 1
+    return (moves_a / steps, moves_b / steps)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """One-call summary of a recorded execution trace."""
+
+    rounds_recorded: int
+    distinct_vertices_a: int
+    distinct_vertices_b: int
+    movement_rate_a: float
+    movement_rate_b: float
+    near_miss_count: int
+    final_distance: int
+
+
+def trace_stats(graph: StaticGraph, trace: Trace) -> TraceStats:
+    """Compute a :class:`TraceStats` summary for ``trace``."""
+    if not trace:
+        raise ValueError("cannot analyze an empty trace")
+    occ_a, occ_b = occupancy(trace)
+    rate_a, rate_b = movement_rate(trace)
+    _, last_a, last_b = trace[-1]
+    return TraceStats(
+        rounds_recorded=len(trace),
+        distinct_vertices_a=len(occ_a),
+        distinct_vertices_b=len(occ_b),
+        movement_rate_a=rate_a,
+        movement_rate_b=rate_b,
+        near_miss_count=len(near_misses(graph, trace)),
+        final_distance=bfs_distance(graph, last_a, last_b),
+    )

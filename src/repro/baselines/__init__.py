@@ -1,0 +1,42 @@
+"""Baseline rendezvous algorithms the paper compares against.
+
+* :mod:`~repro.baselines.trivial` — the ``O(Δ)`` neighbor probe the
+  paper's introduction positions as the bound to beat.
+* :mod:`~repro.baselines.explore` — wait-and-explore via online DFS,
+  the "existentially optimal" ``O(n)`` strategy of Section 1.1.
+* :mod:`~repro.baselines.random_walk` — both agents walk randomly;
+  the classic meeting-time process [9, 29].
+* :mod:`~repro.baselines.anderson_weber` — the ``O(√n)`` complete-graph
+  algorithm of Anderson and Weber [6], which the neighborhood
+  rendezvous problem generalizes.
+"""
+
+from repro.baselines.trivial import TrivialProbeA, WaitingB, trivial_programs
+from repro.baselines.explore import DfsExplorerA, explore_programs
+from repro.baselines.random_walk import RandomWalker, random_walk_programs
+from repro.baselines.oracles import (
+    CommonMapAgent,
+    DistanceGradientA,
+    run_with_map_oracle,
+    run_with_distance_oracle,
+)
+from repro.baselines.anderson_weber import (
+    AndersonWeberSearcherA,
+    anderson_weber_programs,
+)
+
+__all__ = [
+    "TrivialProbeA",
+    "WaitingB",
+    "trivial_programs",
+    "DfsExplorerA",
+    "explore_programs",
+    "RandomWalker",
+    "random_walk_programs",
+    "CommonMapAgent",
+    "DistanceGradientA",
+    "run_with_map_oracle",
+    "run_with_distance_oracle",
+    "AndersonWeberSearcherA",
+    "anderson_weber_programs",
+]

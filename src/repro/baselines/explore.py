@@ -1,0 +1,69 @@
+"""Wait-and-explore: rendezvous by exhaustive graph exploration.
+
+Section 1.1: with asymmetric agents, one can halt while the other
+traverses all vertices, so the time complexity of graph exploration
+upper-bounds rendezvous.  Under KT1 an online depth-first traversal
+visits all of a connected graph within ``2·(n - 1)`` moves: the agent
+sees the IDs of its neighbors, so it never traverses a non-tree edge —
+it walks to an unvisited neighbor when one exists and backtracks along
+the DFS tree otherwise.
+
+This is the "existentially optimal but not universally optimal"
+strategy the paper argues against: Θ(n) on every instance, no matter
+how favorable (e.g. adjacent starts in a dense graph).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro._typing import VertexId
+from repro.runtime.actions import Action, Halt, Move
+from repro.runtime.agent import AgentContext, AgentProgram
+from repro.baselines.trivial import WaitingB
+
+__all__ = ["DfsExplorerA", "explore_programs"]
+
+
+class DfsExplorerA(AgentProgram):
+    """Agent ``a``: online DFS over the whole graph (KT1).
+
+    Visits unvisited neighbors in ascending-ID order (deterministic)
+    or uniformly at random (``randomize=True``), backtracking along
+    the discovery tree.  Halts after the traversal completes.
+    """
+
+    def __init__(self, randomize: bool = False) -> None:
+        self._randomize = randomize
+        self._stats: dict[str, Any] = {"vertices_discovered": 1}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        visited: set[VertexId] = {ctx.start_vertex}
+        parent: dict[VertexId, VertexId | None] = {ctx.start_vertex: None}
+
+        while True:
+            here = ctx.view.vertex
+            unvisited = [u for u in ctx.view.neighbors if u not in visited]
+            if unvisited:
+                if self._randomize:
+                    nxt = unvisited[ctx.rng.randrange(len(unvisited))]
+                else:
+                    nxt = unvisited[0]
+                visited.add(nxt)
+                parent[nxt] = here
+                self._stats["vertices_discovered"] += 1
+                yield Move(nxt)
+            else:
+                back = parent[here]
+                if back is None:
+                    break  # traversal complete
+                yield Move(back)
+        yield Halt()
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+def explore_programs(randomize: bool = False) -> tuple[DfsExplorerA, WaitingB]:
+    """The (agent a, agent b) pair of the wait-and-explore baseline."""
+    return DfsExplorerA(randomize=randomize), WaitingB()

@@ -1,0 +1,185 @@
+"""Oracle-equipped baselines from the paper's related work (§1.3).
+
+The paper's algorithms use *no* oracle beyond neighborhood IDs.  Its
+related work grants stronger ones:
+
+* **Common map** (Collins et al. [10]): each agent knows the whole
+  graph.  With unique IDs the canonical strategy is for both agents to
+  walk a shortest path to the globally minimum vertex ID — meeting
+  within ``ecc(v₀) ≤ diameter`` rounds, plus a parity-breaking wait.
+  (Collins et al. achieve ``O(d·log²n)`` with positions known; our
+  canonical-vertex variant is the simpler map baseline and is already
+  far stronger than anything map-free.)
+* **Distance detection** (Das et al. [15]): an agent can query its
+  current graph distance to the other agent.  With agent ``b``
+  waiting, agent ``a`` descends the distance gradient: probe neighbors
+  (two rounds each) until one strictly decreases the oracle reading —
+  ``O(Δ·d)`` rounds, matching the shape of Das et al.'s
+  ``O(Δ(d + log l))`` bound.
+
+Both baselines need information the agent view deliberately does not
+expose, so they are wired through :func:`run_with_map_oracle` /
+:func:`run_with_distance_oracle`, which inject the oracle explicitly —
+keeping the core model airtight while letting experiments quantify
+what each oracle buys (the ``ORACLES`` experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro._typing import VertexId
+from repro.graphs.graph import StaticGraph, bfs_distance
+from repro.runtime.actions import Action, Halt, Move, Stay
+from repro.runtime.agent import AgentContext, AgentProgram
+from repro.runtime.scheduler import ExecutionResult, SyncScheduler
+
+__all__ = [
+    "CommonMapAgent",
+    "DistanceGradientA",
+    "run_with_map_oracle",
+    "run_with_distance_oracle",
+]
+
+
+class CommonMapAgent(AgentProgram):
+    """Walk a shortest path to the minimum-ID vertex and wait (map oracle).
+
+    Both agents run this symmetrically; they meet at the canonical
+    vertex within ``max(ecc)`` rounds.  Strictly stronger than any
+    map-free strategy on dense graphs (diameter 2–3).
+    """
+
+    def __init__(self, graph: StaticGraph) -> None:
+        self._graph = graph
+        self._stats: dict[str, Any] = {}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        target = self._graph.vertices[0]
+        path = self._shortest_path(ctx.start_vertex, target)
+        self._stats["path_length"] = len(path)
+        for hop in path:
+            yield Move(hop)
+        yield Halt()
+
+    def _shortest_path(self, source: VertexId, target: VertexId) -> list[VertexId]:
+        if source == target:
+            return []
+        from collections import deque
+
+        parent: dict[VertexId, VertexId] = {source: source}
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            for u in self._graph.neighbors(v):
+                if u not in parent:
+                    parent[u] = v
+                    if u == target:
+                        queue.clear()
+                        break
+                    queue.append(u)
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        return path[-2::-1]
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+class DistanceGradientA(AgentProgram):
+    """Gradient descent on the distance oracle (agent ``b`` waits).
+
+    At each position, probe neighbors in random order (move out, query
+    the oracle, move back if no improvement) until one strictly
+    decreases the distance; repeat until distance zero.  ``O(Δ·d)``
+    rounds against a stationary partner.
+    """
+
+    def __init__(self, oracle: Callable[[], int]) -> None:
+        self._oracle = oracle
+        self._stats: dict[str, Any] = {"probes": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        while True:
+            here = ctx.view.vertex
+            distance_here = self._oracle()
+            if distance_here == 0:
+                yield Halt()
+                return
+            order = list(ctx.view.neighbors)
+            ctx.rng.shuffle(order)
+            improved = False
+            for neighbor in order:
+                yield Move(neighbor)
+                self._stats["probes"] += 1
+                if self._oracle() < distance_here:
+                    improved = True
+                    break
+                yield Move(here)
+            if not improved:  # pragma: no cover - impossible on static b
+                yield Stay()
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+def run_with_map_oracle(
+    graph: StaticGraph,
+    start_a: VertexId,
+    start_b: VertexId,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> ExecutionResult:
+    """Run the common-map baseline (both agents know the graph)."""
+    budget = max_rounds if max_rounds is not None else 4 * graph.n + 16
+    scheduler = SyncScheduler(
+        graph,
+        CommonMapAgent(graph),
+        CommonMapAgent(graph),
+        start_a,
+        start_b,
+        seed=seed,
+        whiteboards=False,
+        max_rounds=budget,
+    )
+    return scheduler.run()
+
+
+def run_with_distance_oracle(
+    graph: StaticGraph,
+    start_a: VertexId,
+    start_b: VertexId,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> ExecutionResult:
+    """Run the distance-detection baseline (agent ``b`` waits).
+
+    The oracle closes over the live scheduler and answers the current
+    BFS distance between the two agents — exactly the Das et al. [15]
+    capability, injected without widening the agent view API.
+    """
+    from repro.baselines.trivial import WaitingB
+
+    budget = max_rounds if max_rounds is not None else 8 * graph.max_degree * max(
+        2, graph.distance(start_a, start_b)
+    ) + 1000
+    holder: dict[str, SyncScheduler] = {}
+
+    def oracle() -> int:
+        scheduler = holder["scheduler"]
+        positions = [d.position for d in (scheduler._a, scheduler._b)]  # noqa: SLF001
+        return bfs_distance(graph, positions[0], positions[1])
+
+    scheduler = SyncScheduler(
+        graph,
+        DistanceGradientA(oracle),
+        WaitingB(),
+        start_a,
+        start_b,
+        seed=seed,
+        whiteboards=False,
+        max_rounds=budget,
+    )
+    holder["scheduler"] = scheduler
+    return scheduler.run()

@@ -1,0 +1,47 @@
+"""Random-walk rendezvous: both agents perform lazy random walks.
+
+The meeting time of two tokens performing random walks is a classic
+quantity ([9], [29] in the paper's bibliography).  Laziness (staying
+put with probability 1/2) breaks the parity obstruction that keeps
+synchronized walkers apart on bipartite graphs.
+
+This baseline has no guarantees matching the paper's setting — it is
+included because it is the natural "no coordination at all" strategy
+and calibrates how much structure the paper's algorithms exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.actions import Action, Move, Stay
+from repro.runtime.agent import AgentContext, AgentProgram
+
+__all__ = ["RandomWalker", "random_walk_programs"]
+
+
+class RandomWalker(AgentProgram):
+    """Move to a uniformly random neighbor, lazily, forever."""
+
+    def __init__(self, laziness: float = 0.5) -> None:
+        if not 0.0 <= laziness < 1.0:
+            raise ValueError("laziness must be in [0, 1)")
+        self._laziness = laziness
+        self._stats: dict[str, Any] = {"steps": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        while True:
+            self._stats["steps"] += 1
+            if ctx.rng.random() < self._laziness:
+                yield Stay()
+                continue
+            ports = ctx.view.ports
+            yield Move(ports[ctx.rng.randrange(len(ports))])
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+def random_walk_programs(laziness: float = 0.5) -> tuple[RandomWalker, RandomWalker]:
+    """Two independent lazy random walkers."""
+    return RandomWalker(laziness), RandomWalker(laziness)

@@ -1,0 +1,57 @@
+"""The trivial ``O(Δ)`` neighborhood probe.
+
+The paper's point of departure: with the two agents adjacent, agent
+``b`` simply waits while agent ``a`` checks every neighbor in turn
+(out and back, two rounds each).  Rendezvous is guaranteed within
+``2·deg(v₀ᵃ) ≤ 2Δ`` rounds with probability one — the bound the
+sublinear algorithms must beat.
+
+A randomized probe order is used so the *expected* time is ``Δ``
+rather than adversarially dependent on ID order; this only affects
+constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.actions import Action, Halt, Move
+from repro.runtime.agent import AgentContext, AgentProgram
+
+__all__ = ["TrivialProbeA", "WaitingB", "trivial_programs"]
+
+
+class TrivialProbeA(AgentProgram):
+    """Agent ``a``: visit every neighbor of the start, out and back."""
+
+    def __init__(self, randomize: bool = True) -> None:
+        self._randomize = randomize
+        self._stats: dict[str, Any] = {"probes": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        home = ctx.start_vertex
+        order = list(ctx.view.neighbors)
+        if self._randomize:
+            ctx.rng.shuffle(order)
+        for neighbor in order:
+            yield Move(neighbor)
+            self._stats["probes"] += 1
+            yield Move(home)
+        # The partner is adjacent and waiting, so under the problem's
+        # contract we met already; halting is the defensive fallback.
+        yield Halt()
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+class WaitingB(AgentProgram):
+    """Agent ``b``: halt immediately and wait to be found."""
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        yield Halt()
+
+
+def trivial_programs(randomize: bool = True) -> tuple[TrivialProbeA, WaitingB]:
+    """The (agent a, agent b) pair of the trivial baseline."""
+    return TrivialProbeA(randomize=randomize), WaitingB()

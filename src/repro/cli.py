@@ -1,0 +1,99 @@
+"""Command-line interface: ``python -m repro`` or ``repro-experiments``.
+
+Commands
+--------
+``list``
+    Show every registered experiment with its paper claim.
+``describe <KEY>``
+    Print an experiment's full docstring (what it measures and how).
+``run <KEY> [--full] [--save DIR]``
+    Run one experiment (quick parameters by default) and print its
+    tables; ``--save`` also writes markdown into a directory.
+``run-all [--full] [--save DIR]``
+    Run the entire registry in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.workloads import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, spec in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {spec.title}  [{spec.claim}]")
+    return 0
+
+
+def _cmd_describe(keys: list[str]) -> int:
+    import inspect
+
+    for key in keys:
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; try `list`", file=sys.stderr)
+            return 2
+        spec = EXPERIMENTS[key]
+        print(f"{key} — {spec.title}")
+        print(f"claim: {spec.claim}")
+        doc = inspect.getdoc(spec.runner)
+        if doc:
+            print(doc)
+        print()
+    return 0
+
+
+def _cmd_run(keys: list[str], full: bool, save: str | None) -> int:
+    for key in keys:
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; try `list`", file=sys.stderr)
+            return 2
+        started = time.perf_counter()
+        tables = run_experiment(key, quick=not full, save_dir=save)
+        elapsed = time.perf_counter() - started
+        for table in tables:
+            print(table.render())
+            print()
+        print(f"[{key} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Fast Neighborhood Rendezvous (ICDCS 2020) experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+
+    describe_parser = sub.add_parser("describe", help="explain experiments")
+    describe_parser.add_argument("keys", nargs="+")
+
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("keys", nargs="+", help="experiment keys (see `list`)")
+    run_parser.add_argument("--full", action="store_true", help="use the larger sweeps")
+    run_parser.add_argument("--save", default=None, help="directory for markdown tables")
+
+    all_parser = sub.add_parser("run-all", help="run the whole registry")
+    all_parser.add_argument("--full", action="store_true")
+    all_parser.add_argument("--save", default=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args.keys)
+    if args.command == "run":
+        return _cmd_run(args.keys, args.full, args.save)
+    return _cmd_run(list(EXPERIMENTS), args.full, args.save)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's primary contribution: fast neighborhood rendezvous.
+
+Modules
+-------
+:mod:`~repro.core.constants`
+    The algorithm constants (paper values and scaled presets).
+:mod:`~repro.core.dense`
+    α-heavy/α-light predicates and the (z, α, β)-dense condition
+    (Definitions 2–3) — used both by the algorithms and by independent
+    verification in tests.
+:mod:`~repro.core.knowledge`
+    The local map agent ``a`` accumulates (routes of length ≤ 2).
+:mod:`~repro.core.sample`
+    ``Sample(Γ, α)`` (Algorithm 2).
+:mod:`~repro.core.construct`
+    ``Construct`` (Algorithm 3) building the (a, δ/8, 2)-dense set.
+:mod:`~repro.core.main_rendezvous`
+    ``Main-Rendezvous`` (Algorithm 1).
+:mod:`~repro.core.whiteboard_algorithm`
+    The full Theorem 1 algorithm (Construct + Main-Rendezvous).
+:mod:`~repro.core.no_whiteboard`
+    The whiteboard-free Theorem 2 algorithm (Algorithm 4).
+:mod:`~repro.core.estimation`
+    Doubling estimation of δ (Section 4.1 / Corollary 2).
+:mod:`~repro.core.api`
+    High-level entry point :func:`repro.core.api.rendezvous`.
+"""
+
+from repro.core.constants import Constants
+from repro.core.dense import (
+    heaviness,
+    is_alpha_heavy,
+    is_alpha_light,
+    heavy_set,
+    light_set,
+    is_dense_set,
+    dense_violations,
+)
+from repro.core.knowledge import LocalMap
+from repro.core.main_rendezvous import MainRendezvousA, MarkerB
+from repro.core.whiteboard_algorithm import WhiteboardRendezvousA, theorem1_programs
+from repro.core.no_whiteboard import NoWhiteboardA, NoWhiteboardB, theorem2_programs
+from repro.core.api import ALGORITHMS, rendezvous, default_round_budget
+
+__all__ = [
+    "Constants",
+    "heaviness",
+    "is_alpha_heavy",
+    "is_alpha_light",
+    "heavy_set",
+    "light_set",
+    "is_dense_set",
+    "dense_violations",
+    "LocalMap",
+    "MainRendezvousA",
+    "MarkerB",
+    "WhiteboardRendezvousA",
+    "theorem1_programs",
+    "NoWhiteboardA",
+    "NoWhiteboardB",
+    "theorem2_programs",
+    "ALGORITHMS",
+    "rendezvous",
+    "default_round_budget",
+]

@@ -1,0 +1,229 @@
+"""Algorithm constants, with the paper's values and scaled presets.
+
+The paper fixes explicit constants so its Chernoff-bound unions hold
+for every ``n``:
+
+* ``Sample(Γ, α)`` draws ``96·⌈|Γ|·ln n / α⌉`` samples and uses the
+  heaviness threshold ``l = ⌈150·ln n⌉`` (Section 3.3.1);
+* ``Construct`` directly probes ``⌈4·log n⌉`` candidate vertices per
+  iteration (Algorithm 3, line 6);
+* heaviness is measured against ``α = δ/8`` and the strict lightness
+  check uses ``δ/2`` (Section 3.3);
+* the whiteboard-free algorithm includes each vertex in its probe set
+  with probability ``4·ln n/√δ``, relies on the sparseness constant
+  ``c₂ = 18``, dwells ``⌈4·c₂·ln n⌉`` rounds per probed vertex, and
+  synchronizes on the barrier ``t' = c₁·n'·ln²n/δ`` (Section 4.2).
+
+Those values are asymptotically motivated; at simulable ``n`` they
+inflate running time by large constant factors without changing any
+*shape*.  :class:`Constants` therefore exposes three presets:
+
+``Constants.paper()``
+    The verbatim constants, for fidelity tests.
+``Constants.tuned()``
+    Every multiplier divided by 12 with all *ratios* preserved
+    (threshold/multiplier stays 150/96; sparseness stays 4.5× the
+    probe-probability multiplier).  Default for benchmarks.
+``Constants.testing()``
+    Intermediate values used by the statistical test-suite.
+
+All derived quantities (sample counts, thresholds, dwell lengths,
+barriers) are computed through methods of this class so the two agents
+always agree on them — they share only ``n'`` and δ, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["Constants"]
+
+
+@dataclass(frozen=True)
+class Constants:
+    """Tunable constant factors of the paper's algorithms."""
+
+    #: Preset name (recorded in experiment outputs).
+    preset: str
+    #: ``Sample``: samples = ``⌈sample_multiplier · |Γ| · ln n / α⌉``.
+    sample_multiplier: float
+    #: ``Sample``: threshold ``l = ⌈threshold_ratio · sample_multiplier · ln n⌉``
+    #: (the paper's 150 = 1.5625 × 96).
+    threshold_ratio: float
+    #: ``Construct``: direct candidate checks per iteration =
+    #: ``⌈candidate_checks · log₂ n⌉`` (the paper's ⌈4·log n⌉).
+    candidate_checks: float
+    #: Heaviness scale: ``α = δ / heavy_divisor`` (the paper's δ/8).
+    heavy_divisor: float
+    #: Strict lightness scale: ``δ / light_divisor`` (the paper's δ/2).
+    light_divisor: float
+    #: Whiteboard-free: probe-set inclusion probability
+    #: ``min(1, phi_multiplier · ln n / √δ)`` (the paper's 4).
+    phi_multiplier: float
+    #: Whiteboard-free sparseness constant (the paper's c₂ = 18;
+    #: kept at 4.5 × phi_multiplier so the Chernoff margin is preserved).
+    sparse_c2: float
+    #: Whiteboard-free: agent ``a`` dwells
+    #: ``⌈dwell_factor · sparse_c2 · ln n · dwell_slack⌉`` rounds per
+    #: probed vertex (the paper's factor 4; slack is our deviation #5 in
+    #: DESIGN.md, covering agent b's 4-rounds-per-vertex sweep cost).
+    dwell_factor: float
+    dwell_slack: float
+    #: Whiteboard-free barrier: ``t' = ⌈sync_multiplier · n' · ln²n / δ⌉``
+    #: (the paper's c₁).  Must dominate Construct's running time.
+    sync_multiplier: float
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper(cls) -> "Constants":
+        """The verbatim constants from the paper."""
+        return cls(
+            preset="paper",
+            sample_multiplier=96.0,
+            threshold_ratio=150.0 / 96.0,
+            candidate_checks=4.0,
+            heavy_divisor=8.0,
+            light_divisor=2.0,
+            phi_multiplier=4.0,
+            sparse_c2=18.0,
+            dwell_factor=4.0,
+            dwell_slack=1.5,
+            sync_multiplier=9600.0,
+        )
+
+    @classmethod
+    def tuned(cls) -> "Constants":
+        """Paper constants scaled down 12× with ratios preserved."""
+        return cls(
+            preset="tuned",
+            sample_multiplier=8.0,
+            threshold_ratio=150.0 / 96.0,
+            candidate_checks=4.0,
+            heavy_divisor=8.0,
+            light_divisor=2.0,
+            phi_multiplier=2.0,
+            sparse_c2=9.0,
+            dwell_factor=4.0,
+            dwell_slack=1.5,
+            sync_multiplier=800.0,
+        )
+
+    @classmethod
+    def aggressive(cls) -> "Constants":
+        """Paper constants scaled down 48× (ratios preserved).
+
+        Used by the crossover demonstrations: the paper's sublinearity
+        (``δ = ω(√n·log n)``) is asymptotic, and with larger multipliers
+        the crossover point sits beyond simulable sizes.  The Chernoff
+        margins shrink accordingly — the test-suite checks empirically
+        that correctness still holds at the sizes we run.
+        """
+        return cls(
+            preset="aggressive",
+            sample_multiplier=2.0,
+            threshold_ratio=150.0 / 96.0,
+            candidate_checks=2.0,
+            heavy_divisor=8.0,
+            light_divisor=2.0,
+            phi_multiplier=1.5,
+            sparse_c2=6.75,
+            dwell_factor=4.0,
+            dwell_slack=1.5,
+            sync_multiplier=200.0,
+        )
+
+    @classmethod
+    def testing(cls) -> "Constants":
+        """Intermediate preset for the statistical test-suite."""
+        return cls(
+            preset="testing",
+            sample_multiplier=16.0,
+            threshold_ratio=150.0 / 96.0,
+            candidate_checks=4.0,
+            heavy_divisor=8.0,
+            light_divisor=2.0,
+            phi_multiplier=3.0,
+            sparse_c2=13.5,
+            dwell_factor=4.0,
+            dwell_slack=1.5,
+            sync_multiplier=1600.0,
+        )
+
+    def with_overrides(self, **changes) -> "Constants":
+        """A copy with some fields replaced (used by ablation benches)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Derived quantities (everything the agents compute from n' and δ)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def log_term(id_space: int) -> float:
+        """The agents' stand-in for ``ln n``.
+
+        Agents know only the ID-space bound ``n' = n^{O(1)}``, from
+        which ``ln n' = Θ(ln n)`` — a constant-factor approximation,
+        which the paper notes suffices (Section 3).
+        """
+        return max(1.0, math.log(max(2, id_space)))
+
+    def alpha(self, delta: float) -> float:
+        """The heaviness scale ``α = δ / heavy_divisor``."""
+        return delta / self.heavy_divisor
+
+    def light_bound(self, delta: float) -> float:
+        """The strict lightness bound ``δ / light_divisor``."""
+        return delta / self.light_divisor
+
+    def sample_count(self, gamma_size: int, alpha: float, id_space: int) -> int:
+        """Number of random visits in one ``Sample(Γ, α)`` run."""
+        if gamma_size == 0:
+            return 0
+        ln_n = self.log_term(id_space)
+        return max(1, math.ceil(self.sample_multiplier * gamma_size * ln_n / max(alpha, 1.0)))
+
+    def sample_threshold(self, id_space: int) -> int:
+        """The heaviness-count threshold ``l``."""
+        ln_n = self.log_term(id_space)
+        return max(1, math.ceil(self.threshold_ratio * self.sample_multiplier * ln_n))
+
+    def candidate_check_count(self, id_space: int) -> int:
+        """Direct lightness probes per ``Construct`` iteration."""
+        log2_n = max(1.0, math.log2(max(2, id_space)))
+        return max(1, math.ceil(self.candidate_checks * log2_n))
+
+    def phi_probability(self, delta: float, id_space: int) -> float:
+        """Probe-set inclusion probability ``min(1, φ·ln n/√δ)``."""
+        ln_n = self.log_term(id_space)
+        return min(1.0, self.phi_multiplier * ln_n / math.sqrt(max(delta, 1.0)))
+
+    def block_width(self, delta: float) -> int:
+        """The ID-partition width ``β = ⌈√δ⌉`` (Section 4.2)."""
+        return max(1, math.ceil(math.sqrt(max(delta, 1.0))))
+
+    def dwell_rounds(self, id_space: int) -> int:
+        """Rounds agent ``a`` spends at each probed vertex (``L``)."""
+        ln_n = self.log_term(id_space)
+        return max(4, math.ceil(self.dwell_factor * self.sparse_c2 * ln_n * self.dwell_slack))
+
+    def phase_length(self, id_space: int) -> int:
+        """Length of one whiteboard-free phase: the paper's ``⌈4c₂ ln n⌉²``.
+
+        We use ``L²`` with our (slack-inflated) ``L``, which preserves
+        the paper's phase structure and only scales constants.
+        """
+        dwell = self.dwell_rounds(id_space)
+        return dwell * dwell
+
+    def sync_barrier(self, id_space: int, delta: float) -> int:
+        """The common start round ``t'`` of the whiteboard-free phases."""
+        ln_n = self.log_term(id_space)
+        return max(1, math.ceil(self.sync_multiplier * id_space * ln_n * ln_n / max(delta, 1.0)))
+
+    def construct_iteration_cap(self, id_space: int, delta: float) -> int:
+        """Defensive cap on ``Construct`` iterations (Lemma 6: ≤ 2n/δ)."""
+        return 64 + math.ceil(24.0 * id_space / max(delta, 1.0))

@@ -1,0 +1,262 @@
+"""``Construct`` — Algorithm 3: building the (a, δ/8, 2)-dense set ``T^a``.
+
+Agent ``a`` grows a set ``S^a ⊆ N⁺(v₀ᵃ)`` one vertex per iteration,
+maintaining ``NS = N⁺(S^a)``.  Each iteration:
+
+1. **Optimistic decision** — run ``Sample`` only on the *newly added*
+   part ``Γ = N⁺(S^a_i) \\ N⁺(S^a_{i-1})``; by Proposition 1 anything
+   heavy for Γ is heavy for the whole ``N⁺(S^a_i)``.
+2. **Direct checks** — probe ``⌈4·log n⌉`` random remaining candidates
+   in person, measuring ``|N⁺(S^a_i) ∩ N⁺(u)|`` exactly; a δ/2-light
+   one becomes ``x_i``.
+3. **Strict decision** — if all probes were heavy, re-run ``Sample`` on
+   all of ``N⁺(S^a_i)`` to flush the wrongly-light candidates into
+   ``H``; any survivor becomes ``x_i``.
+
+The loop ends when ``R = N⁺(v₀ᵃ) \\ H`` empties, at which point every
+closed neighbor of the start is (δ/8)-heavy for ``NS`` — i.e. ``NS``
+satisfies the (a, δ/8, 2)-dense condition (Lemma 6) — and ``NS`` is
+returned as ``T^a`` along with the accumulated length-≤2 routes.
+
+The optional ``degree_floor`` implements the Section 4.1 doubling
+estimation: visiting any vertex of degree below the current estimate
+aborts the run (the caller halves the estimate and restarts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro._typing import VertexId
+from repro.core.constants import Constants
+from repro.core.knowledge import LocalMap
+from repro.core.sample import SampleOutcome, route_back, sample_run
+from repro.errors import ReproError
+from repro.runtime.actions import Action
+from repro.runtime.agent import AgentContext, walk
+
+__all__ = ["ConstructOutcome", "construct_run", "ConstructOnlyProgram"]
+
+
+@dataclass(frozen=True)
+class ConstructOutcome:
+    """Result of one ``Construct`` run."""
+
+    #: False when the degree guard tripped (caller should halve δ' and
+    #: restart — Section 4.1); the fields below are then partial.
+    completed: bool
+    #: The constructed ``T^a = N⁺(S^a)``, sorted (``None`` if aborted).
+    target_set: tuple[VertexId, ...] | None
+    #: Routes (length ≤ 2) from home to every vertex of ``T^a``.
+    local_map: LocalMap | None
+    #: The chosen ``S^a`` (home first, then each ``x_i`` in order).
+    selected: tuple[VertexId, ...]
+    #: Iteration count (Lemma 6 bounds it by ``2n/δ`` + slack).
+    iterations: int
+    #: Number of strict ``Sample`` runs (Lemma 7: O(log n) w.h.p.).
+    strict_runs: int
+    #: Total random visits across all ``Sample`` runs.
+    sample_visits: int
+    #: Direct candidate probes performed.
+    direct_checks: int
+    #: Round at which the run started / ended (for time accounting).
+    start_round: int
+    end_round: int
+    #: Smallest vertex degree observed (feeds the δ estimation).
+    observed_min_degree: int
+
+
+def construct_run(
+    ctx: AgentContext,
+    delta: float,
+    constants: Constants,
+    degree_floor: int | None = None,
+) -> Generator[Action, None, ConstructOutcome]:
+    """Run ``Construct`` from the agent's home vertex.
+
+    The agent must be at its start vertex when this generator begins;
+    it is back at the start vertex when the generator returns,
+    regardless of completion or abort.
+    """
+    home = ctx.start_vertex
+    start_round = ctx.view.round
+    observed_min = ctx.view.degree
+
+    home_closed = frozenset(ctx.view.closed_neighbors)
+    local_map = LocalMap(home)
+    for u in ctx.view.neighbors:
+        local_map.add_direct(u)
+
+    alpha = constants.alpha(delta)
+    light_bound = constants.light_bound(delta)
+    check_count = constants.candidate_check_count(ctx.id_space)
+    iteration_cap = constants.construct_iteration_cap(ctx.id_space, delta)
+
+    selected: list[VertexId] = [home]
+    ns: set[VertexId] = set(home_closed)
+    heavy: set[VertexId] = set()
+    remaining: set[VertexId] = set(home_closed)
+    gamma: list[VertexId] = sorted(home_closed)
+
+    iterations = 0
+    strict_runs = 0
+    sample_visits = 0
+    direct_checks = 0
+
+    def aborted() -> ConstructOutcome:
+        return ConstructOutcome(
+            completed=False,
+            target_set=None,
+            local_map=local_map,
+            selected=tuple(selected),
+            iterations=iterations,
+            strict_runs=strict_runs,
+            sample_visits=sample_visits,
+            direct_checks=direct_checks,
+            start_round=start_round,
+            end_round=ctx.view.round,
+            observed_min_degree=observed_min,
+        )
+
+    if degree_floor is not None and ctx.view.degree < degree_floor:
+        return aborted()
+
+    while remaining:
+        iterations += 1
+        if iterations > iteration_cap:
+            raise ReproError(
+                f"Construct exceeded its iteration cap ({iteration_cap}); "
+                "this indicates a broken constants preset or a bug"
+            )
+
+        # --- Step 1: optimistic run on the newly added part Γ ---------
+        outcome: SampleOutcome = yield from sample_run(
+            ctx, gamma, alpha, local_map, home_closed, constants, degree_floor
+        )
+        sample_visits += outcome.visits
+        observed_min = min(observed_min, outcome.observed_min_degree)
+        if outcome.guard_tripped:
+            return aborted()
+        heavy |= outcome.heavy
+        remaining = set(home_closed) - heavy
+
+        chosen: VertexId | None = None
+        chosen_closed: frozenset[VertexId] | None = None
+
+        if remaining:
+            # --- Step 2: direct checks of random candidates -----------
+            candidates = sorted(remaining)
+            for _ in range(check_count):
+                probe = candidates[ctx.rng.randrange(len(candidates))]
+                route = local_map.route(probe)
+                yield from walk(ctx, route)
+                direct_checks += 1
+                degree_here = ctx.view.degree
+                observed_min = min(observed_min, degree_here)
+                if degree_floor is not None and degree_here < degree_floor:
+                    yield from walk(ctx, route_back(route, home))
+                    return aborted()
+                probe_closed = ctx.view.closed_neighbors
+                weight = len(probe_closed & ns)
+                yield from walk(ctx, route_back(route, home))
+                if weight < light_bound:
+                    chosen = probe
+                    chosen_closed = probe_closed
+                    break
+
+            if chosen is None:
+                # --- Strict decision: re-sample all of N⁺(S^a) --------
+                strict_runs += 1
+                outcome = yield from sample_run(
+                    ctx, sorted(ns), alpha, local_map, home_closed,
+                    constants, degree_floor,
+                )
+                sample_visits += outcome.visits
+                observed_min = min(observed_min, outcome.observed_min_degree)
+                if outcome.guard_tripped:
+                    return aborted()
+                heavy |= outcome.heavy
+                remaining = set(home_closed) - heavy
+                if remaining:
+                    # "Choose any vertex" — prefer one not already in S
+                    # (re-selecting an S member adds nothing; see the
+                    # w.h.p. argument in Lemma 5).
+                    fresh = sorted(remaining - set(selected)) or sorted(remaining)
+                    chosen = fresh[ctx.rng.randrange(len(fresh))]
+
+            if chosen is not None:
+                if chosen_closed is None:
+                    # Selected without an in-person visit (strict path):
+                    # visit it now to learn N⁺(x_i).
+                    route = local_map.route(chosen)
+                    yield from walk(ctx, route)
+                    degree_here = ctx.view.degree
+                    observed_min = min(observed_min, degree_here)
+                    if degree_floor is not None and degree_here < degree_floor:
+                        yield from walk(ctx, route_back(route, home))
+                        return aborted()
+                    chosen_closed = ctx.view.closed_neighbors
+                    yield from walk(ctx, route_back(route, home))
+
+                selected.append(chosen)
+                new_vertices = sorted(chosen_closed - ns)
+                for w in new_vertices:
+                    local_map.add_via(chosen, w)
+                ns.update(new_vertices)
+                gamma = new_vertices
+                remaining.discard(chosen)
+            else:
+                gamma = []
+
+    return ConstructOutcome(
+        completed=True,
+        target_set=tuple(sorted(ns)),
+        local_map=local_map,
+        selected=tuple(selected),
+        iterations=iterations,
+        strict_runs=strict_runs,
+        sample_visits=sample_visits,
+        direct_checks=direct_checks,
+        start_round=start_round,
+        end_round=ctx.view.round,
+        observed_min_degree=observed_min,
+    )
+
+
+class ConstructOnlyProgram:
+    """Run ``Construct`` alone and stop — for Lemma 6-8 measurements.
+
+    Used with the single-agent driver
+    (:func:`repro.runtime.single.run_single_agent`), so ``Construct``'s
+    round counts and iteration statistics can be measured without a
+    partner agent colliding with the run.  Implements the
+    :class:`~repro.runtime.agent.AgentProgram` protocol.
+    """
+
+    def __init__(self, delta: float, constants: Constants, degree_floor: int | None = None) -> None:
+        self._delta = delta
+        self._constants = constants
+        self._degree_floor = degree_floor
+        #: The :class:`ConstructOutcome`, populated when the run ends.
+        self.outcome: ConstructOutcome | None = None
+
+    def run(self, ctx) -> Generator[Action, None, None]:
+        self.outcome = yield from construct_run(
+            ctx, self._delta, self._constants, self._degree_floor
+        )
+
+    def report(self) -> dict:
+        if self.outcome is None:
+            return {}
+        return {
+            "completed": self.outcome.completed,
+            "iterations": self.outcome.iterations,
+            "strict_runs": self.outcome.strict_runs,
+            "sample_visits": self.outcome.sample_visits,
+            "direct_checks": self.outcome.direct_checks,
+            "rounds": self.outcome.end_round - self.outcome.start_round,
+            "target_set_size": (
+                len(self.outcome.target_set) if self.outcome.target_set else 0
+            ),
+        }

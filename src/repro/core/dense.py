@@ -1,0 +1,128 @@
+"""α-heaviness and the (z, α, β)-dense condition (Definitions 2-3).
+
+These predicates appear twice in the reproduction:
+
+1. *Inside* the algorithms, agent ``a`` estimates heaviness from random
+   samples (:mod:`repro.core.sample`) — it can never afford to compute
+   it exactly.
+2. *Outside* the algorithms, the test-suite verifies the constructed
+   sets against these exact global predicates (which see the whole
+   graph), closing the loop on Lemma 8.
+
+Definitions (paper Section 3.1):
+
+* ``v`` is **α-heavy** for ``T ⊆ V`` iff ``|T ∩ N⁺(v)| ≥ α``;
+  α-light otherwise.
+* ``T`` is **(z, α, β)-dense** iff (i) ``v₀ᶻ ∈ T``, (ii) every ``w ∈ T``
+  is within distance β of ``v₀ᶻ``, and (iii) ``N⁺(v₀ᶻ) ⊆ H_α(T)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro._typing import VertexId
+from repro.graphs.graph import StaticGraph, bfs_distance
+
+__all__ = [
+    "heaviness",
+    "is_alpha_heavy",
+    "is_alpha_light",
+    "heavy_set",
+    "light_set",
+    "is_dense_set",
+    "dense_violations",
+]
+
+
+def heaviness(graph: StaticGraph, vertex: VertexId, targets: Iterable[VertexId]) -> int:
+    """``|T ∩ N⁺(vertex)|`` — the heaviness of ``vertex`` for ``T``."""
+    closed = graph.closed_neighbor_set(vertex)
+    target_set = targets if isinstance(targets, (set, frozenset)) else set(targets)
+    if len(target_set) < len(closed):
+        return sum(1 for t in target_set if t in closed)
+    return sum(1 for v in closed if v in target_set)
+
+
+def is_alpha_heavy(
+    graph: StaticGraph, vertex: VertexId, targets: Iterable[VertexId], alpha: float
+) -> bool:
+    """Definition 2: whether ``vertex`` is α-heavy for ``targets``."""
+    return heaviness(graph, vertex, targets) >= alpha
+
+
+def is_alpha_light(
+    graph: StaticGraph, vertex: VertexId, targets: Iterable[VertexId], alpha: float
+) -> bool:
+    """Definition 2: whether ``vertex`` is α-light for ``targets``."""
+    return heaviness(graph, vertex, targets) < alpha
+
+
+def heavy_set(
+    graph: StaticGraph,
+    targets: Iterable[VertexId],
+    alpha: float,
+    universe: Iterable[VertexId] | None = None,
+) -> frozenset[VertexId]:
+    """``H_α(T)`` restricted to ``universe`` (default: all vertices)."""
+    target_set = frozenset(targets)
+    candidates = graph.vertices if universe is None else universe
+    return frozenset(
+        v for v in candidates if is_alpha_heavy(graph, v, target_set, alpha)
+    )
+
+
+def light_set(
+    graph: StaticGraph,
+    targets: Iterable[VertexId],
+    alpha: float,
+    universe: Iterable[VertexId] | None = None,
+) -> frozenset[VertexId]:
+    """``L_α(T)`` restricted to ``universe`` (default: all vertices)."""
+    target_set = frozenset(targets)
+    candidates = graph.vertices if universe is None else universe
+    return frozenset(
+        v for v in candidates if is_alpha_light(graph, v, target_set, alpha)
+    )
+
+
+def dense_violations(
+    graph: StaticGraph,
+    origin: VertexId,
+    targets: Iterable[VertexId],
+    alpha: float,
+    beta: int,
+) -> list[str]:
+    """All ways ``targets`` fails the (z, α, β)-dense condition at ``origin``.
+
+    Returns an empty list when the condition holds; otherwise
+    human-readable violation descriptions (used in test failure
+    messages and the experiment harness's instance checks).
+    """
+    target_set = frozenset(targets)
+    violations: list[str] = []
+    if origin not in target_set:
+        violations.append(f"origin {origin} not in T")
+    for w in sorted(target_set):
+        dist = bfs_distance(graph, origin, w)
+        if dist < 0 or dist > beta:
+            violations.append(f"vertex {w} at distance {dist} > beta={beta} from origin")
+    for u in graph.closed_neighbors(origin):
+        count = heaviness(graph, u, target_set)
+        if count < alpha:
+            violations.append(
+                f"closed neighbor {u} of origin is not alpha-heavy for T "
+                f"(|T ∩ N⁺({u})| = {count} < {alpha})"
+            )
+    return violations
+
+
+def is_dense_set(
+    graph: StaticGraph,
+    origin: VertexId,
+    targets: Iterable[VertexId],
+    alpha: float,
+    beta: int,
+) -> bool:
+    """Definition 3: whether ``targets`` is (origin, α, β)-dense."""
+    return not dense_violations(graph, origin, targets, alpha, beta)

@@ -1,0 +1,72 @@
+"""Doubling estimation of the minimum degree (Section 4.1, Corollary 2).
+
+``Construct`` is the only part of the Theorem 1 algorithm that uses δ.
+When δ is unknown, agent ``a`` starts with the estimate
+``δ' = deg(v₀ᵃ)/2`` and restarts ``Construct`` with ``δ'/2`` whenever
+it visits a vertex of degree below δ'.  Because the running time of
+``Construct`` is ``O(n log²n / δ')``, the restarts form a geometric
+series and the total time stays ``O(n log²n / δ)`` (Corollary 2).
+
+Agent ``b`` never needs δ, so no re-synchronization is required — its
+marking behaviour is oblivious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.constants import Constants
+from repro.core.construct import ConstructOutcome, construct_run
+from repro.errors import EstimationError
+from repro.runtime.actions import Action
+from repro.runtime.agent import AgentContext
+
+__all__ = ["EstimatedConstructOutcome", "estimate_and_construct"]
+
+
+@dataclass(frozen=True)
+class EstimatedConstructOutcome:
+    """A completed ``Construct`` run plus the estimation trajectory."""
+
+    outcome: ConstructOutcome
+    #: The final (successful) estimate δ'.
+    delta_estimate: int
+    #: How many times the estimate was halved.
+    restarts: int
+    #: The initial estimate ``deg(v₀ᵃ) / 2``.
+    initial_estimate: int
+
+
+def estimate_and_construct(
+    ctx: AgentContext,
+    constants: Constants,
+) -> Generator[Action, None, EstimatedConstructOutcome]:
+    """Run ``Construct`` with doubling (halving) estimation of δ.
+
+    The agent must start at home; it finishes at home with a completed
+    outcome whose dense condition holds for ``α = δ'/8`` where
+    ``δ' ≤ δ_G`` is the final estimate (Corollary 2: the constructed
+    set satisfies the (a, δ'/8, 2)-dense condition).
+    """
+    initial = max(1, ctx.view.degree // 2)
+    estimate = initial
+    restarts = 0
+    while True:
+        outcome = yield from construct_run(
+            ctx, float(estimate), constants, degree_floor=estimate
+        )
+        if outcome.completed:
+            return EstimatedConstructOutcome(
+                outcome=outcome,
+                delta_estimate=estimate,
+                restarts=restarts,
+                initial_estimate=initial,
+            )
+        restarts += 1
+        estimate //= 2
+        if estimate < 1:
+            raise EstimationError(
+                "minimum-degree estimate fell below 1; the graph violates "
+                "the model's positive-degree assumption"
+            )

@@ -1,0 +1,198 @@
+"""Leader-based k-agent gathering (extension, not in the paper).
+
+The paper solves rendezvous for two agents; gathering (all of k agents
+meeting at one vertex) is the classical generalization its related
+work discusses ([7], [20]).  This extension composes the paper's
+primitives into a gathering protocol for the *neighborhood* setting:
+
+**Contract:** one distinguished leader starts at ``v₀``; every follower
+starts at a vertex adjacent to ``v₀`` (a "star" of initial positions —
+the k-agent analogue of initial distance one).  Whiteboards and KT1
+are available, as in Theorem 1.
+
+**Protocol:**
+
+1. The leader runs ``Construct`` to obtain its (a, δ/8, 2)-dense set
+   ``T^a``.  Every follower's start is a closed neighbor of ``v₀``, so
+   every follower's start is (δ/8)-heavy for ``T^a`` — exactly the
+   property Lemma 1 uses for agent b.
+2. Each follower runs the oblivious marking loop of Algorithm 1
+   (writing ``("mark", home)``), except it never overwrites its *own*
+   home whiteboard (reserved for the leader's rally message).
+3. The leader repeatedly samples ``T^a``.  Each time it discovers a
+   mark of a *new* follower, it walks to that follower's home and
+   writes the addressed rally ``("rally", v₀, follower_home)``;
+   followers check their home whiteboard on every return and, on
+   seeing their own rally, move to ``v₀`` (adjacent by the contract)
+   and halt there.  Followers never clobber rally messages they pass.
+4. Having rallied all ``k - 1`` followers, the leader returns to
+   ``v₀`` and halts.  The execution completes when the last follower
+   arrives — everyone is at ``v₀``.
+
+Expected time: each discovery is one Lemma 1 birthday process, so the
+whole protocol is a coupon collector over ``k - 1`` followers —
+``O(Construct + (k log k)·√(nΔ)/δ·log n)`` rounds in expectation.
+This is an extension: the paper proves no such bound, and the tests
+validate it empirically only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro._typing import VertexId
+from repro.core.constants import Constants
+from repro.core.construct import construct_run
+from repro.core.sample import route_back
+from repro.runtime.actions import Action, Halt, Move, Stay
+from repro.runtime.agent import AgentContext, AgentProgram, walk
+
+__all__ = ["GatheringLeader", "GatheringFollower", "gathering_programs"]
+
+_MARK = "mark"
+_RALLY = "rally"
+
+
+class GatheringLeader(AgentProgram):
+    """The leader: Construct, then discover-and-rally every follower.
+
+    Parameters
+    ----------
+    follower_count:
+        Number of followers to rally (``k - 1``).
+    delta:
+        The minimum degree (or ``None`` to use the Section 4.1
+        doubling estimation).
+    constants:
+        Constants preset.
+    """
+
+    def __init__(
+        self,
+        follower_count: int,
+        delta: int | None = None,
+        constants: Constants | None = None,
+    ) -> None:
+        if follower_count < 1:
+            raise ValueError("gathering needs at least one follower")
+        self._follower_count = follower_count
+        self._delta = delta
+        self._constants = constants if constants is not None else Constants.tuned()
+        self._stats: dict[str, Any] = {}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        constants = self._constants
+        home = ctx.start_vertex
+        if self._delta is not None:
+            outcome = yield from construct_run(ctx, float(self._delta), constants)
+        else:
+            from repro.core.estimation import estimate_and_construct
+
+            estimated = yield from estimate_and_construct(ctx, constants)
+            outcome = estimated.outcome
+
+        target_set = outcome.target_set
+        local_map = outcome.local_map
+        self._stats.update(
+            construct_rounds=outcome.end_round - outcome.start_round,
+            target_set_size=len(target_set),
+            discovered=[],
+            probes=0,
+        )
+
+        rallied: set[VertexId] = set()
+        while len(rallied) < self._follower_count:
+            probe = target_set[ctx.rng.randrange(len(target_set))]
+            route = local_map.route(probe)
+            yield from walk(ctx, route)
+            mark = ctx.view.whiteboard
+            yield from walk(ctx, route_back(route, home))
+            self._stats["probes"] += 1
+
+            if (
+                isinstance(mark, tuple)
+                and len(mark) == 2
+                and mark[0] == _MARK
+                and mark[1] not in rallied
+            ):
+                follower_home = mark[1]
+                if follower_home not in local_map and follower_home not in ctx.view.neighbors:
+                    continue  # defensive: contract-violating mark
+                rallied.add(follower_home)
+                self._stats["discovered"].append(
+                    {"home": follower_home, "round": ctx.view.round}
+                )
+                # Deliver the addressed rally message at the follower's
+                # home (the address keeps other followers passing by
+                # from mistaking it for their own).
+                if follower_home in local_map:
+                    rally_route = local_map.route(follower_home)
+                else:
+                    rally_route = (follower_home,)
+                yield from walk(ctx, rally_route)
+                yield Stay(write=(_RALLY, home, follower_home))
+                yield from walk(ctx, route_back(rally_route, home))
+
+        self._stats["all_rallied_round"] = ctx.view.round
+        yield Halt()  # wait at home for the followers to arrive
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+class GatheringFollower(AgentProgram):
+    """A follower: mark neighbors obliviously, obey the rally message."""
+
+    def __init__(self) -> None:
+        self._stats: dict[str, Any] = {"marks": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        home = ctx.start_vertex
+        closed = tuple(sorted(ctx.view.closed_neighbors))
+        while True:
+            # Check the home whiteboard for an addressed rally before
+            # each trip.
+            message = ctx.view.whiteboard
+            if (
+                isinstance(message, tuple)
+                and len(message) == 3
+                and message[0] == _RALLY
+                and message[2] == home
+            ):
+                rally_vertex = message[1]
+                self._stats["rally_round"] = ctx.view.round
+                yield Move(rally_vertex)
+                yield Halt()
+                return
+
+            target = closed[ctx.rng.randrange(len(closed))]
+            if target == home:
+                # Own home is reserved for the leader's rally message.
+                yield Stay()
+                yield Stay()
+            else:
+                yield Move(target)
+                # Never clobber a rally message waiting at another
+                # follower's home (read-then-write within the round is
+                # allowed by the model).
+                existing = ctx.view.whiteboard
+                if isinstance(existing, tuple) and existing and existing[0] == _RALLY:
+                    yield Move(home)
+                else:
+                    yield Move(home, write=(_MARK, home))
+            self._stats["marks"] += 1
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+def gathering_programs(
+    follower_count: int,
+    delta: int | None = None,
+    constants: Constants | None = None,
+) -> tuple[GatheringLeader, list[GatheringFollower]]:
+    """The leader plus ``follower_count`` follower programs."""
+    shared = constants if constants is not None else Constants.tuned()
+    leader = GatheringLeader(follower_count, delta=delta, constants=shared)
+    followers = [GatheringFollower() for _ in range(follower_count)]
+    return leader, followers

@@ -1,0 +1,154 @@
+"""``Main-Rendezvous`` — Algorithm 1: meeting through a dense set.
+
+Agent ``a`` owns an (a, δ/8, 2)-dense set ``T^a``; its start's closed
+neighborhood is (δ/8)-heavy for ``T^a``, so in particular ``b``'s start
+``v₀ᵇ`` has at least δ/8 closed neighbors inside ``T^a``.  Agent ``b``
+obliviously marks random closed neighbors of its start with its start's
+identifier; agent ``a`` repeatedly samples random vertices of ``T^a``
+and reads their whiteboards.  A birthday-style argument (Lemma 1) shows
+a marked vertex is sampled within ``O(√(nΔ)/δ · log n)`` rounds w.h.p.;
+``a`` then walks to ``v₀ᵇ`` — a neighbor of its own start — and halts
+there, where ``b`` returns within two rounds.
+
+``MainRendezvousA`` can be instantiated with an *oracle-provided* dense
+set (used by the Lemma 1 experiments to time this phase in isolation);
+the full Theorem 1 program composes :func:`main_rendezvous_a_run` with
+``Construct``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro._typing import VertexId
+from repro.core.knowledge import LocalMap
+from repro.runtime.actions import Action, Halt, Move, Stay
+from repro.runtime.agent import AgentContext, AgentProgram, walk
+from repro.runtime.whiteboard import BLANK
+from repro.core.sample import route_back
+
+__all__ = ["main_rendezvous_a_run", "MainRendezvousA", "MarkerB"]
+
+
+def main_rendezvous_a_run(
+    ctx: AgentContext,
+    target_set: tuple[VertexId, ...],
+    local_map: LocalMap,
+    stats: dict[str, Any],
+) -> Generator[Action, None, None]:
+    """Agent ``a``'s sampling loop (Algorithm 1, operations of agent a).
+
+    Runs forever (the scheduler stops the execution on rendezvous); if
+    the partner's mark is found, walks to the partner's start vertex
+    and halts there.
+    """
+    home = local_map.home
+    stats.setdefault("probes", 0)
+    while True:
+        target = target_set[ctx.rng.randrange(len(target_set))]
+        route = local_map.route(target)
+        yield from walk(ctx, route)
+        mark = ctx.view.whiteboard
+        yield from walk(ctx, route_back(route, home))
+        stats["probes"] += 1
+        if mark is not BLANK:
+            # The mark is v₀ᵇ — adjacent to home by the distance-one
+            # assumption.  Go there and wait for b's next return.  If
+            # the instance violated the contract (distance > 1) the
+            # mark may be unreachable from the agent's knowledge; skip
+            # it defensively instead of crashing (Theorem 5 territory).
+            if mark not in local_map and mark not in ctx.view.neighbors:
+                stats["unreachable_marks"] = stats.get("unreachable_marks", 0) + 1
+                continue
+            stats["mark_found_round"] = ctx.view.round
+            if mark in local_map:
+                yield from walk(ctx, local_map.route(mark))
+            else:
+                yield Move(mark)
+            yield Halt()
+            return
+
+
+class MainRendezvousA(AgentProgram):
+    """Agent ``a`` with an oracle-provided dense set (Lemma 1 harness).
+
+    Parameters
+    ----------
+    target_set:
+        The dense set ``T^a`` (any iterable of vertex IDs).
+    local_map:
+        Routes from ``a``'s start to every member.  When ``None``, the
+        program builds direct/2-hop routes itself on the first round
+        from its start's neighborhood — only valid if every member of
+        ``target_set`` is within the start's closed neighborhood or
+        flagged with a ``via`` map in ``routes_via``.
+    routes_via:
+        Optional mapping ``vertex -> intermediate`` for 2-hop members.
+    """
+
+    def __init__(
+        self,
+        target_set,
+        local_map: LocalMap | None = None,
+        routes_via: dict[VertexId, VertexId] | None = None,
+    ) -> None:
+        self._target_set = tuple(sorted(target_set))
+        self._local_map = local_map
+        self._routes_via = dict(routes_via or {})
+        self._stats: dict[str, Any] = {}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        local_map = self._local_map
+        if local_map is None:
+            local_map = LocalMap(ctx.start_vertex)
+            direct = set(ctx.view.neighbors)
+            for vertex in self._target_set:
+                if vertex == ctx.start_vertex:
+                    continue
+                if vertex in direct:
+                    local_map.add_direct(vertex)
+                else:
+                    via = self._routes_via.get(vertex)
+                    if via is None:
+                        raise ValueError(
+                            f"no route information for dense-set member {vertex}"
+                        )
+                    local_map.add_direct(via)
+                    local_map.add_via(via, vertex)
+        yield from main_rendezvous_a_run(ctx, self._target_set, local_map, self._stats)
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+class MarkerB(AgentProgram):
+    """Agent ``b``: obliviously mark random closed neighbors (Algorithm 1).
+
+    Every two rounds: pick ``u ∈ N⁺(v₀ᵇ)`` uniformly, move there, write
+    ``v₀ᵇ`` on its whiteboard, and return.  When the chosen vertex is
+    the start itself the write is immediate and the agent idles a round
+    to keep the two-round cadence (matching the paper's loop shape).
+
+    The behaviour never depends on δ or on agent ``a`` — the property
+    Section 4.1 relies on to avoid re-synchronization during δ
+    estimation.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, Any] = {"marks": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        home = ctx.start_vertex
+        closed = tuple(sorted(ctx.view.closed_neighbors))
+        while True:
+            target = closed[ctx.rng.randrange(len(closed))]
+            if target == home:
+                yield Stay(write=home)
+                yield Stay()
+            else:
+                yield Move(target)
+                yield Move(home, write=home)
+            self._stats["marks"] += 1
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)

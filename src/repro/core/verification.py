@@ -1,0 +1,81 @@
+"""Post-hoc verification of execution results.
+
+Defense in depth for the harness and tests: after an execution, check
+that the reported outcome is internally consistent and respects the
+model.  A failing check indicates a scheduler or algorithm bug — these
+invariants are not statistical.
+"""
+
+from __future__ import annotations
+
+from repro._typing import VertexId
+from repro.errors import SchedulerError
+from repro.graphs.graph import StaticGraph, bfs_distance
+from repro.runtime.scheduler import ExecutionResult
+
+__all__ = ["verify_result"]
+
+
+def verify_result(
+    graph: StaticGraph,
+    result: ExecutionResult,
+    start_a: VertexId | None = None,
+    start_b: VertexId | None = None,
+) -> None:
+    """Raise :class:`SchedulerError` if ``result`` is inconsistent.
+
+    Checks:
+
+    * a met execution names a meeting vertex inside the graph; a
+      failed one names none and carries a failure reason;
+    * per-agent moves never exceed the executed rounds;
+    * when the trace was recorded: consecutive positions are adjacent
+      or equal (no teleportation), the trace ends consistently with
+      the outcome, and the meeting round is not before the trivial
+      ``⌈distance/2⌉`` lower bound (paper Section 1.1).
+    """
+    if result.met:
+        if result.meeting_vertex is None or result.meeting_vertex not in graph:
+            raise SchedulerError("met execution lacks a valid meeting vertex")
+        if result.failure_reason is not None:
+            raise SchedulerError("met execution carries a failure reason")
+    else:
+        if result.meeting_vertex is not None:
+            raise SchedulerError("failed execution names a meeting vertex")
+        if result.failure_reason is None:
+            raise SchedulerError("failed execution lacks a failure reason")
+
+    for agent, moves in result.moves.items():
+        if moves < 0 or moves > result.rounds:
+            raise SchedulerError(
+                f"agent {agent} made {moves} moves in {result.rounds} rounds"
+            )
+
+    if (
+        result.met
+        and start_a is not None
+        and start_b is not None
+    ):
+        distance = bfs_distance(graph, start_a, start_b)
+        if distance > 0 and result.rounds < (distance + 1) // 2:
+            raise SchedulerError(
+                f"meeting at round {result.rounds} beats the distance/2 "
+                f"lower bound (distance {distance})"
+            )
+
+    if result.trace:
+        previous = None
+        for _, pos_a, pos_b in result.trace:
+            if pos_a not in graph or pos_b not in graph:
+                raise SchedulerError("trace contains a vertex outside the graph")
+            if previous is not None:
+                last_a, last_b = previous
+                if pos_a != last_a and not graph.has_edge(last_a, pos_a):
+                    raise SchedulerError(
+                        f"agent a teleported {last_a} -> {pos_a}"
+                    )
+                if pos_b != last_b and not graph.has_edge(last_b, pos_b):
+                    raise SchedulerError(
+                        f"agent b teleported {last_b} -> {pos_b}"
+                    )
+            previous = (pos_a, pos_b)

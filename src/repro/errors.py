@@ -1,0 +1,83 @@
+"""Exception taxonomy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The hierarchy distinguishes *caller
+mistakes* (bad graphs, bad parameters) from *protocol violations*
+(an agent program asking the runtime for something its model forbids)
+and *algorithmic failures* (a Monte Carlo algorithm missing its
+synchronization barrier).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or violates a documented precondition.
+
+    Examples: duplicate vertex identifiers, asymmetric adjacency,
+    self-loops, identifiers outside the declared ID space.
+    """
+
+
+class GenerationError(ReproError):
+    """A graph generator could not satisfy the requested parameters.
+
+    Raised, for example, when a requested minimum degree exceeds
+    ``n - 1`` or a degree sequence is not graphical.
+    """
+
+
+class ProtocolError(ReproError):
+    """An agent program violated the mobile-agent model.
+
+    Examples: moving along a non-existent edge, reading neighbor IDs
+    under the KT0 model, or touching a whiteboard when whiteboards are
+    disabled.
+    """
+
+
+class WhiteboardDisabledError(ProtocolError):
+    """A whiteboard access was attempted in a whiteboard-free model."""
+
+
+class SchedulerError(ReproError):
+    """The synchronous scheduler was driven into an invalid state."""
+
+
+class RoundLimitExceeded(ReproError):
+    """An execution exceeded its configured ``max_rounds`` budget.
+
+    The scheduler normally *returns* a failed :class:`ExecutionResult`
+    instead of raising; this exception is reserved for callers who
+    explicitly request strict behaviour.
+    """
+
+
+class SynchronizationError(ReproError):
+    """A phase-synchronized algorithm missed its barrier.
+
+    Used by the whiteboard-free algorithm (paper Section 4.2) when
+    ``Construct`` has not finished by the common starting round ``t'``.
+    With default constants this indicates a mis-configured preset.
+    """
+
+
+class EstimationError(ReproError):
+    """The doubling estimation of the minimum degree failed.
+
+    This can only occur if the estimate underflows below one, which
+    would indicate a disconnected or degenerate input graph.
+    """
+
+
+class AdversaryError(ReproError):
+    """The Lemma 9 adversary could not complete its construction.
+
+    Raised when the parameters violate the lemma's preconditions (for
+    instance a round budget larger than ``n/32``) or when gluing fails
+    to find a compatible pair ``(j, k)`` within its retry budget.
+    """

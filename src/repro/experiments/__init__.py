@@ -1,0 +1,35 @@
+"""Experiment harness: seeded trials, sweeps, tables, and the registry.
+
+Every quantitative claim of the paper maps to one entry of
+:data:`~repro.experiments.workloads.EXPERIMENTS`; the benchmark suite
+(``benchmarks/``) and the CLI (``python -m repro``) both drive this
+registry.  ``EXPERIMENTS.md`` records one section per entry.
+"""
+
+from repro.experiments.harness import (
+    TrialRecord,
+    run_trial,
+    repeat_trials,
+    aggregate_rounds,
+)
+from repro.experiments.report import Table
+from repro.experiments.results_io import (
+    write_records_jsonl,
+    read_records_jsonl,
+    write_records_csv,
+)
+from repro.experiments.workloads import EXPERIMENTS, ExperimentSpec, run_experiment
+
+__all__ = [
+    "TrialRecord",
+    "run_trial",
+    "repeat_trials",
+    "aggregate_rounds",
+    "Table",
+    "write_records_jsonl",
+    "read_records_jsonl",
+    "write_records_csv",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "run_experiment",
+]

@@ -1,0 +1,109 @@
+"""Seeded trial running and aggregation for the experiment registry."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._typing import VertexId
+from repro.analysis.stats import Summary, summarize
+from repro.core.api import rendezvous
+from repro.core.verification import verify_result
+from repro.core.constants import Constants
+from repro.graphs.graph import StaticGraph
+from repro.graphs.validation import require_neighborhood_instance
+
+__all__ = ["TrialRecord", "run_trial", "repeat_trials", "aggregate_rounds"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One execution of one algorithm on one instance."""
+
+    algorithm: str
+    graph_name: str
+    n: int
+    id_space: int
+    delta: int
+    max_degree: int
+    seed: int
+    met: bool
+    rounds: int
+    total_moves: int
+    whiteboard_writes: int
+    reports: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def rounds_per_n(self) -> float:
+        """Rounds normalized by instance size (Ω(n) checks)."""
+        return self.rounds / self.n
+
+
+def run_trial(
+    graph: StaticGraph,
+    algorithm: str,
+    seed: int,
+    constants: Constants | None = None,
+    delta: int | str | None = None,
+    start_a: VertexId | None = None,
+    start_b: VertexId | None = None,
+    max_rounds: int | None = None,
+    check_instance: bool = True,
+    **scheduler_kwargs: Any,
+) -> TrialRecord:
+    """Run one seeded trial and wrap the result in a :class:`TrialRecord`.
+
+    When ``check_instance`` is true (default) and explicit starts are
+    given, the harness first asserts the starts form a valid
+    neighborhood-rendezvous instance — except for experiments that
+    intentionally violate it (distance-two lower bounds), which pass
+    ``check_instance=False``.
+    """
+    if check_instance and start_a is not None and start_b is not None:
+        require_neighborhood_instance(graph, start_a, start_b)
+    result = rendezvous(
+        graph,
+        algorithm=algorithm,
+        start_a=start_a,
+        start_b=start_b,
+        seed=seed,
+        delta=delta,
+        constants=constants,
+        max_rounds=max_rounds,
+        **scheduler_kwargs,
+    )
+    verify_result(graph, result, start_a=start_a, start_b=start_b)
+    return TrialRecord(
+        algorithm=algorithm,
+        graph_name=graph.name,
+        n=graph.n,
+        id_space=graph.id_space,
+        delta=graph.min_degree,
+        max_degree=graph.max_degree,
+        seed=seed,
+        met=result.met,
+        rounds=result.rounds,
+        total_moves=result.total_moves,
+        whiteboard_writes=result.whiteboard_writes,
+        reports=result.reports,
+    )
+
+
+def repeat_trials(
+    graph: StaticGraph,
+    algorithm: str,
+    seeds: range | list[int],
+    **kwargs: Any,
+) -> list[TrialRecord]:
+    """Run one trial per seed (new random starts and tapes each time)."""
+    return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
+
+
+def aggregate_rounds(records: list[TrialRecord]) -> Summary:
+    """Summary of the ``rounds`` metric over successful trials only."""
+    rounds = [r.rounds for r in records if r.met]
+    if not rounds:
+        raise ValueError("no successful trials to aggregate")
+    return summarize(rounds)
+

@@ -1,0 +1,90 @@
+"""Plain-text and markdown tables for experiment output.
+
+The benchmark harness prints one or more :class:`Table` objects per
+experiment — the reproduction's analogue of the paper's result tables —
+and optionally persists them under ``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with fixed headers and appendable rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the header count."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote printed under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in cells), 1)
+            if cells
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def save_markdown(self, directory: str | Path, stem: str) -> Path:
+        """Write the markdown rendering to ``directory/stem.md``."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / f"{stem}.md"
+        target.write_text(self.to_markdown() + "\n", encoding="utf-8")
+        return target

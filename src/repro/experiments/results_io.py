@@ -1,0 +1,76 @@
+"""Persistence of raw trial records (JSON lines + CSV export).
+
+Tables summarize; raw records let downstream users re-analyze.  Every
+:class:`~repro.experiments.harness.TrialRecord` round-trips through
+JSON lines losslessly (per-agent reports included, with non-JSON
+values stringified); CSV export flattens the scalar fields for
+spreadsheet work.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.experiments.harness import TrialRecord
+
+__all__ = ["write_records_jsonl", "read_records_jsonl", "write_records_csv"]
+
+_CSV_FIELDS = [
+    "algorithm", "graph_name", "n", "id_space", "delta", "max_degree",
+    "seed", "met", "rounds", "total_moves", "whiteboard_writes",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of report values into JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    return repr(value)
+
+
+def write_records_jsonl(records: Iterable[TrialRecord], path: str | Path) -> Path:
+    """Write records as one JSON object per line; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for record in records:
+            payload = asdict(record)
+            payload["reports"] = _jsonable(payload["reports"])
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+    return target
+
+
+def read_records_jsonl(path: str | Path) -> list[TrialRecord]:
+    """Load records written by :func:`write_records_jsonl`."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            records.append(TrialRecord(**payload))
+    return records
+
+
+def write_records_csv(records: Iterable[TrialRecord], path: str | Path) -> Path:
+    """Write the scalar fields of the records as CSV; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for record in records:
+            payload = asdict(record)
+            writer.writerow({k: payload[k] for k in _CSV_FIELDS})
+    return target

@@ -1,0 +1,19 @@
+"""Extensions beyond the paper's exact scope.
+
+* :mod:`repro.extensions.multihop` — a best-effort generalization of
+  the Theorem 1 algorithm to initial distance two (and heuristically
+  beyond), with marks that carry return trails.
+
+Theorem 5 proves Ω(n) worst-case bounds exist at distance two, so no
+extension can promise sublinear time on *all* instances; these modules
+are engineering generalizations validated empirically (see the
+``EXT-*`` experiments in EXPERIMENTS.md).
+"""
+
+from repro.extensions.multihop import (
+    TrailMarkerB,
+    TrailSearcherA,
+    multihop_programs,
+)
+
+__all__ = ["TrailMarkerB", "TrailSearcherA", "multihop_programs"]

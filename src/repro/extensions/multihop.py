@@ -1,0 +1,160 @@
+"""Distance-two rendezvous via symmetric dense sets and trail marks.
+
+The paper's Algorithm 1 breaks at initial distance two for two reasons:
+
+1. agent ``b`` only marks its *immediate* closed neighborhood, which
+   may not intersect ``T^a`` usefully;
+2. a found mark names ``v₀ᵇ``, which agent ``a`` can no longer reach
+   in one hop.
+
+This extension fixes both symmetrically:
+
+* **Both** agents run ``Construct``, obtaining dense sets ``T^a`` and
+  ``T^b`` of radius ≤ 2 around their starts (``Construct`` needs no
+  whiteboards, so ``b`` can afford it).
+* Agent ``b`` marks uniformly random vertices of ``T^b``; each mark
+  carries the **return trail** — the stored route from the marked
+  vertex back to ``v₀ᵇ`` (length ≤ 2) — so a finder can navigate home
+  to ``b`` without knowing the graph.
+* Agent ``a`` probes uniformly random vertices of ``T^a``; on finding
+  a trail mark it walks the trail and halts at ``v₀ᵇ``, where ``b``
+  returns within four rounds.
+
+Why it can work at distance two: a common neighbor ``w`` of the two
+starts is a closed neighbor of both, hence (δ/8)-heavy for *both*
+dense sets — each of ``T^a`` and ``T^b`` contains ≥ δ/8 of ``N⁺(w)``,
+so their intersection within ``N⁺(w)`` is non-empty for overlapping
+δ/8-fractions.  That overlap is *not guaranteed* in general — Theorem
+5 shows adversarial instances defeat every algorithm — so this is a
+best-effort extension; the ``EXT-DIST2`` experiment measures its
+success rate and round counts on dense random graphs.
+
+The trail mechanism also subsumes the distance-one case (a trail of
+length one is the paper's plain mark), so the extension is a strict
+generalization of Algorithm 1's marking scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.constants import Constants
+from repro.core.construct import construct_run
+from repro.core.sample import route_back
+from repro.runtime.actions import Action, Halt, Move
+from repro.runtime.agent import AgentContext, AgentProgram, walk
+
+__all__ = ["TrailSearcherA", "TrailMarkerB", "multihop_programs"]
+
+_TRAIL = "trail"
+
+
+class TrailMarkerB(AgentProgram):
+    """Agent ``b``: construct ``T^b``, then leave trail marks on it."""
+
+    def __init__(self, delta: int | None = None, constants: Constants | None = None) -> None:
+        self._delta = delta
+        self._constants = constants if constants is not None else Constants.tuned()
+        self._stats: dict[str, Any] = {"marks": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        constants = self._constants
+        home = ctx.start_vertex
+        if self._delta is not None:
+            outcome = yield from construct_run(ctx, float(self._delta), constants)
+        else:
+            from repro.core.estimation import estimate_and_construct
+
+            estimated = yield from estimate_and_construct(ctx, constants)
+            outcome = estimated.outcome
+        target_set = outcome.target_set
+        local_map = outcome.local_map
+        self._stats["construct_rounds"] = outcome.end_round - outcome.start_round
+        self._stats["target_set_size"] = len(target_set)
+
+        while True:
+            target = target_set[ctx.rng.randrange(len(target_set))]
+            route = local_map.route(target)
+            back = tuple(route_back(route, home))
+            yield from walk(ctx, route)
+            if route:
+                # Write the trail and start walking it home in the
+                # same round (the model allows write-then-move).
+                first, rest = back[0], back[1:]
+                yield Move(first, write=(_TRAIL, back))
+                yield from walk(ctx, rest)
+            else:
+                # Marking the home vertex itself: nothing to write (a
+                # searcher reaching here has already met us).
+                yield from walk(ctx, back)
+            self._stats["marks"] += 1
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+class TrailSearcherA(AgentProgram):
+    """Agent ``a``: construct ``T^a``, probe it, follow found trails."""
+
+    def __init__(self, delta: int | None = None, constants: Constants | None = None) -> None:
+        self._delta = delta
+        self._constants = constants if constants is not None else Constants.tuned()
+        self._stats: dict[str, Any] = {"probes": 0}
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        constants = self._constants
+        home = ctx.start_vertex
+        if self._delta is not None:
+            outcome = yield from construct_run(ctx, float(self._delta), constants)
+        else:
+            from repro.core.estimation import estimate_and_construct
+
+            estimated = yield from estimate_and_construct(ctx, constants)
+            outcome = estimated.outcome
+        target_set = outcome.target_set
+        local_map = outcome.local_map
+        self._stats["construct_rounds"] = outcome.end_round - outcome.start_round
+        self._stats["target_set_size"] = len(target_set)
+
+        while True:
+            probe = target_set[ctx.rng.randrange(len(target_set))]
+            route = local_map.route(probe)
+            yield from walk(ctx, route)
+            mark = ctx.view.whiteboard
+            self._stats["probes"] += 1
+
+            if (
+                isinstance(mark, tuple)
+                and len(mark) == 2
+                and mark[0] == _TRAIL
+                and self._trail_is_walkable(ctx, mark[1])
+            ):
+                self._stats["trail_found_round"] = ctx.view.round
+                yield from walk(ctx, mark[1])
+                yield Halt()  # at v0_b; b returns within four rounds
+                return
+
+            yield from walk(ctx, route_back(route, home))
+
+    @staticmethod
+    def _trail_is_walkable(ctx: AgentContext, trail) -> bool:
+        """The first hop must be a neighbor of the current vertex.
+
+        (Later hops are validated by the runtime as they are walked;
+        a corrupted trail would raise a ProtocolError, which indicates
+        a genuinely broken whiteboard rather than a model situation.)
+        """
+        if not isinstance(trail, tuple) or not trail:
+            return False
+        return trail[0] in ctx.view.neighbors or trail[0] == ctx.view.vertex
+
+    def report(self) -> dict[str, Any]:
+        return dict(self._stats)
+
+
+def multihop_programs(
+    delta: int | None = None, constants: Constants | None = None
+) -> tuple[TrailSearcherA, TrailMarkerB]:
+    """The (searcher, marker) pair of the distance-two extension."""
+    shared = constants if constants is not None else Constants.tuned()
+    return TrailSearcherA(delta, shared), TrailMarkerB(delta, shared)

@@ -1,0 +1,90 @@
+"""Graph substrate: the static graphs agents move on.
+
+This subpackage implements the graph model of paper Section 2.1:
+
+* :class:`~repro.graphs.graph.StaticGraph` — an immutable undirected
+  graph whose vertices carry distinct integer identifiers drawn from an
+  ID space ``[0, n')`` with ``n' >= n``.
+* :mod:`~repro.graphs.ports` — the hidden local port numbering
+  ``P̂_v`` and the accessible port numbering ``P_v`` (KT1 vs KT0).
+* :mod:`~repro.graphs.generators` — workload graph families with
+  controllable ``(n, δ, Δ)``.
+* :mod:`~repro.graphs.lowerbound` — the hard instances of paper
+  Section 5 (Figures 1–3).
+"""
+
+from repro.graphs.graph import StaticGraph, bfs_distance
+from repro.graphs.ports import PortLabeling, PortModel
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    barbell_graph,
+    random_graph_with_min_degree,
+    random_regular_graph,
+    random_geometric_dense_graph,
+    powerlaw_graph_with_floor,
+    dilate_id_space,
+)
+from repro.graphs.families import (
+    hypercube_graph,
+    torus_grid_graph,
+    margulis_expander,
+    stochastic_block_graph,
+    complete_bipartite_graph,
+    kneser_like_graph,
+)
+from repro.graphs.analysis import (
+    degree_profile,
+    common_neighborhood_profile,
+    predict_construct_regime,
+    heaviness_profile,
+)
+from repro.graphs.serialization import (
+    save_edge_list,
+    load_edge_list,
+    save_json,
+    load_json,
+)
+from repro.graphs.lowerbound import (
+    double_star,
+    double_star_with_cliques,
+    swapped_edge_cliques,
+    cliques_sharing_vertex,
+)
+
+__all__ = [
+    "StaticGraph",
+    "bfs_distance",
+    "PortLabeling",
+    "PortModel",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "barbell_graph",
+    "random_graph_with_min_degree",
+    "random_regular_graph",
+    "random_geometric_dense_graph",
+    "powerlaw_graph_with_floor",
+    "dilate_id_space",
+    "hypercube_graph",
+    "torus_grid_graph",
+    "margulis_expander",
+    "stochastic_block_graph",
+    "complete_bipartite_graph",
+    "kneser_like_graph",
+    "degree_profile",
+    "common_neighborhood_profile",
+    "predict_construct_regime",
+    "heaviness_profile",
+    "save_edge_list",
+    "load_edge_list",
+    "save_json",
+    "load_json",
+    "double_star",
+    "double_star_with_cliques",
+    "swapped_edge_cliques",
+    "cliques_sharing_vertex",
+]

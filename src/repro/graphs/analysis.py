@@ -1,0 +1,146 @@
+"""Structural graph statistics used by experiments and diagnostics.
+
+Two quantities drive the observed behaviour of the paper's algorithms:
+
+* the **common-neighborhood profile** of adjacent vertices — when
+  neighbors of the start share most of their neighborhoods (clustered
+  graphs), ``Construct``'s optimistic decisions fire and its cost sits
+  at the bottom of the Lemma 8 envelope; when neighborhoods are spread
+  (ER, bipartite), strict runs carry the load (see EXPERIMENTS.md,
+  CONSTRUCT section);
+* the **heaviness profile** of a candidate dense set — how far each
+  closed neighbor of the start is from the α threshold.
+
+:func:`predict_construct_regime` turns the first into an a-priori
+regime label that experiments can report next to their measurements.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from repro._typing import VertexId
+from repro.graphs.graph import StaticGraph
+
+__all__ = [
+    "DegreeProfile",
+    "degree_profile",
+    "CommonNeighborhoodProfile",
+    "common_neighborhood_profile",
+    "predict_construct_regime",
+    "heaviness_profile",
+]
+
+
+@dataclass(frozen=True)
+class DegreeProfile:
+    """Summary of a graph's degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    stdev: float
+
+    @property
+    def skew_ratio(self) -> float:
+        """``Δ/δ`` — how far the graph is from regular."""
+        return self.maximum / max(1, self.minimum)
+
+
+def degree_profile(graph: StaticGraph) -> DegreeProfile:
+    """Compute the degree distribution summary of ``graph``."""
+    degrees = [graph.degree(v) for v in graph.vertices]
+    return DegreeProfile(
+        minimum=min(degrees),
+        maximum=max(degrees),
+        mean=statistics.fmean(degrees),
+        median=statistics.median(degrees),
+        stdev=statistics.stdev(degrees) if len(degrees) > 1 else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class CommonNeighborhoodProfile:
+    """How much adjacent vertices' closed neighborhoods overlap."""
+
+    #: Mean of ``|N⁺(u) ∩ N⁺(v)|`` over sampled edges ``(u, v)``.
+    mean_common: float
+    #: The same, normalized by δ (the scale α = δ/8 lives on).
+    mean_common_over_delta: float
+    #: Fraction of sampled edges with common neighborhood ≥ δ/8.
+    fraction_alpha_heavy: float
+    #: Number of edges sampled.
+    samples: int
+
+
+def common_neighborhood_profile(
+    graph: StaticGraph,
+    rng: random.Random | None = None,
+    samples: int = 200,
+) -> CommonNeighborhoodProfile:
+    """Sample edges and measure closed-neighborhood overlap.
+
+    Deterministic when ``rng`` is omitted (first ``samples`` edges).
+    """
+    edges = list(graph.edges())
+    if rng is not None and len(edges) > samples:
+        chosen = rng.sample(edges, samples)
+    else:
+        chosen = edges[:samples]
+    delta = max(1, graph.min_degree)
+    alpha = delta / 8.0
+    commons = [
+        len(graph.closed_neighbor_set(u) & graph.closed_neighbor_set(v))
+        for u, v in chosen
+    ]
+    mean_common = statistics.fmean(commons) if commons else 0.0
+    heavy = sum(1 for c in commons if c >= alpha)
+    return CommonNeighborhoodProfile(
+        mean_common=mean_common,
+        mean_common_over_delta=mean_common / delta,
+        fraction_alpha_heavy=heavy / len(commons) if commons else 0.0,
+        samples=len(commons),
+    )
+
+
+def predict_construct_regime(
+    graph: StaticGraph, rng: random.Random | None = None
+) -> str:
+    """Predict whether ``Construct`` runs optimistically or strictly.
+
+    Returns ``"optimistic"`` when most adjacent neighborhoods already
+    exceed the α = δ/8 overlap (clustered graphs: geometric, complete,
+    communities), ``"strict"`` when almost none do (spread graphs: ER
+    at δ = o(n^...), bipartite), and ``"mixed"`` in between.  See
+    EXPERIMENTS.md (CONSTRUCT) for the measured consequences.
+    """
+    profile = common_neighborhood_profile(graph, rng)
+    if profile.fraction_alpha_heavy >= 0.9:
+        return "optimistic"
+    if profile.fraction_alpha_heavy <= 0.1:
+        return "strict"
+    return "mixed"
+
+
+def heaviness_profile(
+    graph: StaticGraph, origin: VertexId, targets, alpha: float
+) -> dict[str, float]:
+    """Margin statistics of ``|T ∩ N⁺(u)|`` over ``u ∈ N⁺(origin)``.
+
+    Returns the minimum, mean, and the fraction of closed neighbors
+    strictly below the α threshold (zero for a valid dense set).
+    """
+    target_set = frozenset(targets)
+    counts = [
+        len(target_set & graph.closed_neighbor_set(u))
+        for u in graph.closed_neighbors(origin)
+    ]
+    below = sum(1 for c in counts if c < alpha)
+    return {
+        "min": float(min(counts)),
+        "mean": statistics.fmean(counts),
+        "fraction_below_alpha": below / len(counts),
+    }

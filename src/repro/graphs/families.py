@@ -1,0 +1,195 @@
+"""Additional structured graph families for experiments and tests.
+
+These complement :mod:`repro.graphs.generators` with classical
+structured topologies.  They matter for the reproduction because the
+paper's theorems quantify over *all* graphs of a given minimum degree —
+structured families probe corners the random families miss:
+
+* :func:`hypercube_graph` — `δ = Δ = log n`: far below the sublinear
+  threshold, a regime where only the trivial probe is competitive.
+* :func:`torus_grid_graph` — constant degree, large diameter.
+* :func:`margulis_expander` — constant-degree expander: random walks
+  mix fast, yet δ is constant so Theorem 1's premise fails.
+* :func:`stochastic_block_graph` — two dense communities with sparse
+  cross edges: dense neighborhoods but a global bottleneck.
+* :func:`complete_bipartite_graph` — `N⁺`-neighborhoods that barely
+  overlap: the worst case for optimistic heaviness decisions (every
+  classification burden falls on strict runs).
+* :func:`kneser_like_graph` — dense vertex-transitive graphs with
+  tunable overlap structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+from repro._typing import VertexId
+from repro.errors import GenerationError
+from repro.graphs.graph import StaticGraph
+
+__all__ = [
+    "hypercube_graph",
+    "torus_grid_graph",
+    "margulis_expander",
+    "stochastic_block_graph",
+    "complete_bipartite_graph",
+    "kneser_like_graph",
+]
+
+
+def hypercube_graph(dimension: int) -> StaticGraph:
+    """The ``dimension``-dimensional hypercube (n = 2^d, δ = Δ = d)."""
+    if not 1 <= dimension <= 20:
+        raise GenerationError("hypercube dimension must be in [1, 20]")
+    n = 1 << dimension
+    adjacency = {
+        v: [v ^ (1 << bit) for bit in range(dimension)] for v in range(n)
+    }
+    return StaticGraph(adjacency, name=f"hypercube(d={dimension})", validate=False)
+
+
+def torus_grid_graph(rows: int, cols: int) -> StaticGraph:
+    """The ``rows × cols`` torus grid (δ = Δ = 4 for sizes ≥ 3)."""
+    if rows < 3 or cols < 3:
+        raise GenerationError("torus_grid_graph needs rows, cols >= 3")
+
+    def vid(r: int, c: int) -> VertexId:
+        return (r % rows) * cols + (c % cols)
+
+    adjacency: dict[VertexId, set[VertexId]] = {
+        v: set() for v in range(rows * cols)
+    }
+    for r in range(rows):
+        for c in range(cols):
+            v = vid(r, c)
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                adjacency[v].add(vid(r + dr, c + dc))
+    return StaticGraph(
+        adjacency, name=f"torus({rows}x{cols})", validate=False
+    )
+
+
+def margulis_expander(side: int) -> StaticGraph:
+    """The Margulis-Gabber-Galil 8-regular-ish expander on Z_m × Z_m.
+
+    Vertex ``(x, y)`` connects to ``(x±y, y)``, ``(x±y±1, y)``,
+    ``(x, y±x)``, ``(x, y±x±1)`` (mod m), collapsed to a simple graph —
+    so degrees are ≤ 8 and Θ(1).  A classical constant-degree expander:
+    great mixing, tiny δ.
+    """
+    if side < 3:
+        raise GenerationError("margulis_expander needs side >= 3")
+    m = side
+
+    def vid(x: int, y: int) -> VertexId:
+        return (x % m) * m + (y % m)
+
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(m * m)}
+    for x in range(m):
+        for y in range(m):
+            v = vid(x, y)
+            targets = [
+                vid(x + y, y), vid(x - y, y),
+                vid(x + y + 1, y), vid(x - y - 1, y),
+                vid(x, y + x), vid(x, y - x),
+                vid(x, y + x + 1), vid(x, y - x - 1),
+            ]
+            for u in targets:
+                if u != v:
+                    adjacency[v].add(u)
+                    adjacency[u].add(v)
+    return StaticGraph(adjacency, name=f"margulis(m={m})", validate=False)
+
+
+def stochastic_block_graph(
+    community_size: int,
+    rng: random.Random,
+    p_in: float = 0.5,
+    p_out: float = 0.01,
+    min_degree: int | None = None,
+) -> StaticGraph:
+    """Two communities with dense intra- and sparse inter-edges.
+
+    An optional repair pass guarantees ``δ >= min_degree`` (added edges
+    stay within the deficient vertex's own community, preserving the
+    bottleneck).
+    """
+    if community_size < 4:
+        raise GenerationError("stochastic_block_graph needs community_size >= 4")
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise GenerationError("need 0 <= p_out <= p_in <= 1")
+    n = 2 * community_size
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u < community_size) == (v < community_size)
+            if rng.random() < (p_in if same else p_out):
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    if min_degree is not None:
+        for v in range(n):
+            base = 0 if v < community_size else community_size
+            peers = [
+                u for u in range(base, base + community_size)
+                if u != v and u not in adjacency[v]
+            ]
+            missing = min_degree - len(adjacency[v])
+            if missing > len(peers):
+                raise GenerationError("community too small for requested min degree")
+            for u in rng.sample(peers, max(0, missing)):
+                adjacency[v].add(u)
+                adjacency[u].add(v)
+    return StaticGraph(
+        adjacency,
+        name=f"sbm(k={community_size},p_in={p_in},p_out={p_out})",
+        validate=False,
+    )
+
+
+def complete_bipartite_graph(left: int, right: int) -> StaticGraph:
+    """``K_{left,right}`` (δ = min(left, right), Δ = max(left, right)).
+
+    Adjacent vertices have *disjoint* neighborhoods — the extreme
+    adversarial case for optimistic heaviness decisions in
+    ``Construct`` (heaviness never concentrates in one increment).
+    """
+    if left < 1 or right < 1:
+        raise GenerationError("complete_bipartite_graph needs positive sides")
+    left_ids = list(range(left))
+    right_ids = list(range(left, left + right))
+    adjacency: dict[VertexId, list[VertexId]] = {}
+    for v in left_ids:
+        adjacency[v] = list(right_ids)
+    for v in right_ids:
+        adjacency[v] = list(left_ids)
+    return StaticGraph(
+        adjacency, name=f"bipartite({left},{right})", validate=False
+    )
+
+
+def kneser_like_graph(universe: int, subset_size: int, max_overlap: int = 0) -> StaticGraph:
+    """Vertices are ``subset_size``-subsets of ``[universe]``; edges join
+    subsets intersecting in at most ``max_overlap`` elements.
+
+    ``max_overlap = 0`` gives the classical Kneser graph.  Small
+    parameters only (the vertex count is ``C(universe, subset_size)``).
+    """
+    if subset_size < 1 or universe < 2 * subset_size:
+        raise GenerationError("need universe >= 2 * subset_size >= 2")
+    if math.comb(universe, subset_size) > 5000:
+        raise GenerationError("kneser_like_graph parameters too large")
+    subsets = list(itertools.combinations(range(universe), subset_size))
+    adjacency: dict[VertexId, set[VertexId]] = {i: set() for i in range(len(subsets))}
+    sets = [frozenset(s) for s in subsets]
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            if len(sets[i] & sets[j]) <= max_overlap:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return StaticGraph(
+        adjacency,
+        name=f"kneser(u={universe},k={subset_size},ov={max_overlap})",
+        validate=False,
+    )

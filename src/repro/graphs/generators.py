@@ -1,0 +1,382 @@
+"""Workload graph generators with controllable ``(n, δ, Δ)``.
+
+The paper's theorems quantify over *all* graphs with a given minimum
+degree, so the experiment workloads are synthetic graph families whose
+minimum degree (and, where relevant, maximum degree) we can dial:
+
+* :func:`complete_graph`, :func:`cycle_graph`, :func:`path_graph`,
+  :func:`star_graph`, :func:`barbell_graph` — classical fixed shapes
+  used by unit tests and by the related-work baselines (the complete
+  graph is the Anderson–Weber [6] setting).
+* :func:`random_graph_with_min_degree` — Erdős–Rényi with a repair pass
+  that guarantees ``δ_G >= min_degree``; the main Theorem 1/2 workload.
+* :func:`random_regular_graph` — configuration-model regular graphs
+  (``δ = Δ``), isolating the δ-dependence of the bounds.
+* :func:`random_geometric_dense_graph` — dense proximity graphs, the
+  "robot swarm" motivation workload.
+* :func:`powerlaw_graph_with_floor` — skewed degrees with a minimum
+  degree floor, stressing the ``√(nΔ)/δ`` term with ``Δ >> δ``.
+* :func:`dilate_id_space` — relabels vertices into a strictly larger ID
+  space ``[0, n')`` to exercise the ``n' > n`` assumption.
+
+All generators take an explicit :class:`random.Random` and are fully
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro._typing import VertexId
+from repro.errors import GenerationError
+from repro.graphs.graph import StaticGraph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "barbell_graph",
+    "random_graph_with_min_degree",
+    "random_regular_graph",
+    "random_geometric_dense_graph",
+    "powerlaw_graph_with_floor",
+    "dilate_id_space",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GenerationError(message)
+
+
+def complete_graph(n: int) -> StaticGraph:
+    """The complete graph ``K_n`` (δ = Δ = n-1; the setting of [6])."""
+    _require(n >= 2, "complete_graph needs n >= 2")
+    vertices = range(n)
+    adjacency = {v: [u for u in vertices if u != v] for v in vertices}
+    return StaticGraph(adjacency, name=f"complete(n={n})", validate=False)
+
+
+def cycle_graph(n: int) -> StaticGraph:
+    """The cycle ``C_n`` (δ = Δ = 2); the classic symmetry-breaking example."""
+    _require(n >= 3, "cycle_graph needs n >= 3")
+    adjacency = {v: [(v - 1) % n, (v + 1) % n] for v in range(n)}
+    return StaticGraph(adjacency, name=f"cycle(n={n})", validate=False)
+
+
+def path_graph(n: int) -> StaticGraph:
+    """The path ``P_n`` (δ = 1, Δ = 2)."""
+    _require(n >= 2, "path_graph needs n >= 2")
+    adjacency: dict[VertexId, list[VertexId]] = {v: [] for v in range(n)}
+    for v in range(n - 1):
+        adjacency[v].append(v + 1)
+        adjacency[v + 1].append(v)
+    return StaticGraph(adjacency, name=f"path(n={n})", validate=False)
+
+
+def star_graph(n: int, center: VertexId = 0) -> StaticGraph:
+    """A star with ``n`` vertices; ``center`` adjacent to all others."""
+    _require(n >= 2, "star_graph needs n >= 2")
+    _require(0 <= center < n, "center must be one of the n vertices")
+    leaves = [v for v in range(n) if v != center]
+    adjacency: dict[VertexId, list[VertexId]] = {center: leaves}
+    for leaf in leaves:
+        adjacency[leaf] = [center]
+    return StaticGraph(adjacency, name=f"star(n={n})", validate=False)
+
+
+def barbell_graph(clique_size: int) -> StaticGraph:
+    """Two ``clique_size``-cliques joined by one edge (a bottleneck workload)."""
+    _require(clique_size >= 2, "barbell_graph needs clique_size >= 2")
+    k = clique_size
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(2 * k)}
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                adjacency[base + i].add(base + j)
+                adjacency[base + j].add(base + i)
+    adjacency[k - 1].add(k)
+    adjacency[k].add(k - 1)
+    return StaticGraph(adjacency, name=f"barbell(k={k})", validate=False)
+
+
+def random_graph_with_min_degree(
+    n: int,
+    min_degree: int,
+    rng: random.Random,
+    edge_slack: float = 1.25,
+) -> StaticGraph:
+    """Erdős–Rényi graph repaired to satisfy ``δ_G >= min_degree``.
+
+    Draws ``G(n, p)`` with ``p = edge_slack * min_degree / (n - 1)``,
+    then runs a repair pass adding edges from every deficient vertex to
+    uniformly random non-neighbors until its degree reaches
+    ``min_degree``.  With ``edge_slack`` slightly above one, the repair
+    pass touches only the tail of the degree distribution, so the
+    result stays statistically close to ``G(n, p)`` while *guaranteeing*
+    the minimum-degree contract the paper's theorems quantify over.
+
+    Parameters
+    ----------
+    n: number of vertices.
+    min_degree: required minimum degree ``δ``.
+    rng: seeded random source.
+    edge_slack: multiplier on the target edge probability.
+    """
+    _require(n >= 2, "random_graph_with_min_degree needs n >= 2")
+    _require(1 <= min_degree <= n - 1, "need 1 <= min_degree <= n - 1")
+    p = min(1.0, edge_slack * min_degree / (n - 1))
+
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    # Geometric skipping enumerates the edges of G(n, p) in O(m) expected
+    # time instead of O(n^2) coin flips.
+    if p >= 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    elif p > 0.0:
+        # Batagelj-Brandes geometric skipping over the lower triangle.
+        log_q = math.log(1.0 - p)
+        v, w = 1, -1
+        while v < n:
+            r = rng.random()
+            w = w + 1 + int(math.log(max(1.0 - r, 1e-300)) / log_q)
+            while w >= v and v < n:
+                w -= v
+                v += 1
+            if v < n:
+                adjacency[v].add(w)
+                adjacency[w].add(v)
+
+    _repair_min_degree(adjacency, min_degree, rng)
+    graph = StaticGraph(adjacency, name=f"er-min-deg(n={n},delta>={min_degree})", validate=False)
+    return graph
+
+
+def _repair_min_degree(
+    adjacency: dict[VertexId, set[VertexId]],
+    min_degree: int,
+    rng: random.Random,
+) -> None:
+    """Add edges until every vertex has degree at least ``min_degree``."""
+    n = len(adjacency)
+    vertices = list(adjacency)
+    deficient = [v for v in vertices if len(adjacency[v]) < min_degree]
+    for v in deficient:
+        missing = min_degree - len(adjacency[v])
+        if missing <= 0:
+            continue
+        candidates = [u for u in vertices if u != v and u not in adjacency[v]]
+        if len(candidates) < missing:
+            raise GenerationError(
+                f"cannot raise degree of vertex {v} to {min_degree} in an {n}-vertex graph"
+            )
+        for u in rng.sample(candidates, missing):
+            adjacency[v].add(u)
+            adjacency[u].add(v)
+
+
+def random_regular_graph(n: int, degree: int, rng: random.Random, max_attempts: int = 200) -> StaticGraph:
+    """A uniform-ish ``degree``-regular graph via the configuration model.
+
+    Pairs stubs uniformly at random and rejects pairings that create
+    self-loops or parallel edges, retrying up to ``max_attempts`` times.
+    Rejection succeeds quickly for ``degree = o(√n)``; for denser
+    regular graphs we fall back to a repaired pairing (swap edges to
+    remove collisions), which preserves regularity.
+    """
+    _require(n >= 2, "random_regular_graph needs n >= 2")
+    _require(1 <= degree <= n - 1, "need 1 <= degree <= n - 1")
+    _require(n * degree % 2 == 0, "n * degree must be even")
+
+    for _ in range(max_attempts):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or v in adjacency[u]:
+                ok = False
+                break
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        if ok:
+            return StaticGraph(
+                adjacency, name=f"regular(n={n},d={degree})", validate=False
+            )
+
+    # Dense fallback: deterministic circulant graph perturbed by double
+    # edge swaps.  Still exactly `degree`-regular, connected, and seeded.
+    adjacency = _circulant(n, degree)
+    _double_edge_swaps(adjacency, rng, swaps=4 * n)
+    return StaticGraph(adjacency, name=f"regular(n={n},d={degree})", validate=False)
+
+
+def _circulant(n: int, degree: int) -> dict[VertexId, set[VertexId]]:
+    """A ``degree``-regular circulant graph on ``n`` vertices."""
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    half = degree // 2
+    for v in range(n):
+        for k in range(1, half + 1):
+            u = (v + k) % n
+            adjacency[v].add(u)
+            adjacency[u].add(v)
+    if degree % 2 == 1:
+        if n % 2 != 0:
+            raise GenerationError("odd-degree circulant requires even n")
+        for v in range(n // 2):
+            u = v + n // 2
+            adjacency[v].add(u)
+            adjacency[u].add(v)
+    return adjacency
+
+
+def _double_edge_swaps(
+    adjacency: dict[VertexId, set[VertexId]], rng: random.Random, swaps: int
+) -> None:
+    """Randomize a graph by degree-preserving double edge swaps."""
+    edges = [(u, v) for u in adjacency for v in adjacency[u] if u < v]
+    for _ in range(swaps):
+        (a, b), (c, d) = rng.sample(edges, 2)
+        if len({a, b, c, d}) < 4:
+            continue
+        if d in adjacency[a] or b in adjacency[c]:
+            continue
+        adjacency[a].discard(b)
+        adjacency[b].discard(a)
+        adjacency[c].discard(d)
+        adjacency[d].discard(c)
+        adjacency[a].add(d)
+        adjacency[d].add(a)
+        adjacency[c].add(b)
+        adjacency[b].add(c)
+        edges.remove((min(a, b), max(a, b)))
+        edges.remove((min(c, d), max(c, d)))
+        edges.append((min(a, d), max(a, d)))
+        edges.append((min(c, b), max(c, b)))
+
+
+def random_geometric_dense_graph(
+    n: int,
+    min_degree: int,
+    rng: random.Random,
+    radius_slack: float = 1.3,
+) -> StaticGraph:
+    """A random geometric graph on the unit torus, repaired to ``δ >= min_degree``.
+
+    Models dense proximity networks (robot swarms, wireless meshes) —
+    the kind of "two agents already within communication range" setting
+    the neighborhood-rendezvous problem formalizes.  The connection
+    radius is chosen so the *expected* degree is
+    ``radius_slack * min_degree``; the repair pass then links each
+    deficient vertex to its nearest non-neighbors, preserving locality.
+    """
+    _require(n >= 2, "random_geometric_dense_graph needs n >= 2")
+    _require(1 <= min_degree <= n - 1, "need 1 <= min_degree <= n - 1")
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    # Expected degree on the unit torus is (n - 1) * pi * r^2.
+    radius_sq = radius_slack * min_degree / ((n - 1) * math.pi)
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+
+    def torus_dist_sq(p: tuple[float, float], q: tuple[float, float]) -> float:
+        dx = abs(p[0] - q[0])
+        dy = abs(p[1] - q[1])
+        dx = min(dx, 1.0 - dx)
+        dy = min(dy, 1.0 - dy)
+        return dx * dx + dy * dy
+
+    for u in range(n):
+        for v in range(u + 1, n):
+            if torus_dist_sq(points[u], points[v]) <= radius_sq:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+
+    # Locality-preserving repair: attach deficient vertices to nearest
+    # non-neighbors instead of uniform ones.
+    for v in range(n):
+        if len(adjacency[v]) >= min_degree:
+            continue
+        others = sorted(
+            (u for u in range(n) if u != v and u not in adjacency[v]),
+            key=lambda u: torus_dist_sq(points[v], points[u]),
+        )
+        for u in others[: min_degree - len(adjacency[v])]:
+            adjacency[v].add(u)
+            adjacency[u].add(v)
+
+    return StaticGraph(
+        adjacency, name=f"geometric(n={n},delta>={min_degree})", validate=False
+    )
+
+
+def powerlaw_graph_with_floor(
+    n: int,
+    min_degree: int,
+    rng: random.Random,
+    exponent: float = 2.5,
+    max_degree: int | None = None,
+) -> StaticGraph:
+    """A skewed-degree graph with a hard minimum-degree floor.
+
+    Degrees are drawn from a truncated Pareto distribution on
+    ``[min_degree, max_degree]`` (default cap ``n // 2``) and realized
+    with a configuration-model pairing simplified to remove loops and
+    parallel edges; a final repair pass restores the floor.  These
+    graphs have ``Δ >> δ``, which is exactly the regime where Theorem
+    1's ``√(nΔ)/δ`` term dominates and where the trivial ``O(Δ)``
+    baseline is most expensive.
+    """
+    _require(n >= 4, "powerlaw_graph_with_floor needs n >= 4")
+    _require(1 <= min_degree <= n - 2, "need 1 <= min_degree <= n - 2")
+    cap = max_degree if max_degree is not None else max(min_degree + 1, n // 2)
+    cap = min(cap, n - 1)
+    _require(cap >= min_degree, "max_degree must be >= min_degree")
+
+    degrees = []
+    for _ in range(n):
+        # Inverse-CDF sample from Pareto(exponent) truncated at the cap.
+        u = rng.random()
+        d = int(min_degree * (1.0 - u) ** (-1.0 / (exponent - 1.0)))
+        degrees.append(max(min_degree, min(cap, d)))
+    if sum(degrees) % 2 == 1:
+        degrees[0] += 1 if degrees[0] < cap else -1
+
+    stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
+    rng.shuffle(stubs)
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u == v or v in adjacency[u]:
+            continue  # simplification: drop loops and parallel edges
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    _repair_min_degree(adjacency, min_degree, rng)
+    return StaticGraph(
+        adjacency,
+        name=f"powerlaw(n={n},delta>={min_degree},gamma={exponent})",
+        validate=False,
+    )
+
+
+def dilate_id_space(graph: StaticGraph, factor: int, rng: random.Random) -> StaticGraph:
+    """Relabel ``graph`` into the larger ID space ``[0, factor * n')``.
+
+    The paper only assumes identifiers live in ``[0, n' - 1]`` for some
+    polynomially-bounded ``n' >= n``; algorithms must not rely on IDs
+    being contiguous.  This helper scatters the vertices uniformly into
+    a ``factor`` times larger space (keeping determinism via ``rng``),
+    so tests can exercise that assumption.
+    """
+    if factor < 1:
+        raise GenerationError("dilation factor must be >= 1")
+    new_space = graph.id_space * factor
+    new_ids = rng.sample(range(new_space), graph.n)
+    mapping = dict(zip(graph.vertices, sorted(new_ids)))
+    dilated = graph.relabeled(mapping, id_space=new_space)
+    dilated.name = f"{graph.name}+dilate(x{factor})"
+    return dilated

@@ -1,0 +1,298 @@
+"""Immutable undirected graphs with unique integer vertex identifiers.
+
+This is the substrate of the whole reproduction.  The paper's model
+(Section 2.1) assumes:
+
+* ``G = (V, E)`` is undirected, with ``n`` vertices;
+* each vertex has a distinct identifier in ``[0, n' - 1]`` where
+  ``n' >= n`` and ``n' = n^{O(1)}``; agents know ``n'``;
+* ``δ_G`` and ``Δ_G`` denote minimum and maximum degree;
+* ``N(v)`` is the open neighborhood, ``N⁺(v) = N(v) ∪ {v}``.
+
+:class:`StaticGraph` stores adjacency as sorted tuples (deterministic
+iteration order) plus frozensets (O(1) membership), and pre-computes the
+degree extremes.  Instances are immutable: algorithms never mutate the
+graph, only their own state and the whiteboards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+from typing import Iterator
+
+from repro._typing import VertexId
+from repro.errors import GraphError
+
+__all__ = ["StaticGraph", "bfs_distance"]
+
+
+class StaticGraph:
+    """An immutable undirected graph with distinct integer vertex IDs.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping from vertex identifier to an iterable of neighbor
+        identifiers.  Must be symmetric and free of self-loops.
+    id_space:
+        The size ``n'`` of the identifier space ``[0, n')``.  Defaults
+        to ``max(vertex ids) + 1``.  The paper requires ``n' >= n`` and
+        ``n' = n^{O(1)}``; agents are given ``n'`` but not ``n``.
+    name:
+        Optional human-readable name used in experiment reports.
+    validate:
+        When true (default), verify symmetry, loop-freeness and ID
+        bounds; turn off only for internally-constructed graphs that
+        are guaranteed valid.
+
+    Raises
+    ------
+    GraphError
+        If validation fails.
+    """
+
+    __slots__ = (
+        "_neighbors",
+        "_neighbor_sets",
+        "_vertices",
+        "_id_space",
+        "_min_degree",
+        "_max_degree",
+        "_edge_count",
+        "name",
+    )
+
+    def __init__(
+        self,
+        adjacency: Mapping[VertexId, Iterable[VertexId]],
+        id_space: int | None = None,
+        name: str | None = None,
+        validate: bool = True,
+    ) -> None:
+        neighbors: dict[VertexId, tuple[VertexId, ...]] = {}
+        for vertex, adj in adjacency.items():
+            neighbors[int(vertex)] = tuple(sorted(int(u) for u in adj))
+        if not neighbors:
+            raise GraphError("a graph must contain at least one vertex")
+
+        self._neighbors = neighbors
+        self._neighbor_sets = {v: frozenset(adj) for v, adj in neighbors.items()}
+        self._vertices = tuple(sorted(neighbors))
+        max_id = self._vertices[-1]
+        self._id_space = int(id_space) if id_space is not None else max_id + 1
+        degrees = [len(adj) for adj in neighbors.values()]
+        self._min_degree = min(degrees)
+        self._max_degree = max(degrees)
+        self._edge_count = sum(degrees) // 2
+        self.name = name or f"graph(n={len(self._vertices)})"
+
+        if validate:
+            self._validate(max_id)
+
+    def _validate(self, max_id: VertexId) -> None:
+        if self._vertices[0] < 0:
+            raise GraphError("vertex identifiers must be non-negative")
+        if max_id >= self._id_space:
+            raise GraphError(
+                f"vertex id {max_id} outside declared id space [0, {self._id_space})"
+            )
+        for vertex, adj in self._neighbors.items():
+            if len(set(adj)) != len(adj):
+                raise GraphError(f"duplicate edges at vertex {vertex}")
+            if vertex in self._neighbor_sets[vertex]:
+                raise GraphError(f"self-loop at vertex {vertex}")
+            for u in adj:
+                if u not in self._neighbor_sets:
+                    raise GraphError(f"edge ({vertex}, {u}) points outside the graph")
+                if vertex not in self._neighbor_sets[u]:
+                    raise GraphError(f"asymmetric edge ({vertex}, {u})")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (the paper's ``n``)."""
+        return len(self._vertices)
+
+    @property
+    def id_space(self) -> int:
+        """Size ``n'`` of the identifier space ``[0, n')``."""
+        return self._id_space
+
+    @property
+    def vertices(self) -> tuple[VertexId, ...]:
+        """All vertex identifiers in ascending order."""
+        return self._vertices
+
+    @property
+    def min_degree(self) -> int:
+        """The minimum degree ``δ_G``."""
+        return self._min_degree
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum degree ``Δ_G``."""
+        return self._max_degree
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._edge_count
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._neighbor_sets
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StaticGraph(name={self.name!r}, n={self.n}, m={self.edge_count}, "
+            f"delta={self.min_degree}, Delta={self.max_degree}, n'={self.id_space})"
+        )
+
+    def degree(self, vertex: VertexId) -> int:
+        """Degree of ``vertex``."""
+        return len(self._neighbors[vertex])
+
+    def neighbors(self, vertex: VertexId) -> tuple[VertexId, ...]:
+        """Open neighborhood ``N(vertex)`` as a sorted tuple."""
+        return self._neighbors[vertex]
+
+    def neighbor_set(self, vertex: VertexId) -> frozenset[VertexId]:
+        """Open neighborhood ``N(vertex)`` as a frozenset."""
+        return self._neighbor_sets[vertex]
+
+    def closed_neighbors(self, vertex: VertexId) -> tuple[VertexId, ...]:
+        """Closed neighborhood ``N⁺(vertex) = N(vertex) ∪ {vertex}``, sorted."""
+        return tuple(sorted(self._neighbor_sets[vertex] | {vertex}))
+
+    def closed_neighbor_set(self, vertex: VertexId) -> frozenset[VertexId]:
+        """Closed neighborhood ``N⁺(vertex)`` as a frozenset."""
+        return self._neighbor_sets[vertex] | {vertex}
+
+    def closed_neighborhood_of_set(self, vertices: Iterable[VertexId]) -> frozenset[VertexId]:
+        """``N⁺(X) = N(X) ∪ X`` for a vertex set ``X`` (paper Section 2.1)."""
+        result: set[VertexId] = set()
+        for v in vertices:
+            result.add(v)
+            result.update(self._neighbor_sets[v])
+        return frozenset(result)
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        """Whether ``(u, v)`` is an edge."""
+        return v in self._neighbor_sets[u]
+
+    def edges(self) -> Iterator[tuple[VertexId, VertexId]]:
+        """Iterate over undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u in self._vertices:
+            for v in self._neighbors[u]:
+                if u < v:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[VertexId, VertexId]],
+        vertices: Iterable[VertexId] | None = None,
+        id_space: int | None = None,
+        name: str | None = None,
+    ) -> "StaticGraph":
+        """Build a graph from an edge list (plus optional isolated vertices)."""
+        adjacency: dict[VertexId, set[VertexId]] = {}
+        if vertices is not None:
+            for v in vertices:
+                adjacency.setdefault(int(v), set())
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {v}) is not allowed")
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        return cls(adjacency, id_space=id_space, name=name, validate=True)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, id_space: int | None = None, name: str | None = None) -> "StaticGraph":
+        """Build from a :class:`networkx.Graph` with integer node labels."""
+        adjacency = {int(v): [int(u) for u in nx_graph.neighbors(v)] for v in nx_graph.nodes}
+        return cls(adjacency, id_space=id_space, name=name, validate=True)
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (lazy import)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self._vertices)
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def relabeled(self, mapping: Mapping[VertexId, VertexId], id_space: int | None = None) -> "StaticGraph":
+        """Return a copy with vertices renamed through ``mapping``.
+
+        ``mapping`` must be injective over the vertex set.  This is how
+        generators dilate the ID space (``n' > n``) to exercise the
+        non-contiguous-identifier assumption.
+        """
+        images = {mapping[v] for v in self._vertices}
+        if len(images) != self.n:
+            raise GraphError("relabeling mapping is not injective on the vertex set")
+        adjacency = {
+            mapping[v]: [mapping[u] for u in adj] for v, adj in self._neighbors.items()
+        }
+        return StaticGraph(adjacency, id_space=id_space, name=self.name, validate=True)
+
+    # ------------------------------------------------------------------
+    # Queries used by tests and analyses (not by agents)
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (BFS from an arbitrary vertex)."""
+        start = self._vertices[0]
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in self._neighbors[v]:
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        return len(seen) == self.n
+
+    def distance(self, source: VertexId, target: VertexId) -> int:
+        """BFS distance between two vertices; ``-1`` if disconnected."""
+        return bfs_distance(self, source, target)
+
+    def adjacent_pairs(self) -> Iterator[tuple[VertexId, VertexId]]:
+        """All ordered pairs at distance one (valid neighborhood-rendezvous starts)."""
+        for u, v in self.edges():
+            yield (u, v)
+            yield (v, u)
+
+
+def bfs_distance(graph: StaticGraph, source: VertexId, target: VertexId) -> int:
+    """Breadth-first-search distance between ``source`` and ``target``.
+
+    Returns ``-1`` when ``target`` is unreachable.  This is an
+    *analysis* helper (used by tests and instance validators); agents in
+    the simulation never call it — they only see local neighborhoods.
+    """
+    if source == target:
+        return 0
+    seen = {source}
+    queue = deque([(source, 0)])
+    while queue:
+        v, dist = queue.popleft()
+        for u in graph.neighbors(v):
+            if u == target:
+                return dist + 1
+            if u not in seen:
+                seen.add(u)
+                queue.append((u, dist + 1))
+    return -1

@@ -1,0 +1,217 @@
+"""Hard instances from the lower-bound section (paper Section 5, Figs. 1-3).
+
+Each constructor reproduces one of the paper's proof illustrations as a
+concrete, structurally-validated graph:
+
+* :func:`double_star` / :func:`double_star_with_cliques` — Figure 1
+  (Theorem 3): two high-degree centers joined by one edge.  With
+  ``δ = o(√n)`` no algorithm can find the connecting edge in ``o(Δ)``
+  rounds.
+* :func:`swapped_edge_cliques` — Figure 2 (Theorem 4): two
+  ``n/2``-cliques where one edge of each is redirected across, so that
+  under KT0 (no neighborhood-ID access) the cross edges are
+  statistically invisible.
+* :func:`cliques_sharing_vertex` — Figure 3 (Theorem 5): two cliques
+  sharing exactly one vertex; the agents start at distance two and the
+  shared vertex is a needle in a haystack.
+
+The Theorem 6 instance (deterministic algorithms) is *adaptive* — it
+depends on the algorithm under test — and lives in
+:mod:`repro.lowerbound.adversary` / :mod:`repro.lowerbound.glue`.
+
+Each constructor returns ``(graph, start_a, start_b)`` so experiments
+place the agents exactly where the proof does.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro._typing import VertexId
+from repro.errors import GenerationError
+from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling
+
+__all__ = [
+    "double_star",
+    "double_star_with_cliques",
+    "swapped_edge_cliques",
+    "cliques_sharing_vertex",
+]
+
+
+def double_star(n: int) -> tuple[StaticGraph, VertexId, VertexId]:
+    """Figure 1(a): two stars of ``n/2 + 1`` vertices sharing a center edge.
+
+    Centers ``j = n - 1`` and ``k = 0`` are adjacent; ``j``'s leaves get
+    IDs from the upper half of the ID space, ``k``'s from the lower
+    half, exactly as in the Theorem 3 proof.  Here ``δ = 1`` and
+    ``Δ = n/2``, and the only ``a``–``b`` meeting point reachable in
+    one move is the center edge, hidden among ``Θ(n)`` leaves.
+
+    Returns ``(graph, j, k)`` — the two centers, which are the agents'
+    start vertices.
+    """
+    if n < 8 or n % 4 != 0:
+        raise GenerationError("double_star needs n >= 8 with n % 4 == 0")
+    j = n - 1  # center with ID in the upper half [n/2, n)
+    k = 0      # center with ID in the lower half [0, n/2)
+    upper_leaves = [v for v in range(n // 2, n) if v != j]
+    lower_leaves = [v for v in range(1, n // 2)]
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    for leaf in upper_leaves:
+        adjacency[j].add(leaf)
+        adjacency[leaf].add(j)
+    for leaf in lower_leaves:
+        adjacency[k].add(leaf)
+        adjacency[leaf].add(k)
+    adjacency[j].add(k)
+    adjacency[k].add(j)
+    graph = StaticGraph(adjacency, name=f"double-star(n={n})", validate=False)
+    return graph, j, k
+
+
+def double_star_with_cliques(
+    n: int, delta: int
+) -> tuple[StaticGraph, VertexId, VertexId]:
+    """Figure 1(b): the general Theorem 3 instance with ``δ = Θ(n/Δ)``.
+
+    Each center has ``Δ ≈ n/(2(δ+1)) * 1`` pendant *cliques* of size
+    ``δ + 1`` (one clique vertex adjacent to the center), instead of
+    bare leaves, so the minimum degree is ``δ`` while the centers keep
+    degree ``Θ(n/δ)``.  The sublinear-rendezvous threshold ``δ = Ω(√n)``
+    is violated whenever ``delta = o(√n)``.
+
+    Returns ``(graph, j, k)``.
+    """
+    if delta < 1:
+        raise GenerationError("delta must be >= 1")
+    clique_size = delta + 1
+    per_side = max(2, (n - 2) // (2 * clique_size))
+    if per_side < 2:
+        raise GenerationError("n too small for the requested delta")
+
+    adjacency: dict[VertexId, set[VertexId]] = {}
+    next_id = 0
+
+    def fresh() -> VertexId:
+        nonlocal next_id
+        vid = next_id
+        next_id += 1
+        adjacency[vid] = set()
+        return vid
+
+    j = fresh()
+    k = fresh()
+    for center in (j, k):
+        for _ in range(per_side):
+            members = [fresh() for _ in range(clique_size)]
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    adjacency[u].add(v)
+                    adjacency[v].add(u)
+            gate = members[0]
+            adjacency[center].add(gate)
+            adjacency[gate].add(center)
+    adjacency[j].add(k)
+    adjacency[k].add(j)
+    graph = StaticGraph(
+        adjacency, name=f"double-star-cliques(n={next_id},delta={delta})", validate=False
+    )
+    return graph, j, k
+
+
+def swapped_edge_cliques(
+    n: int, rng: random.Random
+) -> tuple[StaticGraph, PortLabeling, VertexId, VertexId]:
+    """Figure 2 (Theorem 4): two cliques with one swapped edge pair, KT0 ports.
+
+    Start with cliques ``C1`` on IDs ``[0, n/2)`` and ``C2`` on
+    ``[n/2, n)``.  Pick ``x1 ∈ C1 \\ {v_a}`` and ``x2 ∈ C2 \\ {v_b}``,
+    remove edges ``(v_a, x1)`` and ``(v_b, x2)``, and add the cross
+    edges ``(v_a, v_b)`` and ``(x1, x2)``.  The port labeling is crafted
+    so the new edges reuse the ports of the removed ones: under KT0 an
+    agent cannot distinguish the cross edge from the intra-clique edge
+    it replaced, which is the crux of the Theorem 4 argument.
+
+    Returns ``(graph, labeling, v_a, v_b)``.  The labeling **must** be
+    used with :class:`~repro.graphs.ports.PortModel.KT0`.
+    """
+    if n < 6 or n % 2 != 0:
+        raise GenerationError("swapped_edge_cliques needs even n >= 6")
+    half = n // 2
+    v_a, v_b = 0, half
+    x1 = rng.randrange(1, half)
+    x2 = rng.randrange(half + 1, n)
+
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    for base in (0, half):
+        for i in range(base, base + half):
+            for j in range(i + 1, base + half):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    # Remove (v_a, x1) and (v_b, x2); add (v_a, v_b) and (x1, x2).
+    adjacency[v_a].discard(x1)
+    adjacency[x1].discard(v_a)
+    adjacency[v_b].discard(x2)
+    adjacency[x2].discard(v_b)
+    adjacency[v_a].add(v_b)
+    adjacency[v_b].add(v_a)
+    adjacency[x1].add(x2)
+    adjacency[x2].add(x1)
+    graph = StaticGraph(adjacency, name=f"swapped-cliques(n={n})", validate=False)
+
+    # Craft the hidden port permutation: for the four endpoints of the
+    # surgery, the replacement edge sits behind the port the removed
+    # edge used to occupy (ports otherwise follow ascending ID of the
+    # *original* clique neighbor list).  All other vertices get random
+    # ports so KT0 leaks nothing.
+    permutations: dict[VertexId, tuple[VertexId, ...]] = {}
+    for v in graph.vertices:
+        order = list(graph.neighbors(v))
+        rng.shuffle(order)
+        permutations[v] = tuple(order)
+
+    # For the four surgery endpoints, rebuild the permutation so the
+    # added edge occupies exactly the slot the removed edge used to.
+    for vertex, removed, added in (
+        (v_a, x1, v_b),
+        (v_b, x2, v_a),
+        (x1, v_a, x2),
+        (x2, v_b, x1),
+    ):
+        original_neighbors = sorted((set(graph.neighbors(vertex)) - {added}) | {removed})
+        slot = original_neighbors.index(removed)
+        rebuilt = [u for u in original_neighbors if u != removed]
+        rebuilt.insert(slot, added)
+        permutations[vertex] = tuple(rebuilt)
+
+    labeling = PortLabeling(graph, permutations=permutations)
+    return graph, labeling, v_a, v_b
+
+
+def cliques_sharing_vertex(n: int) -> tuple[StaticGraph, VertexId, VertexId]:
+    """Figure 3 (Theorem 5): two ``(n+1)/2``-cliques sharing one vertex.
+
+    The shared vertex ``x`` is the *only* meeting point reachable
+    without crossing between cliques; the agents start at distance two
+    (one in each clique).  Here ``Δ = n - 1`` and ``δ = (n - 1)/2``, so
+    only the distance assumption is relaxed relative to Theorem 1.
+
+    Returns ``(graph, c_a, c_b)`` with ``c_a`` in clique 1 and ``c_b``
+    in clique 2, both distinct from the shared vertex.
+    """
+    if n < 5 or n % 2 == 0:
+        raise GenerationError("cliques_sharing_vertex needs odd n >= 5")
+    size = (n + 1) // 2
+    shared = 0
+    clique1 = [shared] + list(range(1, size))
+    clique2 = [shared] + list(range(size, n))
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    for clique in (clique1, clique2):
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    graph = StaticGraph(adjacency, name=f"shared-vertex-cliques(n={n})", validate=False)
+    return graph, clique1[1], clique2[1]

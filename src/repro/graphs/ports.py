@@ -1,0 +1,137 @@
+"""Local port numbering: the hidden ``P̂_v`` and the accessible ``P_v``.
+
+Paper Section 2.1 defines, for each vertex ``v``, a *hidden* bijection
+``P̂_v : [0, deg(v)) → N(v)`` (the physical port labels) and an
+*accessible* function ``P_v`` which is what an agent standing at ``v``
+can actually observe:
+
+* **KT1** (neighborhood-ID access, the model of the algorithms):
+  ``P_v = P̂_v`` — the agent sees which neighbor identifier lies behind
+  every port, i.e. it knows the IDs of all neighbors.
+* **KT0** (the model of the Theorem 4 lower bound): ``P_v`` is the
+  identity on ``[0, deg(v))`` — ports carry no information about the
+  neighbor behind them.
+
+The runtime uses :class:`PortLabeling` to resolve an agent's chosen
+*accessible port key* into an actual destination vertex, so algorithms
+can only navigate through the interface their model grants them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Mapping
+
+from repro._typing import PortKey, VertexId
+from repro.errors import GraphError, ProtocolError
+from repro.graphs.graph import StaticGraph
+
+__all__ = ["PortModel", "PortLabeling"]
+
+
+class PortModel(enum.Enum):
+    """Which port information agents may observe."""
+
+    #: Agents see neighbor identifiers (``P_v = P̂_v``).  Port keys are
+    #: neighbor IDs.  This is the model of the paper's algorithms.
+    KT1 = "KT1"
+
+    #: Agents see only local indices ``0..deg(v)-1``; the hidden
+    #: bijection is not observable.  This is the Theorem 4 model.
+    KT0 = "KT0"
+
+
+class PortLabeling:
+    """The hidden port bijections ``P̂_v`` for every vertex of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The underlying static graph.
+    permutations:
+        Optional explicit labeling: for each vertex, a tuple listing the
+        neighbor behind port ``0, 1, ...``.  Must be a permutation of
+        ``N(v)``.  When omitted, ports follow ascending neighbor ID.
+    rng:
+        When given (and ``permutations`` is not), each vertex's ports
+        are shuffled uniformly at random — the adversarially-irrelevant
+        but non-trivial labeling used in KT0 experiments.
+    """
+
+    __slots__ = ("_graph", "_port_to_neighbor", "_neighbor_to_port")
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        permutations: Mapping[VertexId, tuple[VertexId, ...]] | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._graph = graph
+        port_to_neighbor: dict[VertexId, tuple[VertexId, ...]] = {}
+        if permutations is not None:
+            for v in graph.vertices:
+                perm = tuple(permutations[v])
+                if sorted(perm) != list(graph.neighbors(v)):
+                    raise GraphError(
+                        f"port permutation at vertex {v} is not a permutation of N({v})"
+                    )
+                port_to_neighbor[v] = perm
+        else:
+            for v in graph.vertices:
+                order = list(graph.neighbors(v))
+                if rng is not None:
+                    rng.shuffle(order)
+                port_to_neighbor[v] = tuple(order)
+        self._port_to_neighbor = port_to_neighbor
+        self._neighbor_to_port = {
+            v: {u: i for i, u in enumerate(order)} for v, order in port_to_neighbor.items()
+        }
+
+    @property
+    def graph(self) -> StaticGraph:
+        """The graph this labeling belongs to."""
+        return self._graph
+
+    # -- hidden side (used only by the runtime) -------------------------
+
+    def resolve(self, vertex: VertexId, port: int) -> VertexId:
+        """``P̂_vertex(port)``: the neighbor behind a physical port."""
+        order = self._port_to_neighbor[vertex]
+        if not 0 <= port < len(order):
+            raise ProtocolError(f"port {port} out of range at vertex {vertex}")
+        return order[port]
+
+    def port_of(self, vertex: VertexId, neighbor: VertexId) -> int:
+        """``P̂⁻¹_vertex(neighbor)``: the physical port leading to ``neighbor``."""
+        try:
+            return self._neighbor_to_port[vertex][neighbor]
+        except KeyError:
+            raise ProtocolError(f"{neighbor} is not a neighbor of {vertex}") from None
+
+    # -- accessible side (what agents may see / use) ---------------------
+
+    def accessible_ports(self, vertex: VertexId, model: PortModel) -> tuple[PortKey, ...]:
+        """The accessible port keys at ``vertex`` under ``model``.
+
+        KT1 returns the sorted neighbor IDs; KT0 returns
+        ``(0, 1, ..., deg(v)-1)``.
+        """
+        if model is PortModel.KT1:
+            return self._graph.neighbors(vertex)
+        return tuple(range(self._graph.degree(vertex)))
+
+    def resolve_accessible(self, vertex: VertexId, key: PortKey, model: PortModel) -> VertexId:
+        """Destination of moving through accessible port ``key`` at ``vertex``.
+
+        Under KT1 the key *is* the destination ID (validated to be a
+        neighbor).  Under KT0 the key is a local index resolved through
+        the hidden bijection.
+        """
+        if model is PortModel.KT1:
+            if not self._graph.has_edge(vertex, key):
+                raise ProtocolError(
+                    f"agent at {vertex} tried to move to non-neighbor {key}"
+                )
+            return key
+        return self.resolve(vertex, key)

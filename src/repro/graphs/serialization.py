@@ -1,0 +1,95 @@
+"""Graph persistence: deterministic save/load of instances.
+
+Experiments are seeded and regenerate their graphs, but users filing
+issues or comparing against other implementations need to pin exact
+instances.  Two formats:
+
+* **edge list** (``.edges``) — one ``u v`` pair per line with a header
+  comment carrying ``n'`` and the name; interoperable with standard
+  graph tooling;
+* **JSON** (``.json``) — adjacency map plus metadata; lossless for
+  graphs with isolated vertices.
+
+Both round-trip exactly (same vertices, edges, ID space, name).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graphs.graph import StaticGraph
+
+__all__ = ["save_edge_list", "load_edge_list", "save_json", "load_json"]
+
+_HEADER_PREFIX = "# repro-graph"
+
+
+def save_edge_list(graph: StaticGraph, path: str | Path) -> Path:
+    """Write ``graph`` as an edge list with a metadata header."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        f"{_HEADER_PREFIX} name={graph.name!r} id_space={graph.id_space}",
+        f"# vertices {' '.join(str(v) for v in graph.vertices)}",
+    ]
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target
+
+
+def load_edge_list(path: str | Path) -> StaticGraph:
+    """Load a graph written by :func:`save_edge_list`."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise GraphError(f"{path} is not a repro edge-list file")
+    header = lines[0][len(_HEADER_PREFIX):].strip()
+    meta = dict(item.split("=", 1) for item in header.split() if "=" in item)
+    name = meta.get("name", "'loaded'").strip("'\"")
+    id_space = int(meta.get("id_space", "0")) or None
+
+    vertices: list[int] = []
+    edges: list[tuple[int, int]] = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# vertices"):
+            vertices = [int(v) for v in line.split()[2:]]
+            continue
+        if line.startswith("#"):
+            continue
+        u, v = line.split()
+        edges.append((int(u), int(v)))
+    return StaticGraph.from_edges(
+        edges, vertices=vertices or None, id_space=id_space, name=name
+    )
+
+
+def save_json(graph: StaticGraph, path: str | Path) -> Path:
+    """Write ``graph`` as a JSON adjacency document."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-graph-v1",
+        "name": graph.name,
+        "id_space": graph.id_space,
+        "adjacency": {str(v): list(graph.neighbors(v)) for v in graph.vertices},
+    }
+    target.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return target
+
+
+def load_json(path: str | Path) -> StaticGraph:
+    """Load a graph written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "repro-graph-v1":
+        raise GraphError(f"{path} is not a repro graph JSON document")
+    adjacency = {int(v): adj for v, adj in payload["adjacency"].items()}
+    return StaticGraph(
+        adjacency,
+        id_space=payload.get("id_space"),
+        name=payload.get("name"),
+        validate=True,
+    )

@@ -1,0 +1,83 @@
+"""Structural validators for graphs and hard instances.
+
+These checks back the property-based tests and the experiment harness:
+before running an experiment the harness asserts that the generated
+workload actually satisfies the contract the theorem quantifies over
+(minimum degree, adjacency of the start vertices, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._typing import VertexId
+from repro.errors import GraphError
+from repro.graphs.graph import StaticGraph
+
+__all__ = ["InstanceReport", "check_instance", "require_neighborhood_instance"]
+
+
+@dataclass(frozen=True)
+class InstanceReport:
+    """Summary of one rendezvous instance ``(G, v_a, v_b)``."""
+
+    n: int
+    id_space: int
+    min_degree: int
+    max_degree: int
+    edge_count: int
+    start_distance: int
+    connected: bool
+
+    @property
+    def density(self) -> float:
+        """Fraction of possible edges present."""
+        possible = self.n * (self.n - 1) / 2
+        return self.edge_count / possible if possible else 0.0
+
+
+def check_instance(
+    graph: StaticGraph, start_a: VertexId, start_b: VertexId
+) -> InstanceReport:
+    """Compute an :class:`InstanceReport` for an instance."""
+    if start_a not in graph or start_b not in graph:
+        raise GraphError("start vertices must belong to the graph")
+    return InstanceReport(
+        n=graph.n,
+        id_space=graph.id_space,
+        min_degree=graph.min_degree,
+        max_degree=graph.max_degree,
+        edge_count=graph.edge_count,
+        start_distance=graph.distance(start_a, start_b),
+        connected=graph.is_connected(),
+    )
+
+
+def require_neighborhood_instance(
+    graph: StaticGraph,
+    start_a: VertexId,
+    start_b: VertexId,
+    min_degree: int | None = None,
+) -> InstanceReport:
+    """Assert the instance is a valid *neighborhood* rendezvous instance.
+
+    Checks that the two starts are distinct adjacent vertices (initial
+    distance one — the defining constraint of the problem), and
+    optionally that the graph meets a minimum-degree bound.
+
+    Returns the computed report on success; raises :class:`GraphError`
+    otherwise.
+    """
+    report = check_instance(graph, start_a, start_b)
+    if start_a == start_b:
+        raise GraphError("agents must start at two different vertices")
+    if report.start_distance != 1:
+        raise GraphError(
+            f"neighborhood rendezvous requires adjacent starts, got distance "
+            f"{report.start_distance}"
+        )
+    if min_degree is not None and report.min_degree < min_degree:
+        raise GraphError(
+            f"instance min degree {report.min_degree} below required {min_degree}"
+        )
+    return report

@@ -1,0 +1,20 @@
+"""The deterministic lower bound machinery (Section 5.4 / Theorem 6).
+
+Unlike the fixed hard instances of Theorems 3-5 (in
+:mod:`repro.graphs.lowerbound`), the deterministic lower bound is
+*adaptive*: the adversary constructs the graph online while observing
+the algorithm's moves (Lemma 9), then glues two adversarial runs into a
+single Θ(n)-degree instance in which the agents provably cannot meet
+within ``n/32`` rounds (Theorem 6).
+"""
+
+from repro.lowerbound.adversary import AdaptiveAdversary, AdversaryRun, lemma9_run
+from repro.lowerbound.glue import GluedInstance, build_theorem6_instance
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AdversaryRun",
+    "lemma9_run",
+    "GluedInstance",
+    "build_theorem6_instance",
+]

@@ -1,0 +1,216 @@
+"""The Lemma 9 adaptive adversary (Section 5.4).
+
+Against a *deterministic* agent, the adversary builds the graph online:
+
+* Vertex set: a fixed ID space with a designated start ``v₀``.
+* The non-start vertices split into a **pool** ``P`` (size ``7/8`` of
+  them) and a **clique side** ``P̄`` (the rest, plus ``v₀``).
+* Initial edges ``E₀``: a star from ``v₀`` to every vertex, plus a
+  clique on ``P̄``.
+* Update rule: when the agent first arrives at a pool vertex ``v``,
+  the adversary adds edges from ``v`` to every *not-yet-visited*
+  clique-side vertex — giving every visited pool vertex degree Θ(n)
+  while the never-visited pool remainder ``W = P \\ Q_t`` stays
+  connected to ``v₀`` alone.
+
+(A note on fidelity: the arXiv text's update rule reads "edges from
+``v`` to ``P \\ Q_r``", but its own degree accounting — ``|P̄ \\ Q_r| ≥
+n/16 − n/32`` and "each vertex in W is only connected to v₀" — shows
+the intended target is the clique side ``P̄ \\ Q_r``; the overline was
+lost in typesetting.  We implement the version that makes Lemma 9's
+conditions (i) and (ii) true, and verify both conditions in tests.)
+
+Running any deterministic algorithm for ``t ≤ (|V|-1)/16`` rounds
+leaves ``|W| ≥ 13(|V|-1)/16 - ...`` pool vertices untouched; Theorem 6
+(:mod:`repro.lowerbound.glue`) glues two such runs into a single
+Θ(n)-min-degree instance where the agents cannot meet in ``t`` rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro._typing import VertexId
+from repro.errors import AdversaryError
+from repro.graphs.graph import StaticGraph
+from repro.runtime.agent import AgentProgram
+from repro.runtime.single import SingleAgentRecorder, run_single_agent
+
+__all__ = ["AdaptiveAdversary", "AdversaryRun", "lemma9_run"]
+
+
+class AdaptiveAdversary:
+    """Online graph construction against a single deterministic agent.
+
+    Implements the :class:`~repro.runtime.single.NeighborhoodSource`
+    protocol (``neighbors`` + ``on_arrival``) so it can be plugged
+    straight into :func:`~repro.runtime.single.run_single_agent`.
+
+    Parameters
+    ----------
+    ids:
+        The full vertex ID set of this (half-)instance.
+    start:
+        The agent's start vertex ``v₀`` (must be in ``ids``).
+    pool_fraction:
+        Fraction of non-start vertices assigned to the pool ``P``
+        (paper: ``7/8`` of them, i.e. ``7n/16`` of the doubled size).
+    rng:
+        Optional source for choosing ``P`` (otherwise the largest IDs
+        are used — the choice is arbitrary per the lemma).
+    force_pool:
+        Vertices that must land in ``P`` (the gluing step needs the
+        partner's start in the pool).
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[VertexId],
+        start: VertexId,
+        pool_fraction: float = 7.0 / 8.0,
+        rng: random.Random | None = None,
+        force_pool: Iterable[VertexId] = (),
+    ) -> None:
+        vertex_set = {int(v) for v in ids}
+        if start not in vertex_set:
+            raise AdversaryError("start vertex must be part of the ID set")
+        if len(vertex_set) < 8:
+            raise AdversaryError("the adversary needs at least 8 vertices")
+        forced = {int(v) for v in force_pool}
+        if start in forced:
+            raise AdversaryError("the start vertex cannot be forced into the pool")
+        if not forced <= vertex_set:
+            raise AdversaryError("forced pool members must be part of the ID set")
+
+        others = sorted(vertex_set - {start})
+        pool_size = int(len(others) * pool_fraction)
+        pool_size = max(pool_size, len(forced))
+        if pool_size >= len(others):
+            raise AdversaryError("pool fraction leaves no clique side")
+
+        candidates = [v for v in others if v not in forced]
+        if rng is not None:
+            chosen = rng.sample(candidates, pool_size - len(forced))
+        else:
+            chosen = candidates[len(candidates) - (pool_size - len(forced)):]
+        self.start = start
+        self.pool: frozenset[VertexId] = frozenset(chosen) | frozenset(forced)
+        self.clique_side: frozenset[VertexId] = frozenset(others) - self.pool
+
+        self._adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in vertex_set}
+        for v in others:
+            self._adjacency[start].add(v)
+            self._adjacency[v].add(start)
+        clique = sorted(self.clique_side | {start})
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                self._adjacency[u].add(v)
+                self._adjacency[v].add(u)
+
+        self._visited: set[VertexId] = set()
+        self._neighbor_cache: dict[VertexId, tuple[VertexId, ...]] = {}
+        self.edge_additions = 0
+
+    # -- NeighborhoodSource protocol ------------------------------------
+
+    def neighbors(self, vertex: VertexId) -> tuple[VertexId, ...]:
+        """Current open neighborhood (sorted)."""
+        cached = self._neighbor_cache.get(vertex)
+        if cached is None:
+            cached = tuple(sorted(self._adjacency[vertex]))
+            self._neighbor_cache[vertex] = cached
+        return cached
+
+    def on_arrival(self, vertex: VertexId, round_number: int) -> None:
+        """Apply the Lemma 9 update rule when the agent arrives."""
+        if vertex in self._visited:
+            return
+        if vertex in self.pool:
+            # Connect the newly visited pool vertex to every unvisited
+            # clique-side vertex (Θ(n) of them survive the whole run).
+            targets = self.clique_side - self._visited
+            adj_v = self._adjacency[vertex]
+            for w in targets:
+                if w not in adj_v:
+                    adj_v.add(w)
+                    self._adjacency[w].add(vertex)
+                    self._neighbor_cache.pop(w, None)
+                    self.edge_additions += 1
+            self._neighbor_cache.pop(vertex, None)
+        self._visited.add(vertex)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def visited(self) -> frozenset[VertexId]:
+        """The paper's ``Q_t`` (so far)."""
+        return frozenset(self._visited)
+
+    def surviving_pool(self) -> frozenset[VertexId]:
+        """The paper's ``W = P \\ Q_t`` — unvisited pool vertices."""
+        return self.pool - self._visited
+
+    def to_graph(self, id_space: int | None = None, name: str | None = None) -> StaticGraph:
+        """Snapshot the current graph ``G_t`` as a :class:`StaticGraph`."""
+        return StaticGraph(
+            {v: sorted(adj) for v, adj in self._adjacency.items()},
+            id_space=id_space,
+            name=name or "lemma9-instance",
+            validate=False,
+        )
+
+    def edges(self) -> set[tuple[VertexId, VertexId]]:
+        """All current edges as ``(u, v)`` pairs with ``u < v``."""
+        return {
+            (min(u, v), max(u, v))
+            for u, adj in self._adjacency.items()
+            for v in adj
+        }
+
+
+@dataclass(frozen=True)
+class AdversaryRun:
+    """A completed Lemma 9 run: the graph, the trace, and ``W``."""
+
+    adversary: AdaptiveAdversary
+    recorder: SingleAgentRecorder
+    rounds: int
+
+    @property
+    def visited(self) -> frozenset[VertexId]:
+        return self.recorder.visited_set
+
+    @property
+    def surviving_pool(self) -> frozenset[VertexId]:
+        """The paper's ``W`` after the run."""
+        return self.adversary.surviving_pool()
+
+    def graph(self, id_space: int | None = None) -> StaticGraph:
+        return self.adversary.to_graph(id_space=id_space)
+
+
+def lemma9_run(
+    program: AgentProgram,
+    ids: Sequence[VertexId],
+    start: VertexId,
+    rounds: int,
+    id_space: int | None = None,
+    rng: random.Random | None = None,
+    force_pool: Iterable[VertexId] = (),
+) -> AdversaryRun:
+    """Run ``program`` for ``rounds`` rounds against the adversary.
+
+    ``program`` must be deterministic (it gets a random tape, but
+    Theorem 6 only holds when the tape is ignored).
+    """
+    adversary = AdaptiveAdversary(ids, start, rng=rng, force_pool=force_pool)
+    recorder = run_single_agent(
+        program,
+        adversary,
+        start,
+        rounds,
+        id_space=id_space if id_space is not None else max(ids) + 1,
+    )
+    return AdversaryRun(adversary=adversary, recorder=recorder, rounds=rounds)

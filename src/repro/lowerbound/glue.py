@@ -1,0 +1,177 @@
+"""Gluing two adversarial runs into the Theorem 6 hard instance.
+
+Given a deterministic algorithm pair ``(A_a, A_b)``, Theorem 6 builds a
+single graph on ID space ``[0, n)`` in which both agents, started at
+adjacent vertices ``j`` and ``k``, replay their solo adversarial runs
+verbatim and therefore cannot meet within ``n/32`` rounds:
+
+1. Split the ID space into halves.  Agent ``a`` gets IDs
+   ``[0, n/2) ∪ {j}`` (start ``j`` from the upper half); agent ``b``
+   gets ``[n/2, n) ∪ {k}`` (start ``k`` from the lower half).
+2. Run the Lemma 9 adversary for each agent separately, forcing the
+   partner's start into the pool.  This yields graphs ``G_a, G_b`` and
+   surviving pools ``W_a, W_b``.
+3. The paper's counting argument guarantees *some* pair with
+   ``k ∈ W_a`` and ``j ∈ W_b``; we find one by retrying candidate
+   pairs (each try succeeds with constant probability since
+   ``|W| ≥ 13/16`` of each pool).
+4. Glue: take ``E(G_a) ∪ E(G_b)`` (the edge ``(j, k)`` is already in
+   both — ``j``'s star covers ``k`` and vice versa), then add the
+   complete bipartite graph between ``W_a \\ {k}`` and ``W_b \\ {j}``,
+   which lifts every surviving pool vertex to degree Θ(n).
+
+Because each agent's visited subgraph is untouched by the gluing, its
+view in the glued instance coincides with its solo view for the whole
+budget — so its trajectory is identical and never leaves its own half
+(in particular never crosses ``(j, k)``).  Tests verify this replay
+property directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro._typing import VertexId
+from repro.errors import AdversaryError
+from repro.graphs.graph import StaticGraph
+from repro.lowerbound.adversary import AdversaryRun, lemma9_run
+from repro.runtime.agent import AgentProgram
+
+__all__ = ["GluedInstance", "build_theorem6_instance"]
+
+
+@dataclass(frozen=True)
+class GluedInstance:
+    """The Theorem 6 instance and the artifacts behind it."""
+
+    graph: StaticGraph
+    start_a: VertexId
+    start_b: VertexId
+    #: Round budget within which no meeting can occur (``≈ n/32``).
+    budget: int
+    run_a: AdversaryRun
+    run_b: AdversaryRun
+    #: Candidate pairs tried before success.
+    attempts: int
+
+    @property
+    def surviving_pool_a(self) -> frozenset[VertexId]:
+        return self.run_a.surviving_pool
+
+    @property
+    def surviving_pool_b(self) -> frozenset[VertexId]:
+        return self.run_b.surviving_pool
+
+
+def build_theorem6_instance(
+    program_factory_a: Callable[[], AgentProgram],
+    program_factory_b: Callable[[], AgentProgram],
+    n: int,
+    rng: random.Random | None = None,
+    max_attempts: int = 64,
+) -> GluedInstance:
+    """Construct the Theorem 6 hard instance for a deterministic pair.
+
+    Parameters
+    ----------
+    program_factory_a, program_factory_b:
+        Zero-argument factories producing *fresh* deterministic program
+        instances (each adversary run and the final replay need one).
+    n:
+        Total instance size; must be even and at least 64.  The round
+        budget is ``n // 32``.
+    rng:
+        Drives the candidate ``(j, k)`` search and pool choices.
+    max_attempts:
+        Candidate pairs to try before giving up (the paper's pigeonhole
+        argument guarantees existence; random search finds a pair with
+        constant probability per try).
+    """
+    if n < 64 or n % 2 != 0:
+        raise AdversaryError("build_theorem6_instance needs even n >= 64")
+    rng = rng if rng is not None else random.Random(0)
+    half = n // 2
+    lower = list(range(half))
+    upper = list(range(half, n))
+    budget = n // 32
+
+    attempts = 0
+    while attempts < max_attempts:
+        attempts += 1
+        j = upper[rng.randrange(half)]
+
+        run_a = lemma9_run(
+            program_factory_a(),
+            ids=[*lower, j],
+            start=j,
+            rounds=budget,
+            id_space=n,
+            rng=rng,
+        )
+        w_a = sorted(run_a.surviving_pool)
+        if not w_a:
+            continue
+        k = w_a[rng.randrange(len(w_a))]
+
+        run_b = lemma9_run(
+            program_factory_b(),
+            ids=[*upper, k],
+            start=k,
+            rounds=budget,
+            id_space=n,
+            rng=rng,
+            force_pool=[j],
+        )
+        if j not in run_b.surviving_pool:
+            continue
+
+        graph = _glue(run_a, run_b, j, k, n)
+        return GluedInstance(
+            graph=graph,
+            start_a=j,
+            start_b=k,
+            budget=budget,
+            run_a=run_a,
+            run_b=run_b,
+            attempts=attempts,
+        )
+
+    raise AdversaryError(
+        f"no compatible (j, k) pair found in {max_attempts} attempts; "
+        "the algorithm's trajectories defeat random search (the paper's "
+        "pigeonhole pair still exists — raise max_attempts)"
+    )
+
+
+def _glue(
+    run_a: AdversaryRun,
+    run_b: AdversaryRun,
+    j: VertexId,
+    k: VertexId,
+    n: int,
+) -> StaticGraph:
+    """Union the two half-instances and densify the surviving pools."""
+    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+
+    for u, v in run_a.adversary.edges() | run_b.adversary.edges():
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    adjacency[j].add(k)
+    adjacency[k].add(j)
+
+    bipartite_a = sorted(run_a.surviving_pool - {k})
+    bipartite_b = sorted(run_b.surviving_pool - {j})
+    for u in bipartite_a:
+        for v in bipartite_b:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+
+    return StaticGraph(
+        {v: sorted(adj) for v, adj in adjacency.items() if adj or True},
+        id_space=n,
+        name=f"theorem6-glued(n={n})",
+        validate=False,
+    )

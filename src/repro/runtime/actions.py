@@ -1,0 +1,127 @@
+"""Actions an agent can output in one synchronous round.
+
+Per the paper's model, the output of the algorithm function ``A`` in a
+round is (new internal state, movement destination, whiteboard content
+at the current vertex).  Internal state lives inside the Python
+generator, so an :class:`Action` carries only the externally visible
+part: the movement and an optional whiteboard write.
+
+``WaitUntil`` and ``Halt`` are round-count-preserving conveniences: a
+``WaitUntil(t)`` is exactly ``t - now`` consecutive ``Stay`` actions,
+and ``Halt`` is an infinite ``Stay`` — but both let the scheduler
+fast-forward wall-clock time when *both* agents are inactive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Final
+
+from repro._typing import PortKey
+
+__all__ = ["Action", "Stay", "Move", "WaitUntil", "Halt", "KEEP"]
+
+
+class _Keep:
+    """Sentinel: leave the whiteboard at the current vertex unchanged."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Keep":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "KEEP"
+
+
+#: Default ``write`` value meaning "do not touch the whiteboard".
+#: (Distinct from ``None``, which the paper uses as the blank symbol ⊥
+#: and which is therefore a legitimate value to write.)
+KEEP: Final = _Keep()
+
+
+class Action:
+    """Base class for per-round agent actions."""
+
+    __slots__ = ()
+
+
+class Stay(Action):
+    """Remain at the current vertex for one round.
+
+    Parameters
+    ----------
+    write:
+        Optional value to store in the whiteboard at the current vertex
+        this round.  Defaults to :data:`KEEP` (no write).
+    """
+
+    __slots__ = ("write",)
+
+    def __init__(self, write: Any = KEEP) -> None:
+        self.write = write
+
+    def __repr__(self) -> str:
+        return f"Stay(write={self.write!r})" if self.write is not KEEP else "Stay()"
+
+
+class Move(Action):
+    """Move through an accessible port this round.
+
+    Parameters
+    ----------
+    target:
+        The accessible port key.  Under KT1 this is the *neighbor's
+        vertex identifier* (moving to the current vertex itself is
+        permitted and equivalent to :class:`Stay`, mirroring the
+        paper's ``N⁺`` movement sets).  Under KT0 it is a local port
+        index in ``[0, deg(v))``.
+    write:
+        Optional whiteboard write applied at the *origin* vertex before
+        moving (the paper lets agents modify the whiteboard of their
+        current vertex in the same round as a movement).
+    """
+
+    __slots__ = ("target", "write")
+
+    def __init__(self, target: PortKey, write: Any = KEEP) -> None:
+        self.target = target
+        self.write = write
+
+    def __repr__(self) -> str:
+        if self.write is not KEEP:
+            return f"Move({self.target!r}, write={self.write!r})"
+        return f"Move({self.target!r})"
+
+
+class WaitUntil(Action):
+    """Stay put (taking no actions) until the given round number.
+
+    Equivalent to issuing ``Stay()`` every round while
+    ``current_round < round``; the scheduler may fast-forward the clock
+    when both agents are inactive.  A ``WaitUntil`` in the past or
+    present is equivalent to a single ``Stay()``.
+    """
+
+    __slots__ = ("round",)
+
+    def __init__(self, round: int) -> None:
+        self.round = int(round)
+
+    def __repr__(self) -> str:
+        return f"WaitUntil({self.round})"
+
+
+class Halt(Action):
+    """Stop executing forever, remaining at the current vertex.
+
+    A halted agent still participates in rendezvous detection (the
+    other agent can arrive at its vertex).  Returning from the program
+    generator is equivalent to yielding ``Halt()``.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Halt()"

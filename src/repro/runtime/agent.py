@@ -1,0 +1,123 @@
+"""Agent programs: the probabilistic RAMs that move through the graph.
+
+A *program* is a class with a :meth:`AgentProgram.run` generator.  The
+generator yields one :class:`~repro.runtime.actions.Action` per round;
+between yields it may read the live :class:`~repro.runtime.view.AgentView`
+via ``ctx.view`` and use ``ctx.rng`` for random bits.  Local variables
+of the generator are the agent's internal memory (unbounded, as in the
+paper's model — though the paper's algorithms use ``O(n log n)`` bits
+and so do ours).
+
+Module-level helpers (:func:`walk`, :func:`walk_and_return`,
+:func:`stay_rounds`) are sub-generators meant to be used with
+``yield from`` inside programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, TYPE_CHECKING
+
+from repro._typing import AgentName, VertexId
+from repro.graphs.ports import PortModel
+from repro.runtime.actions import Action, Move, Stay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.view import AgentView
+
+__all__ = ["AgentContext", "AgentProgram", "walk", "walk_and_return", "stay_rounds"]
+
+
+@dataclass
+class AgentContext:
+    """Everything an agent knows before the execution starts.
+
+    Attributes
+    ----------
+    name:
+        ``"a"`` or ``"b"`` — the agents have distinct names and may run
+        different programs (the asymmetric model).
+    start_vertex:
+        The identifier of the initial location (an agent trivially
+        knows where it is, since vertex IDs are readable).
+    id_space:
+        The paper's ``n'``: an upper bound on vertex identifiers, known
+        to the agents.  ``log n`` can be approximated from it.
+    rng:
+        Private random source (the paper's random-bit tape).
+    port_model:
+        KT1 or KT0 — which port information the model exposes.
+    whiteboards_enabled:
+        Whether the model provides whiteboards.
+    params:
+        Algorithm-specific inputs (for instance the minimum degree δ
+        when it is assumed known, or a constants preset).
+    view:
+        The live :class:`AgentView`; populated by the scheduler before
+        the program starts.
+    """
+
+    name: AgentName
+    start_vertex: VertexId
+    id_space: int
+    rng: random.Random
+    port_model: PortModel = PortModel.KT1
+    whiteboards_enabled: bool = True
+    params: dict[str, Any] = field(default_factory=dict)
+    view: "AgentView | None" = None
+
+
+class AgentProgram:
+    """Base class for agent programs.
+
+    Subclasses implement :meth:`run` as a generator.  After the
+    execution, :meth:`report` may expose algorithm-specific statistics
+    (iteration counts, phase rounds, ...) which the scheduler folds
+    into the :class:`~repro.runtime.scheduler.ExecutionResult`.
+    """
+
+    def run(self, ctx: AgentContext) -> Generator[Action, None, None]:
+        """Yield one action per round.  Must be overridden."""
+        raise NotImplementedError
+
+    def report(self) -> dict[str, Any]:
+        """Algorithm-specific statistics gathered during the run."""
+        return {}
+
+
+def walk(ctx: AgentContext, path: Iterable[VertexId]) -> Generator[Action, None, None]:
+    """Move along ``path`` (a sequence of successive neighbor IDs).
+
+    Each element costs one round.  Elements equal to the current vertex
+    are skipped for free (zero rounds), which lets callers write
+    ``walk(ctx, route_to(v))`` without special-casing length-0 hops.
+    Requires KT1 (movement by neighbor identifier).
+    """
+    for vertex in path:
+        if ctx.view is not None and ctx.view.vertex == vertex:
+            continue
+        yield Move(vertex)
+
+
+def walk_and_return(
+    ctx: AgentContext, path: list[VertexId]
+) -> Generator[Action, None, None]:
+    """Walk ``path`` out and then back in reverse.
+
+    ``path`` must start *after* the current vertex and end at the
+    destination; the return retraces it.  Total cost: at most
+    ``2 * len(path)`` rounds.
+    """
+    origin = ctx.view.vertex if ctx.view is not None else None
+    yield from walk(ctx, path)
+    back = list(path[:-1])[::-1]
+    if origin is not None:
+        back.append(origin)
+    yield from walk(ctx, back)
+
+
+def stay_rounds(count: int) -> Generator[Action, None, None]:
+    """Stay at the current vertex for ``count`` rounds (no fast-forward)."""
+    for _ in range(count):
+        yield Stay()

@@ -1,0 +1,283 @@
+"""The synchronous two-agent scheduler.
+
+Runs two agent programs round by round over a static graph, applying
+the paper's execution semantics (Section 2.1–2.2):
+
+* both agents observe, compute, write their current whiteboard, and
+  move — all within one round, simultaneously;
+* a movement completes within the round (agents are never "on edges");
+* rendezvous completes at round ``t`` iff both agents occupy the same
+  vertex at the *beginning* of round ``t``; they then halt.
+
+The scheduler fast-forwards stretches where both agents are inactive
+(waiting or halted): round counters advance, wall-clock work does not.
+This makes phase-padded algorithms (Section 4.2's ``t'`` barrier and
+``⌈4c₂ ln n⌉²``-round phases) cheap to simulate without altering any
+observable round count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._typing import AgentName, VertexId
+from repro.errors import ProtocolError, SchedulerError
+from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling, PortModel
+from repro.runtime.actions import Action, Halt, KEEP, Move, Stay, WaitUntil
+from repro.runtime.agent import AgentContext, AgentProgram
+from repro.runtime.view import AgentView
+from repro.runtime.whiteboard import DisabledWhiteboards, WhiteboardStore
+
+__all__ = ["ExecutionResult", "SyncScheduler", "run_rendezvous"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome and metrics of one two-agent execution."""
+
+    #: Whether the agents met within the round budget.
+    met: bool
+    #: The rendezvous round (paper convention: first round at whose
+    #: beginning the agents are co-located), or the number of rounds
+    #: executed when ``met`` is false.
+    rounds: int
+    #: Vertex where the agents met (``None`` on failure).
+    meeting_vertex: VertexId | None
+    #: Number of edge traversals per agent.
+    moves: dict[AgentName, int]
+    #: Whiteboard counters (zero in the whiteboard-free model).
+    whiteboard_reads: int
+    whiteboard_writes: int
+    #: Whether each agent had halted by the end.
+    halted: dict[AgentName, bool]
+    #: Why the execution ended without a meeting (``None`` if met).
+    failure_reason: str | None
+    #: Per-agent algorithm statistics from ``AgentProgram.report()``.
+    reports: dict[AgentName, dict[str, Any]] = field(default_factory=dict)
+    #: Optional (round, pos_a, pos_b) trace of simulated rounds.
+    trace: tuple[tuple[int, VertexId, VertexId], ...] | None = None
+
+    @property
+    def total_moves(self) -> int:
+        """Edge traversals summed over both agents (the "cost" metric)."""
+        return self.moves["a"] + self.moves["b"]
+
+
+class _Driver:
+    """Scheduler-internal per-agent state."""
+
+    __slots__ = ("name", "program", "gen", "position", "wake_round", "halted", "moves", "ctx")
+
+    def __init__(self, name: AgentName, program: AgentProgram, start: VertexId) -> None:
+        self.name = name
+        self.program = program
+        self.gen = None
+        self.position = start
+        self.wake_round = 0
+        self.halted = False
+        self.moves = 0
+        self.ctx: AgentContext | None = None
+
+
+class SyncScheduler:
+    """Synchronous executor for two agent programs on a static graph.
+
+    Parameters
+    ----------
+    graph:
+        The static graph agents move on.
+    program_a, program_b:
+        The two (possibly different) agent programs.
+    start_a, start_b:
+        Initial vertices.  Must be distinct; for the *neighborhood*
+        rendezvous problem they must additionally be adjacent (the
+        scheduler itself does not enforce adjacency — lower-bound
+        experiments legitimately use distance two).
+    seed:
+        Seed for the agents' private random tapes.  Each agent derives
+        an independent stream.
+    port_model:
+        KT1 (default, neighborhood IDs visible) or KT0.
+    labeling:
+        Hidden port labeling; defaults to ascending-ID ports.  Required
+        explicitly for KT0 experiments with crafted ports.
+    whiteboards:
+        ``True`` for the whiteboard model, ``False`` for Section 4.2's
+        whiteboard-free model (any access then raises).
+    max_rounds:
+        Round budget; executions exceeding it return a failed result.
+    record_trace:
+        Record per-round positions (capped at ``trace_limit`` entries).
+    params_a, params_b:
+        Algorithm-specific inputs passed through the agent contexts.
+    """
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        program_a: AgentProgram,
+        program_b: AgentProgram,
+        start_a: VertexId,
+        start_b: VertexId,
+        seed: int = 0,
+        port_model: PortModel = PortModel.KT1,
+        labeling: PortLabeling | None = None,
+        whiteboards: bool = True,
+        max_rounds: int = 1_000_000,
+        record_trace: bool = False,
+        trace_limit: int = 100_000,
+        params_a: dict[str, Any] | None = None,
+        params_b: dict[str, Any] | None = None,
+    ) -> None:
+        if start_a not in graph or start_b not in graph:
+            raise SchedulerError("start vertices must belong to the graph")
+        if start_a == start_b:
+            raise SchedulerError("agents must start at two different vertices")
+        self.graph = graph
+        self.labeling = labeling if labeling is not None else PortLabeling(graph)
+        if self.labeling.graph is not graph:
+            raise SchedulerError("labeling belongs to a different graph")
+        self.port_model = port_model
+        self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
+        self.max_rounds = int(max_rounds)
+        self.current_round = 0
+        self._record_trace = record_trace
+        self._trace_limit = trace_limit
+        self._trace: list[tuple[int, VertexId, VertexId]] = []
+
+        self._a = _Driver("a", program_a, start_a)
+        self._b = _Driver("b", program_b, start_b)
+        for driver, params in ((self._a, params_a), (self._b, params_b)):
+            ctx = AgentContext(
+                name=driver.name,
+                start_vertex=driver.position,
+                id_space=graph.id_space,
+                rng=random.Random(f"{seed}:{driver.name}"),
+                port_model=port_model,
+                whiteboards_enabled=whiteboards,
+                params=dict(params or {}),
+            )
+            ctx.view = AgentView(self, driver)
+            driver.ctx = ctx
+
+    # -- introspection used by views -----------------------------------
+
+    def other_driver(self, driver: _Driver) -> _Driver:
+        """The driver of the other agent."""
+        return self._b if driver is self._a else self._a
+
+    # -- execution ------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Execute until rendezvous, mutual halt, or the round budget."""
+        a, b = self._a, self._b
+        a.gen = a.program.run(a.ctx)
+        b.gen = b.program.run(b.ctx)
+
+        failure: str | None = None
+        while True:
+            if a.position == b.position:
+                return self._result(met=True, failure=None)
+            if self.current_round >= self.max_rounds:
+                failure = "round budget exhausted"
+                break
+
+            a_active = (not a.halted) and a.wake_round <= self.current_round
+            b_active = (not b.halted) and b.wake_round <= self.current_round
+
+            if not a_active and not b_active:
+                wakes = [d.wake_round for d in (a, b) if not d.halted]
+                if not wakes:
+                    failure = "both agents halted without meeting"
+                    break
+                self.current_round = min(min(wakes), self.max_rounds)
+                continue
+
+            action_a = self._next_action(a) if a_active else None
+            action_b = self._next_action(b) if b_active else None
+
+            # Writes happen at the (pre-move) current vertices.  The two
+            # agents are at different vertices here (co-location would
+            # have terminated above), so write order is irrelevant.
+            for driver, action in ((a, action_a), (b, action_b)):
+                if isinstance(action, (Stay, Move)) and action.write is not KEEP:
+                    self.whiteboards.write(driver.position, action.write)
+
+            for driver, action in ((a, action_a), (b, action_b)):
+                self._apply_movement(driver, action)
+
+            if self._record_trace and len(self._trace) < self._trace_limit:
+                self._trace.append((self.current_round, a.position, b.position))
+            self.current_round += 1
+
+        return self._result(met=False, failure=failure)
+
+    def _next_action(self, driver: _Driver) -> Action | None:
+        try:
+            action = next(driver.gen)
+        except StopIteration:
+            driver.halted = True
+            return None
+        if not isinstance(action, Action):
+            raise ProtocolError(
+                f"agent {driver.name} yielded {action!r}, which is not an Action"
+            )
+        return action
+
+    def _apply_movement(self, driver: _Driver, action: Action | None) -> None:
+        if action is None or isinstance(action, Stay):
+            return
+        if isinstance(action, Move):
+            if self.port_model is PortModel.KT1 and action.target == driver.position:
+                return  # moving "to itself" is a stay (N⁺ movement sets)
+            destination = self.labeling.resolve_accessible(
+                driver.position, action.target, self.port_model
+            )
+            driver.position = destination
+            driver.moves += 1
+        elif isinstance(action, WaitUntil):
+            driver.wake_round = max(action.round, self.current_round + 1)
+        elif isinstance(action, Halt):
+            driver.halted = True
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown action {action!r}")
+
+    def _result(self, met: bool, failure: str | None) -> ExecutionResult:
+        a, b = self._a, self._b
+        return ExecutionResult(
+            met=met,
+            rounds=self.current_round,
+            meeting_vertex=a.position if met else None,
+            moves={"a": a.moves, "b": b.moves},
+            whiteboard_reads=self.whiteboards.reads,
+            whiteboard_writes=self.whiteboards.writes,
+            halted={"a": a.halted, "b": b.halted},
+            failure_reason=failure,
+            reports={"a": a.program.report(), "b": b.program.report()},
+            trace=tuple(self._trace) if self._record_trace else None,
+        )
+
+
+def run_rendezvous(
+    graph: StaticGraph,
+    program_a: AgentProgram,
+    program_b: AgentProgram,
+    start_a: VertexId,
+    start_b: VertexId,
+    seed: int = 0,
+    **scheduler_kwargs: Any,
+) -> ExecutionResult:
+    """One-call convenience wrapper around :class:`SyncScheduler`."""
+    scheduler = SyncScheduler(
+        graph,
+        program_a,
+        program_b,
+        start_a,
+        start_b,
+        seed=seed,
+        **scheduler_kwargs,
+    )
+    return scheduler.run()

@@ -1,0 +1,105 @@
+"""The live view an agent observes each round.
+
+Paper Section 2.1: the inputs of the algorithm function are the agent's
+name, its internal memory, the IDs of its current location and
+neighbors *as exposed by the accessible port numbering*, the whiteboard
+contents at the current location, and random bits.
+
+:class:`AgentView` is a thin live window onto scheduler state.  It
+enforces the model boundaries:
+
+* neighbor identifiers are only readable under KT1;
+* whiteboards are only accessible when the model provides them;
+* nothing outside the current vertex's locality is observable.
+
+The view object is *live*: after the program yields a movement action,
+subsequent reads reflect the new location and round.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro._typing import PortKey, VertexId
+from repro.errors import ProtocolError
+from repro.graphs.ports import PortModel
+
+__all__ = ["AgentView"]
+
+
+class AgentView:
+    """What one agent can observe at its current vertex."""
+
+    __slots__ = ("_scheduler", "_driver")
+
+    def __init__(self, scheduler, driver) -> None:
+        self._scheduler = scheduler
+        self._driver = driver
+
+    @property
+    def round(self) -> int:
+        """The current round number ``t``."""
+        return self._scheduler.current_round
+
+    @property
+    def vertex(self) -> VertexId:
+        """Identifier of the current vertex (vertices carry unique IDs)."""
+        return self._driver.position
+
+    @property
+    def degree(self) -> int:
+        """Degree of the current vertex (``|N(v)| = `` number of ports)."""
+        return self._scheduler.graph.degree(self._driver.position)
+
+    @property
+    def ports(self) -> tuple[PortKey, ...]:
+        """Accessible port keys at the current vertex.
+
+        Under KT1 these are the sorted neighbor identifiers; under KT0
+        they are ``0 .. degree-1``.
+        """
+        return self._scheduler.labeling.accessible_ports(
+            self._driver.position, self._scheduler.port_model
+        )
+
+    @property
+    def neighbors(self) -> tuple[VertexId, ...]:
+        """Identifiers of the neighbors of the current vertex (KT1 only).
+
+        Raises
+        ------
+        ProtocolError
+            Under KT0, where neighborhood IDs are not observable.
+        """
+        if self._scheduler.port_model is not PortModel.KT1:
+            raise ProtocolError("neighbor identifiers are not accessible under KT0")
+        return self._scheduler.graph.neighbors(self._driver.position)
+
+    @property
+    def closed_neighbors(self) -> frozenset[VertexId]:
+        """``N⁺(v)`` of the current vertex as a frozenset (KT1 only)."""
+        if self._scheduler.port_model is not PortModel.KT1:
+            raise ProtocolError("neighbor identifiers are not accessible under KT0")
+        return self._scheduler.graph.closed_neighbor_set(self._driver.position)
+
+    @property
+    def whiteboard(self) -> Any:
+        """Contents of the whiteboard at the current vertex.
+
+        Raises
+        ------
+        WhiteboardDisabledError
+            When the execution runs in the whiteboard-free model.
+        """
+        return self._scheduler.whiteboards.read(self._driver.position)
+
+    @property
+    def other_agent_here(self) -> bool:
+        """Whether the other agent currently occupies the same vertex.
+
+        The paper guarantees mutual awareness on co-location; the
+        scheduler also terminates the execution at that point, so
+        programs rarely need this — it exists for defensive checks.
+        """
+        other = self._scheduler.other_driver(self._driver)
+        return other.position == self._driver.position

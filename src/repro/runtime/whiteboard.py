@@ -1,0 +1,89 @@
+"""Whiteboard storage (paper Section 2.1).
+
+Every vertex carries a whiteboard an agent at that vertex can read and
+write during its internal computation.  The paper notes ``O(log n)``
+bits per whiteboard suffice for its algorithms; our algorithms only
+ever store a single vertex identifier or the blank symbol ⊥ (``None``).
+
+Whiteboards are *per-execution* state: a fresh store is created for
+every scheduler run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro._typing import VertexId
+from repro.errors import WhiteboardDisabledError
+
+__all__ = ["BLANK", "WhiteboardStore", "DisabledWhiteboards"]
+
+#: The blank whiteboard symbol (the paper's ⊥).
+BLANK = None
+
+
+class WhiteboardStore:
+    """Mutable map from vertex to whiteboard contents.
+
+    Unwritten whiteboards read as :data:`BLANK`.  The store counts
+    reads and writes for the experiment metrics.
+    """
+
+    __slots__ = ("_contents", "reads", "writes")
+
+    def __init__(self) -> None:
+        self._contents: dict[VertexId, Any] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, vertex: VertexId) -> Any:
+        """Contents of the whiteboard at ``vertex`` (``BLANK`` if untouched)."""
+        self.reads += 1
+        return self._contents.get(vertex, BLANK)
+
+    def write(self, vertex: VertexId, value: Any) -> None:
+        """Overwrite the whiteboard at ``vertex``."""
+        self.writes += 1
+        self._contents[vertex] = value
+
+    def peek(self, vertex: VertexId) -> Any:
+        """Read without counting (for tests and reports)."""
+        return self._contents.get(vertex, BLANK)
+
+    def written_vertices(self) -> frozenset[VertexId]:
+        """Vertices whose whiteboard has ever been written."""
+        return frozenset(self._contents)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this store supports access (True for real stores)."""
+        return True
+
+
+class DisabledWhiteboards:
+    """Stand-in store for the whiteboard-free model (Section 4.2).
+
+    Any access raises :class:`WhiteboardDisabledError`, so an algorithm
+    claiming to work without whiteboards provably never touches them.
+    """
+
+    __slots__ = ()
+
+    reads = 0
+    writes = 0
+
+    def read(self, vertex: VertexId) -> Any:
+        raise WhiteboardDisabledError("whiteboards are disabled in this model")
+
+    def write(self, vertex: VertexId, value: Any) -> None:
+        raise WhiteboardDisabledError("whiteboards are disabled in this model")
+
+    def peek(self, vertex: VertexId) -> Any:  # pragma: no cover - test helper
+        return BLANK
+
+    def written_vertices(self) -> frozenset[VertexId]:  # pragma: no cover
+        return frozenset()
+
+    @property
+    def enabled(self) -> bool:
+        return False

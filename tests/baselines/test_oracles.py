@@ -1,0 +1,103 @@
+"""Tests for the oracle-equipped related-work baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.oracles import (
+    CommonMapAgent,
+    run_with_distance_oracle,
+    run_with_map_oracle,
+)
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    random_graph_with_min_degree,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_with_min_degree(150, 35, random.Random("oracles"))
+
+
+def pair_at_distance(graph, distance):
+    start = graph.vertices[-1]
+    partner = next(
+        (v for v in graph.vertices if graph.distance(start, v) == distance), None
+    )
+    if partner is None:
+        pytest.skip(f"no pair at distance {distance}")
+    return start, partner
+
+
+class TestCommonMap:
+    def test_meets_within_diameter(self, graph):
+        start_a, start_b = pair_at_distance(graph, 1)
+        result = run_with_map_oracle(graph, start_a, start_b)
+        assert result.met
+        # Dense random graphs have diameter 2-3: generous cap.
+        assert result.rounds <= 8
+
+    def test_meets_at_canonical_vertex_or_en_route(self, graph):
+        start_a, start_b = pair_at_distance(graph, 2)
+        result = run_with_map_oracle(graph, start_a, start_b)
+        assert result.met
+
+    def test_on_a_long_cycle(self):
+        g = cycle_graph(40)
+        result = run_with_map_oracle(g, 10, 30)
+        assert result.met
+        # Both walk to vertex 0: max eccentricity contribution <= n/2.
+        assert result.rounds <= 21
+
+    def test_path_lengths_reported(self, graph):
+        start_a, start_b = pair_at_distance(graph, 1)
+        agent = CommonMapAgent(graph)
+        from repro.baselines.oracles import SyncScheduler
+
+        scheduler = SyncScheduler(
+            graph, agent, CommonMapAgent(graph), start_a, start_b,
+            whiteboards=False, max_rounds=100,
+        )
+        scheduler.run()
+        assert agent.report()["path_length"] == graph.distance(
+            start_a, graph.vertices[0]
+        )
+
+
+class TestDistanceOracle:
+    def test_meets_at_distance_one(self, graph):
+        start_a, start_b = pair_at_distance(graph, 1)
+        result = run_with_distance_oracle(graph, start_a, start_b)
+        assert result.met
+        assert result.rounds <= 4 * graph.max_degree
+
+    def test_meets_at_distance_two(self, graph):
+        start_a, start_b = pair_at_distance(graph, 2)
+        result = run_with_distance_oracle(graph, start_a, start_b)
+        assert result.met
+        assert result.rounds <= 8 * graph.max_degree
+
+    def test_meets_on_a_path(self):
+        """Gradient descent walks straight down a path graph."""
+        g = path_graph(20)
+        result = run_with_distance_oracle(g, 0, 19)
+        assert result.met
+        # Each level costs at most 2*deg <= 4 rounds plus the step.
+        assert result.rounds <= 6 * 19
+
+    def test_probe_count_bounded(self, graph):
+        start_a, start_b = pair_at_distance(graph, 2)
+        result = run_with_distance_oracle(graph, start_a, start_b)
+        assert result.met
+        probes = result.reports["a"]["probes"]
+        assert probes <= 2 * 2 * graph.max_degree  # O(Delta * d)
+
+    def test_deterministic_given_seed(self, graph):
+        start_a, start_b = pair_at_distance(graph, 2)
+        r1 = run_with_distance_oracle(graph, start_a, start_b, seed=4)
+        r2 = run_with_distance_oracle(graph, start_a, start_b, seed=4)
+        assert r1.rounds == r2.rounds

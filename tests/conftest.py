@@ -1,0 +1,47 @@
+"""Shared fixtures for the test-suite.
+
+Graph fixtures are module-scoped where construction is expensive; all
+randomness flows through explicit seeds so the suite is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constants import Constants
+from repro.graphs.generators import (
+    complete_graph,
+    random_graph_with_min_degree,
+)
+
+
+@pytest.fixture(scope="session")
+def dense_graph_small():
+    """A 200-vertex graph with min degree ~50 (fast integration runs)."""
+    return random_graph_with_min_degree(200, 50, random.Random("fixture:dense-small"))
+
+
+@pytest.fixture(scope="session")
+def dense_graph_medium():
+    """A 500-vertex graph with min degree ~105."""
+    return random_graph_with_min_degree(500, 105, random.Random("fixture:dense-medium"))
+
+
+@pytest.fixture(scope="session")
+def complete_graph_small():
+    """K_64."""
+    return complete_graph(64)
+
+
+@pytest.fixture(scope="session")
+def testing_constants():
+    """The constants preset used by statistical tests."""
+    return Constants.testing()
+
+
+@pytest.fixture(scope="session")
+def tuned_constants():
+    """The default benchmark preset."""
+    return Constants.tuned()

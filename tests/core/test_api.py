@@ -1,0 +1,95 @@
+"""Tests for the high-level rendezvous API and algorithm registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import (
+    ALGORITHMS,
+    default_round_budget,
+    pick_adjacent_starts,
+    rendezvous,
+)
+from repro.core.constants import Constants
+from repro.errors import ReproError
+from repro.graphs.generators import complete_graph, cycle_graph
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        assert set(ALGORITHMS) == {
+            "theorem1", "theorem2", "trivial", "explore",
+            "random-walk", "anderson-weber",
+        }
+
+    def test_whiteboard_flags(self):
+        assert ALGORITHMS["theorem1"].uses_whiteboards
+        assert not ALGORITHMS["theorem2"].uses_whiteboards
+        assert ALGORITHMS["anderson-weber"].uses_whiteboards
+        assert not ALGORITHMS["explore"].uses_whiteboards
+
+    def test_descriptions_nonempty(self):
+        for spec in ALGORITHMS.values():
+            assert spec.description
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ReproError):
+            rendezvous(complete_graph(8), algorithm="nope")
+
+
+class TestBudgets:
+    def test_budgets_positive(self, dense_graph_small):
+        for name in ALGORITHMS:
+            assert default_round_budget(name, dense_graph_small) > 0
+
+    def test_trivial_budget_scales_with_degree(self):
+        small = default_round_budget("trivial", complete_graph(16))
+        large = default_round_budget("trivial", complete_graph(64))
+        assert large > small
+
+    def test_explicit_budget_respected(self, dense_graph_small):
+        result = rendezvous(
+            dense_graph_small, "random-walk", seed=0, max_rounds=3
+        )
+        assert result.rounds <= 3
+
+
+class TestStartSelection:
+    def test_pick_adjacent_starts_is_edge(self, dense_graph_small):
+        rng = random.Random(0)
+        for _ in range(20):
+            a, b = pick_adjacent_starts(dense_graph_small, rng)
+            assert dense_graph_small.has_edge(a, b)
+
+    def test_pick_adjacent_starts_deterministic(self, dense_graph_small):
+        assert pick_adjacent_starts(
+            dense_graph_small, random.Random(5)
+        ) == pick_adjacent_starts(dense_graph_small, random.Random(5))
+
+    def test_explicit_starts_used(self):
+        g = cycle_graph(10)
+        result = rendezvous(g, "trivial", start_a=0, start_b=1, seed=0)
+        assert result.met
+        assert result.meeting_vertex in (0, 1)
+
+    def test_default_starts_are_adjacent(self, dense_graph_small):
+        result = rendezvous(dense_graph_small, "trivial", seed=3)
+        assert result.met
+
+
+class TestSeeding:
+    def test_same_seed_same_result(self, dense_graph_small):
+        r1 = rendezvous(dense_graph_small, "random-walk", seed=9, max_rounds=50_000)
+        r2 = rendezvous(dense_graph_small, "random-walk", seed=9, max_rounds=50_000)
+        assert r1.rounds == r2.rounds
+        assert r1.meeting_vertex == r2.meeting_vertex
+
+    def test_different_seeds_differ(self, dense_graph_small):
+        rounds = {
+            rendezvous(dense_graph_small, "random-walk", seed=s,
+                       max_rounds=50_000).rounds
+            for s in range(6)
+        }
+        assert len(rounds) > 1

@@ -1,0 +1,100 @@
+"""Tests for the constants presets and derived quantities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.constants import Constants
+
+
+class TestPresets:
+    def test_paper_values_match_the_paper(self):
+        c = Constants.paper()
+        assert c.sample_multiplier == 96.0
+        # l = ceil(150 ln n): threshold_ratio * multiplier == 150.
+        assert c.threshold_ratio * c.sample_multiplier == pytest.approx(150.0)
+        assert c.heavy_divisor == 8.0
+        assert c.light_divisor == 2.0
+        assert c.phi_multiplier == 4.0
+        assert c.sparse_c2 == 18.0
+
+    def test_ratios_preserved_across_presets(self):
+        paper = Constants.paper()
+        for preset in (Constants.tuned(), Constants.testing(), Constants.aggressive()):
+            assert preset.threshold_ratio == pytest.approx(paper.threshold_ratio)
+            assert preset.sparse_c2 / preset.phi_multiplier == pytest.approx(
+                paper.sparse_c2 / paper.phi_multiplier
+            )
+
+    def test_with_overrides(self):
+        c = Constants.tuned().with_overrides(sample_multiplier=3.0, preset="x")
+        assert c.sample_multiplier == 3.0
+        assert c.preset == "x"
+        assert Constants.tuned().sample_multiplier == 8.0  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Constants.tuned().sample_multiplier = 1.0  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_paper_sample_count(self):
+        c = Constants.paper()
+        n_prime = 1000
+        gamma, alpha = 50, 10.0
+        expected = math.ceil(96 * gamma * math.log(n_prime) / alpha)
+        assert c.sample_count(gamma, alpha, n_prime) == expected
+
+    def test_sample_count_empty_gamma(self):
+        assert Constants.paper().sample_count(0, 5.0, 100) == 0
+
+    def test_paper_threshold(self):
+        c = Constants.paper()
+        assert c.sample_threshold(1000) == math.ceil(150 * math.log(1000))
+
+    def test_alpha_and_light_bound(self):
+        c = Constants.paper()
+        assert c.alpha(80) == 10.0
+        assert c.light_bound(80) == 40.0
+
+    def test_candidate_checks(self):
+        c = Constants.paper()
+        assert c.candidate_check_count(1024) == math.ceil(4 * 10)
+
+    def test_phi_probability_caps_at_one(self):
+        c = Constants.paper()
+        assert c.phi_probability(1, 100) == 1.0
+        assert 0 < c.phi_probability(10**6, 100) < 1.0
+
+    def test_block_width(self):
+        c = Constants.paper()
+        assert c.block_width(100) == 10
+        assert c.block_width(101) == 11
+        assert c.block_width(0) == 1
+
+    def test_dwell_exceeds_sweep_cost_margin(self):
+        """The slack guarantees dwell > 4 * sparse bound (DESIGN.md #5)."""
+        for preset in (Constants.paper(), Constants.tuned(), Constants.testing()):
+            for n_prime in (100, 10_000, 10**6):
+                dwell = preset.dwell_rounds(n_prime)
+                sweep_bound = 4 * preset.sparse_c2 * Constants.log_term(n_prime)
+                assert dwell > sweep_bound
+
+    def test_phase_length_is_dwell_squared(self):
+        c = Constants.tuned()
+        assert c.phase_length(5000) == c.dwell_rounds(5000) ** 2
+
+    def test_sync_barrier_monotone_in_n(self):
+        c = Constants.tuned()
+        assert c.sync_barrier(2000, 50) > c.sync_barrier(1000, 50)
+        assert c.sync_barrier(1000, 100) < c.sync_barrier(1000, 50)
+
+    def test_log_term_floor(self):
+        assert Constants.log_term(1) == 1.0
+        assert Constants.log_term(2) == pytest.approx(math.log(2), abs=0.4)
+
+    def test_iteration_cap_generous(self):
+        c = Constants.tuned()
+        assert c.construct_iteration_cap(1000, 100) > 2 * 1000 / 100

@@ -1,0 +1,103 @@
+"""Tests for α-heaviness and the dense condition (Definitions 2-3)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dense import (
+    dense_violations,
+    heaviness,
+    heavy_set,
+    is_alpha_heavy,
+    is_alpha_light,
+    is_dense_set,
+    light_set,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    path_graph,
+    random_graph_with_min_degree,
+    star_graph,
+)
+
+
+class TestHeaviness:
+    def test_counts_closed_neighborhood_intersection(self):
+        g = path_graph(5)  # 0-1-2-3-4
+        assert heaviness(g, 2, {1, 2, 3}) == 3
+        assert heaviness(g, 0, {2, 3}) == 0
+        assert heaviness(g, 0, {1}) == 1
+
+    def test_self_counts(self):
+        g = path_graph(3)
+        assert heaviness(g, 1, {1}) == 1
+
+    def test_heavy_and_light_partition(self):
+        g = complete_graph(6)
+        targets = {0, 1, 2}
+        for v in g.vertices:
+            assert is_alpha_heavy(g, v, targets, 3.0) != is_alpha_light(
+                g, v, targets, 3.0
+            )
+
+    def test_heavy_set_and_light_set_cover_universe(self):
+        g = random_graph_with_min_degree(50, 10, random.Random(0))
+        targets = set(g.vertices[:20])
+        heavy = heavy_set(g, targets, 5.0)
+        light = light_set(g, targets, 5.0)
+        assert heavy | light == frozenset(g.vertices)
+        assert not heavy & light
+
+    def test_universe_restriction(self):
+        g = complete_graph(8)
+        heavy = heavy_set(g, {0, 1}, 1.0, universe=[3, 4])
+        assert heavy <= {3, 4}
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 200), alpha=st.floats(1.0, 10.0))
+    def test_property_monotone_in_targets(self, seed, alpha):
+        """Proposition 1: heaviness is monotone under target growth."""
+        rng = random.Random(seed)
+        g = random_graph_with_min_degree(40, 8, rng)
+        small = set(rng.sample(g.vertices, 10))
+        large = small | set(rng.sample(g.vertices, 10))
+        for v in g.vertices:
+            if is_alpha_heavy(g, v, small, alpha):
+                assert is_alpha_heavy(g, v, large, alpha)
+
+
+class TestDenseCondition:
+    def test_whole_graph_is_dense_for_complete(self):
+        g = complete_graph(10)
+        assert is_dense_set(g, 0, g.vertices, alpha=9 / 8, beta=1)
+
+    def test_star_center_closed_neighborhood(self):
+        g = star_graph(10, center=0)
+        # T = all vertices: every leaf u has N+(u) = {u, 0}; heaviness 2.
+        assert is_dense_set(g, 0, g.vertices, alpha=2.0, beta=1)
+        assert not is_dense_set(g, 0, g.vertices, alpha=3.0, beta=1)
+
+    def test_origin_must_be_member(self):
+        g = complete_graph(5)
+        violations = dense_violations(g, 0, [1, 2, 3, 4], alpha=1.0, beta=1)
+        assert any("origin" in v for v in violations)
+
+    def test_beta_violation_detected(self):
+        g = path_graph(6)
+        violations = dense_violations(g, 0, [0, 1, 5], alpha=1.0, beta=2)
+        assert any("distance" in v for v in violations)
+
+    def test_heaviness_violation_detected(self):
+        g = path_graph(5)
+        violations = dense_violations(g, 0, [0], alpha=2.0, beta=2)
+        assert any("alpha-heavy" in v for v in violations)
+
+    def test_two_hop_closed_neighborhood_is_dense(self):
+        """N⁺(N⁺(v)) always satisfies the (v, δ/8, 2)-dense condition."""
+        rng = random.Random(3)
+        g = random_graph_with_min_degree(80, 20, rng)
+        origin = g.vertices[0]
+        members = g.closed_neighborhood_of_set(g.closed_neighbor_set(origin))
+        assert is_dense_set(g, origin, members, alpha=g.min_degree / 8, beta=2)

@@ -1,0 +1,99 @@
+"""Tests for the doubling estimation of δ (Section 4.1 / Corollary 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import rendezvous
+from repro.core.constants import Constants
+from repro.core.dense import is_dense_set
+from repro.core.estimation import estimate_and_construct
+from repro.graphs.generators import (
+    random_graph_with_min_degree,
+    star_graph,
+)
+from repro.runtime.agent import AgentProgram
+from repro.runtime.single import run_single_agent
+
+
+class EstimationHarness(AgentProgram):
+    def __init__(self, constants):
+        self._constants = constants
+        self.result = None
+
+    def run(self, ctx):
+        self.result = yield from estimate_and_construct(ctx, self._constants)
+
+
+def run_estimation(graph, start, constants, seed=0):
+    harness = EstimationHarness(constants)
+    run_single_agent(harness, graph, start, rounds=10**9, seed=seed,
+                     id_space=graph.id_space)
+    return harness.result
+
+
+class TestEstimateAndConstruct:
+    def test_completes_on_dense_graph(self, dense_graph_small, testing_constants):
+        g = dense_graph_small
+        result = run_estimation(g, g.vertices[0], testing_constants)
+        assert result.outcome.completed
+        assert 1 <= result.delta_estimate <= g.max_degree
+
+    def test_estimate_never_exceeds_start_half_degree(
+        self, dense_graph_small, testing_constants
+    ):
+        g = dense_graph_small
+        start = g.vertices[0]
+        result = run_estimation(g, start, testing_constants)
+        assert result.delta_estimate <= max(1, g.degree(start) // 2)
+        assert result.initial_estimate == max(1, g.degree(start) // 2)
+
+    def test_dense_condition_for_final_estimate(
+        self, dense_graph_small, testing_constants
+    ):
+        """Corollary 2: the output is (a, δ'/8, 2)-dense."""
+        g = dense_graph_small
+        result = run_estimation(g, g.vertices[0], testing_constants)
+        assert is_dense_set(
+            g, g.vertices[0], result.outcome.target_set,
+            testing_constants.alpha(result.delta_estimate), 2,
+        )
+
+    def test_restarts_on_skewed_graph(self, testing_constants):
+        """A star from a high-degree start forces halving restarts."""
+        g = star_graph(64, center=0)
+        result = run_estimation(g, 0, testing_constants)
+        assert result.outcome.completed
+        assert result.restarts >= 1
+        assert result.delta_estimate == 1
+
+    def test_restart_count_logarithmic(self, testing_constants):
+        g = star_graph(256, center=0)
+        result = run_estimation(g, 0, testing_constants)
+        # deg/2 = 127 halves to 1 in ~7 steps.
+        assert result.restarts <= 9
+
+
+class TestApiIntegration:
+    def test_estimate_flag(self, dense_graph_small, testing_constants):
+        result = rendezvous(
+            dense_graph_small, "theorem1", seed=0, delta="estimate",
+            constants=testing_constants,
+        )
+        assert result.met
+
+    def test_estimate_unsupported_for_theorem2(self, dense_graph_small):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            rendezvous(dense_graph_small, "theorem2", delta="estimate")
+
+    def test_explicit_delta_value(self, dense_graph_small, testing_constants):
+        result = rendezvous(
+            dense_graph_small, "theorem1", seed=1,
+            delta=dense_graph_small.min_degree // 2,
+            constants=testing_constants,
+        )
+        assert result.met

@@ -1,0 +1,102 @@
+"""Tests for the k-agent gathering extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.gathering import GatheringLeader, gathering_programs
+from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+from repro.runtime.multi import MultiAgentScheduler
+
+
+def run_gathering(graph, k, seed=0, constants=None, max_rounds=4_000_000):
+    leader_home = graph.vertices[0]
+    follower_homes = list(graph.neighbors(leader_home))[: k - 1]
+    assert len(follower_homes) == k - 1
+    leader, followers = gathering_programs(
+        k - 1, delta=graph.min_degree, constants=constants
+    )
+    scheduler = MultiAgentScheduler(
+        graph,
+        [leader, *followers],
+        [leader_home, *follower_homes],
+        names=["leader"] + [f"f{i}" for i in range(k - 1)],
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    return scheduler.run(), leader_home
+
+
+class TestGathering:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_gathers_at_leader_home(self, dense_graph_small, testing_constants, k):
+        result, leader_home = run_gathering(
+            dense_graph_small, k, seed=k, constants=testing_constants
+        )
+        assert result.completed
+        # Incidental full co-location can end the run early anywhere;
+        # when the protocol ran to completion the gathering point is
+        # the leader's home.
+        if "all_rallied_round" in result.reports["leader"]:
+            assert result.meeting_vertex == leader_home
+
+    def test_gathers_on_complete_graph(self, testing_constants):
+        g = complete_graph(40)
+        result, home = run_gathering(g, 6, seed=1, constants=testing_constants)
+        assert result.completed
+        if "all_rallied_round" in result.reports["leader"]:
+            assert result.meeting_vertex == home
+
+    def test_all_followers_rallied(self, dense_graph_small, testing_constants):
+        for seed in range(10):
+            result, _ = run_gathering(dense_graph_small, 4, seed=seed,
+                                      constants=testing_constants)
+            assert result.completed
+            if "all_rallied_round" not in result.reports["leader"]:
+                continue  # incidental early co-location, try next seed
+            discovered = result.reports["leader"]["discovered"]
+            assert len(discovered) == 3
+            assert len({d["home"] for d in discovered}) == 3
+            return
+        pytest.skip("all seeds gathered incidentally before the rally phase")
+
+    def test_followers_report_rally_round(self, dense_graph_small, testing_constants):
+        for seed in range(10):
+            result, _ = run_gathering(dense_graph_small, 3, seed=seed,
+                                      constants=testing_constants)
+            assert result.completed
+            if "all_rallied_round" not in result.reports["leader"]:
+                continue
+            for name in ("f0", "f1"):
+                assert "rally_round" in result.reports[name]
+            return
+        pytest.skip("all seeds gathered incidentally before the rally phase")
+
+    def test_deterministic_given_seed(self, dense_graph_small, testing_constants):
+        r1, _ = run_gathering(dense_graph_small, 3, seed=7,
+                              constants=testing_constants)
+        r2, _ = run_gathering(dense_graph_small, 3, seed=7,
+                              constants=testing_constants)
+        assert r1.rounds == r2.rounds
+
+    def test_more_followers_cost_more_probes(self, testing_constants):
+        g = random_graph_with_min_degree(200, 50, random.Random(9))
+        for seed in range(10):
+            result_small, _ = run_gathering(g, 2, seed=seed,
+                                            constants=testing_constants)
+            result_large, _ = run_gathering(g, 8, seed=seed,
+                                            constants=testing_constants)
+            assert result_small.completed and result_large.completed
+            small_report = result_small.reports["leader"]
+            large_report = result_large.reports["leader"]
+            if "all_rallied_round" not in large_report:
+                continue  # incidental early gathering, try next seed
+            assert large_report["probes"] >= small_report.get("probes", 0)
+            return
+        pytest.skip("all seeds gathered incidentally before the rally phase")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatheringLeader(0)

@@ -1,0 +1,128 @@
+"""Tests for the whiteboard-free algorithm (Algorithm 4 / Theorem 2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.api import rendezvous
+from repro.core.constants import Constants
+from repro.core.no_whiteboard import NoWhiteboardA, NoWhiteboardB, theorem2_programs
+from repro.errors import SynchronizationError
+from repro.experiments.workloads import run_theorem2_oracle, two_hop_oracle
+from repro.graphs.generators import random_graph_with_min_degree
+from repro.runtime.scheduler import SyncScheduler
+
+
+@pytest.fixture(scope="module")
+def t2_graph():
+    return random_graph_with_min_degree(220, 60, random.Random("t2-tests"))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_meets(self, t2_graph, testing_constants, seed):
+        result = rendezvous(t2_graph, "theorem2", seed=seed,
+                            constants=testing_constants)
+        assert result.met
+
+    def test_no_whiteboard_accesses(self, t2_graph, testing_constants):
+        result = rendezvous(t2_graph, "theorem2", seed=0,
+                            constants=testing_constants)
+        assert result.met
+        assert result.whiteboard_reads == 0
+        assert result.whiteboard_writes == 0
+
+    def test_shared_constants_required(self):
+        with pytest.raises(ValueError):
+            NoWhiteboardA(0)
+        with pytest.raises(ValueError):
+            NoWhiteboardB(0)
+
+    def test_theorem2_programs_share_preset(self, testing_constants):
+        a, b = theorem2_programs(10, testing_constants)
+        assert a._constants is b._constants  # noqa: SLF001 - deliberate check
+
+
+class TestBarrier:
+    def test_sync_error_when_barrier_too_small(self, t2_graph):
+        """A barrier shorter than Construct raises SynchronizationError.
+
+        Run agent a alone: in two-agent runs the incidental collision
+        with the waiting agent b usually ends the execution first.
+        """
+        from repro.runtime.single import run_single_agent
+
+        constants = Constants.testing().with_overrides(sync_multiplier=1e-9)
+        prog_a = NoWhiteboardA(t2_graph.min_degree, constants)
+        with pytest.raises(SynchronizationError):
+            run_single_agent(
+                prog_a, t2_graph, t2_graph.vertices[0], rounds=10**9,
+                id_space=t2_graph.id_space,
+            )
+
+    def test_default_barrier_accommodates_construct(self, t2_graph, testing_constants):
+        for seed in range(3):
+            result = rendezvous(t2_graph, "theorem2", seed=seed,
+                                constants=testing_constants)
+            assert result.met
+
+
+def _edge(graph, seed):
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    return edges[rng.randrange(len(edges))]
+
+
+class TestOracleMode:
+    def test_oracle_skips_construct(self, t2_graph, testing_constants):
+        constants = testing_constants.with_overrides(sync_multiplier=1e-9)
+        start_a, start_b = _edge(t2_graph, 0)
+        result = run_theorem2_oracle(t2_graph, start_a, start_b, 0, constants)
+        assert result.met
+        assert result.reports["a"]["construct_rounds"] == 0
+
+    def test_oracle_meets_across_seeds(self, t2_graph, testing_constants):
+        constants = testing_constants.with_overrides(sync_multiplier=1e-9)
+        start_a, start_b = _edge(t2_graph, 1)
+        for seed in range(5):
+            result = run_theorem2_oracle(t2_graph, start_a, start_b, seed, constants)
+            assert result.met, f"seed {seed}"
+
+    def test_oracle_requires_route_info(self, t2_graph, testing_constants):
+        prog_a = NoWhiteboardA(
+            t2_graph.min_degree, testing_constants,
+            oracle_target_set=[t2_graph.vertices[0], t2_graph.vertices[-1]],
+        )
+        prog_b = NoWhiteboardB(t2_graph.min_degree, testing_constants)
+        start_a = t2_graph.vertices[0]
+        start_b = t2_graph.neighbors(start_a)[0]
+        scheduler = SyncScheduler(
+            t2_graph, prog_a, prog_b, start_a, start_b,
+            whiteboards=False, max_rounds=1000,
+        )
+        if t2_graph.vertices[-1] not in t2_graph.neighbor_set(start_a):
+            with pytest.raises(ValueError):
+                scheduler.run()
+
+
+class TestScheduleStats:
+    def test_phase_geometry_reported(self, t2_graph, testing_constants):
+        constants = testing_constants.with_overrides(sync_multiplier=1e-9)
+        start_a, start_b = _edge(t2_graph, 2)
+        result = run_theorem2_oracle(t2_graph, start_a, start_b, 3, constants)
+        report = result.reports["a"]
+        beta = constants.block_width(t2_graph.min_degree)
+        assert report["num_phases"] == math.ceil(t2_graph.id_space / beta)
+        assert report["phase_length"] == report["dwell"] ** 2
+        assert report["slot_overflows"] == 0
+
+    def test_sparseness_holds_at_test_sizes(self, t2_graph, testing_constants):
+        constants = testing_constants.with_overrides(sync_multiplier=1e-9)
+        start_a, start_b = _edge(t2_graph, 3)
+        result = run_theorem2_oracle(t2_graph, start_a, start_b, 4, constants)
+        dwell = result.reports["a"]["dwell"]
+        # b's sweep cost for its densest block fits inside one repetition.
+        assert 4 * result.reports["b"]["max_block_size"] <= dwell

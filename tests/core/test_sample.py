@@ -1,0 +1,122 @@
+"""Tests for Sample(Γ, α) — Algorithm 2 / Lemma 2."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constants import Constants
+from repro.core.dense import heavy_set, light_set
+from repro.core.knowledge import LocalMap
+from repro.core.sample import route_back, sample_run
+from repro.graphs.generators import random_graph_with_min_degree, star_graph
+from repro.runtime.agent import AgentProgram
+from repro.runtime.single import run_single_agent
+
+
+class SampleHarness(AgentProgram):
+    """Runs one Sample call over Γ = N⁺(start)."""
+
+    def __init__(self, alpha, constants, degree_floor=None, gamma=None):
+        self._alpha = alpha
+        self._constants = constants
+        self._degree_floor = degree_floor
+        self._gamma = gamma
+        self.outcome = None
+        self.home_closed = None
+        self.end_vertex = None
+
+    def run(self, ctx):
+        self.home_closed = frozenset(ctx.view.closed_neighbors)
+        lm = LocalMap(ctx.start_vertex)
+        for u in ctx.view.neighbors:
+            lm.add_direct(u)
+        gamma = self._gamma if self._gamma is not None else sorted(self.home_closed)
+        self.outcome = yield from sample_run(
+            ctx, gamma, self._alpha, lm, self.home_closed, self._constants,
+            degree_floor=self._degree_floor,
+        )
+        self.end_vertex = ctx.view.vertex
+
+
+def run_harness(graph, start, harness, seed=0):
+    run_single_agent(harness, graph, start, rounds=10**9, seed=seed,
+                     id_space=graph.id_space)
+    return harness
+
+
+class TestRouteBack:
+    def test_one_hop(self):
+        assert route_back((3,), 0) == [0]
+
+    def test_two_hop(self):
+        assert route_back((3, 7), 0) == [3, 0]
+
+    def test_empty(self):
+        assert route_back((), 0) == [0]
+
+
+class TestSampleRun:
+    def test_empty_gamma_returns_empty_heavy(self):
+        g = star_graph(6, center=0)
+        harness = run_harness(
+            g, 0, SampleHarness(2.0, Constants.testing(), gamma=[])
+        )
+        assert harness.outcome.heavy == frozenset()
+        assert harness.outcome.visits == 0
+
+    def test_agent_returns_home(self):
+        g = random_graph_with_min_degree(60, 12, random.Random(0))
+        harness = run_harness(g, g.vertices[0], SampleHarness(2.0, Constants.testing()))
+        assert harness.end_vertex == g.vertices[0]
+
+    def test_classification_matches_lemma2(self):
+        """Declared-heavy are α-heavy; undeclared are 4α-light (Cor. 1)."""
+        constants = Constants.testing()
+        rng = random.Random(7)
+        g = random_graph_with_min_degree(150, 35, rng)
+        start = g.vertices[0]
+        alpha = constants.alpha(g.min_degree)
+        for seed in range(3):
+            harness = run_harness(g, start, SampleHarness(alpha, constants), seed)
+            gamma = harness.home_closed
+            declared = harness.outcome.heavy
+            truly_light = light_set(g, gamma, alpha, universe=gamma)
+            heavy4 = heavy_set(g, gamma, 4 * alpha, universe=gamma)
+            assert not declared & truly_light, "alpha-light vertex declared heavy"
+            assert heavy4 <= declared, "4alpha-heavy vertex declared light"
+
+    def test_degree_floor_trips_guard(self):
+        # A star: every leaf has degree 1, so a floor of 2 must trip.
+        g = star_graph(30, center=0)
+        harness = run_harness(
+            g, 0, SampleHarness(1.0, Constants.testing(), degree_floor=2)
+        )
+        assert harness.outcome.guard_tripped
+        assert harness.outcome.heavy is None
+        assert harness.end_vertex == 0  # walked home before returning
+
+    def test_observed_min_degree(self):
+        g = star_graph(10, center=0)
+        harness = run_harness(g, 0, SampleHarness(1.0, Constants.testing()))
+        assert harness.outcome.observed_min_degree == 1
+
+    def test_visit_count_matches_constants(self):
+        constants = Constants.testing()
+        g = random_graph_with_min_degree(50, 10, random.Random(1))
+        start = g.vertices[0]
+        harness = run_harness(g, start, SampleHarness(5.0, constants))
+        expected = constants.sample_count(
+            len(harness.home_closed), 5.0, g.id_space
+        )
+        assert harness.outcome.visits == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_deterministic_given_seed(self, seed):
+        g = random_graph_with_min_degree(40, 8, random.Random(5))
+        start = g.vertices[0]
+        first = run_harness(g, start, SampleHarness(1.0, Constants.testing()), seed)
+        second = run_harness(g, start, SampleHarness(1.0, Constants.testing()), seed)
+        assert first.outcome.heavy == second.outcome.heavy

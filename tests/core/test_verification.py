@@ -1,0 +1,80 @@
+"""Tests for the post-hoc execution verifier."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.api import rendezvous
+from repro.core.verification import verify_result
+from repro.errors import SchedulerError
+from repro.graphs.generators import complete_graph, path_graph
+
+
+@pytest.fixture
+def ok_result():
+    g = complete_graph(20)
+    result = rendezvous(g, "trivial", seed=0, start_a=0, start_b=1,
+                        record_trace=True)
+    return g, result
+
+
+class TestVerifyResult:
+    def test_accepts_real_executions(self, ok_result):
+        g, result = ok_result
+        verify_result(g, result, start_a=0, start_b=1)
+
+    def test_accepts_failed_executions(self):
+        g = path_graph(6)
+        result = rendezvous(g, "random-walk", seed=0, start_a=0, start_b=1,
+                            max_rounds=1)
+        if not result.met:
+            verify_result(g, result)
+
+    def test_rejects_met_without_vertex(self, ok_result):
+        g, result = ok_result
+        broken = dataclasses.replace(result, meeting_vertex=None)
+        with pytest.raises(SchedulerError):
+            verify_result(g, broken)
+
+    def test_rejects_met_with_failure_reason(self, ok_result):
+        g, result = ok_result
+        broken = dataclasses.replace(result, failure_reason="??")
+        with pytest.raises(SchedulerError):
+            verify_result(g, broken)
+
+    def test_rejects_failed_with_vertex(self, ok_result):
+        g, result = ok_result
+        broken = dataclasses.replace(
+            result, met=False, failure_reason="x", meeting_vertex=3
+        )
+        with pytest.raises(SchedulerError):
+            verify_result(g, broken)
+
+    def test_rejects_excess_moves(self, ok_result):
+        g, result = ok_result
+        broken = dataclasses.replace(
+            result, moves={"a": result.rounds + 5, "b": 0}
+        )
+        with pytest.raises(SchedulerError):
+            verify_result(g, broken)
+
+    def test_rejects_teleporting_trace(self, ok_result):
+        g, result = ok_result
+        # path_graph trace with a jump 0 -> 3 (not an edge).
+        sparse = path_graph(5)
+        broken = dataclasses.replace(
+            result, trace=((0, 0, 4), (1, 3, 4)),
+        )
+        with pytest.raises(SchedulerError):
+            verify_result(sparse, broken)
+
+    def test_rejects_sub_distance_meeting(self):
+        g = path_graph(9)
+        real = rendezvous(g, "random-walk", seed=1, start_a=0, start_b=1,
+                          max_rounds=100_000)
+        if real.met:
+            broken = dataclasses.replace(real, rounds=0)
+            with pytest.raises(SchedulerError):
+                verify_result(g, broken, start_a=0, start_b=8)

@@ -1,0 +1,39 @@
+"""Tests for the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.workloads import EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_quick_experiment(self, capsys, tmp_path):
+        assert main(["run", "SAMPLE-ACC", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SAMPLE-ACC" in out
+        assert list(tmp_path.glob("sample-acc-*.md"))
+
+    def test_describe(self, capsys):
+        assert main(["describe", "LB-DET", "T1-SCALING"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 6" in out
+        assert "Theorem 1" in out
+
+    def test_describe_unknown(self, capsys):
+        assert main(["describe", "NOPE"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,72 @@
+"""Tests for raw-record persistence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.harness import repeat_trials
+from repro.experiments.results_io import (
+    read_records_jsonl,
+    write_records_csv,
+    write_records_jsonl,
+)
+from repro.graphs.generators import complete_graph
+
+
+def sample_records():
+    return repeat_trials(complete_graph(20), "trivial", range(3))
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        records = sample_records()
+        path = write_records_jsonl(records, tmp_path / "out.jsonl")
+        loaded = read_records_jsonl(path)
+        assert len(loaded) == 3
+        for original, restored in zip(records, loaded):
+            assert restored.algorithm == original.algorithm
+            assert restored.rounds == original.rounds
+            assert restored.seed == original.seed
+            assert restored.met == original.met
+
+    def test_reports_survive(self, tmp_path):
+        records = sample_records()
+        path = write_records_jsonl(records, tmp_path / "out.jsonl")
+        loaded = read_records_jsonl(path)
+        assert loaded[0].reports["a"]["probes"] == records[0].reports["a"]["probes"]
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = write_records_jsonl(sample_records(), tmp_path / "out.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = write_records_jsonl(sample_records(), tmp_path / "out.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_records_jsonl(path)) == 3
+
+    def test_nonjson_report_values_stringified(self, tmp_path):
+        from repro.experiments.harness import TrialRecord
+
+        record = TrialRecord(
+            algorithm="x", graph_name="g", n=2, id_space=2, delta=1,
+            max_degree=1, seed=0, met=True, rounds=1, total_moves=0,
+            whiteboard_writes=0,
+            reports={"a": {"odd": frozenset({3, 1}), "obj": object()}},
+        )
+        path = write_records_jsonl([record], tmp_path / "odd.jsonl")
+        loaded = read_records_jsonl(path)
+        assert loaded[0].reports["a"]["odd"] == [1, 3]
+        assert isinstance(loaded[0].reports["a"]["obj"], str)
+
+
+class TestCsv:
+    def test_header_and_rows(self, tmp_path):
+        path = write_records_csv(sample_records(), tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("algorithm,")
+        assert len(lines) == 4
+
+    def test_directories_created(self, tmp_path):
+        path = write_records_csv(sample_records(), tmp_path / "a" / "b" / "o.csv")
+        assert path.exists()

@@ -1,0 +1,84 @@
+"""Smoke + contract tests for the experiment registry.
+
+Full experiments run in the benchmark suite; here we verify the
+registry contract and a few cheap invariants (oracle helpers and the
+registry's claim coverage).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dense import is_dense_set
+from repro.experiments.workloads import (
+    EXPERIMENTS,
+    run_theorem2_oracle,
+    two_hop_oracle,
+)
+from repro.graphs.generators import random_graph_with_min_degree
+
+
+class TestRegistryContract:
+    def test_all_paper_claims_covered(self):
+        keys = set(EXPERIMENTS)
+        expected = {
+            "T1-SCALING", "T1-DELTA", "T2-PHASES", "T2-FULL", "CONSTRUCT",
+            "SAMPLE-ACC", "MAIN-RDV", "ESTIMATION", "LB-MINDEG", "LB-KT0",
+            "LB-DIST2", "LB-DET", "COMPLETE-AW", "SHOOTOUT",
+            "ORACLES", "EXT-GATHER", "EXT-DIST2",
+            "ABL-CONSTANTS", "ABL-THRESHOLD", "ABL-DWELL",
+        }
+        assert keys == expected
+
+    def test_specs_have_claims_and_runners(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.claim
+            assert spec.title
+            assert callable(spec.runner)
+
+    def test_every_theorem_has_an_experiment(self):
+        claims = " ".join(spec.claim for spec in EXPERIMENTS.values())
+        for reference in ("Theorem 1", "Theorem 2", "Theorem 3", "Theorem 4",
+                          "Theorem 5", "Theorem 6", "Lemma 1", "Lemma 2",
+                          "Corollary 2"):
+            assert reference in claims, f"no experiment covers {reference}"
+
+
+class TestTwoHopOracle:
+    def test_oracle_set_is_dense(self):
+        g = random_graph_with_min_degree(100, 25, random.Random(0))
+        start = g.vertices[0]
+        members, via = two_hop_oracle(g, start)
+        assert is_dense_set(g, start, members, g.min_degree / 8, 2)
+
+    def test_via_routes_are_valid(self):
+        g = random_graph_with_min_degree(100, 25, random.Random(1))
+        start = g.vertices[0]
+        members, via = two_hop_oracle(g, start)
+        closed = g.closed_neighbor_set(start)
+        for vertex in members:
+            if vertex in closed:
+                assert vertex not in via
+            else:
+                assert g.has_edge(start, via[vertex])
+                assert g.has_edge(via[vertex], vertex)
+
+    def test_avoid_via_respected_when_possible(self):
+        g = random_graph_with_min_degree(100, 25, random.Random(2))
+        start = g.vertices[0]
+        avoid = frozenset(sorted(g.neighbor_set(start))[:5])
+        _, via = two_hop_oracle(g, start, avoid_via=avoid)
+        used = set(via.values())
+        # Avoided intermediates appear only as a last resort; with
+        # delta = 25 alternatives almost always exist.
+        assert len(used & avoid) <= 1
+
+
+class TestOracleTheorem2:
+    def test_runs_and_meets(self, testing_constants):
+        g = random_graph_with_min_degree(150, 40, random.Random(3))
+        constants = testing_constants.with_overrides(sync_multiplier=1e-9)
+        edges = list(g.edges())
+        start_a, start_b = edges[0]
+        result = run_theorem2_oracle(g, start_a, start_b, 0, constants)
+        assert result.met

@@ -1,0 +1,100 @@
+"""Tests for the distance-two trail-mark extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.extensions.multihop import multihop_programs
+from repro.graphs.generators import random_graph_with_min_degree
+from repro.runtime.scheduler import SyncScheduler
+
+
+def distance_pair(graph, distance):
+    start = graph.vertices[0]
+    partner = next(
+        (v for v in graph.vertices if graph.distance(start, v) == distance), None
+    )
+    if partner is None:
+        pytest.skip(f"no vertex at distance {distance}")
+    return start, partner
+
+
+def run_multihop(graph, start_a, start_b, seed, constants):
+    prog_a, prog_b = multihop_programs(graph.min_degree, constants)
+    return SyncScheduler(
+        graph, prog_a, prog_b, start_a, start_b, seed=seed,
+        max_rounds=4_000_000,
+    ).run()
+
+
+class TestDistanceTwo:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_meets_at_distance_two(self, dense_graph_small, testing_constants, seed):
+        start_a, start_b = distance_pair(dense_graph_small, 2)
+        result = run_multihop(
+            dense_graph_small, start_a, start_b, seed, testing_constants
+        )
+        assert result.met
+
+    def test_subsumes_distance_one(self, dense_graph_small, testing_constants):
+        start_a = dense_graph_small.vertices[0]
+        start_b = dense_graph_small.neighbors(start_a)[0]
+        result = run_multihop(
+            dense_graph_small, start_a, start_b, 0, testing_constants
+        )
+        assert result.met
+
+    def test_trail_marks_are_walkable(self, dense_graph_small, testing_constants):
+        """Every trail left on a whiteboard is a valid path to v0_b."""
+        start_a, start_b = distance_pair(dense_graph_small, 2)
+        prog_a, prog_b = multihop_programs(
+            dense_graph_small.min_degree, testing_constants
+        )
+        scheduler = SyncScheduler(
+            dense_graph_small, prog_a, prog_b, start_a, start_b, seed=1,
+            max_rounds=4_000_000,
+        )
+        scheduler.run()
+        g = dense_graph_small
+        for vertex in scheduler.whiteboards.written_vertices():
+            value = scheduler.whiteboards.peek(vertex)
+            if not (isinstance(value, tuple) and value and value[0] == "trail"):
+                continue
+            trail = value[1]
+            here = vertex
+            for hop in trail:
+                assert g.has_edge(here, hop) or here == hop
+                here = hop
+            assert here == start_b
+
+    def test_reports(self, dense_graph_small, testing_constants):
+        start_a, start_b = distance_pair(dense_graph_small, 2)
+        result = run_multihop(
+            dense_graph_small, start_a, start_b, 2, testing_constants
+        )
+        assert result.met
+        assert result.reports["a"].get("probes", 0) >= 0
+        # b's report carries its dense-set size unless the agents
+        # collided while b was still constructing.
+        report_b = result.reports["b"]
+        assert "target_set_size" in report_b or report_b.get("marks", 0) == 0
+
+    def test_deterministic_given_seed(self, dense_graph_small, testing_constants):
+        start_a, start_b = distance_pair(dense_graph_small, 2)
+        r1 = run_multihop(dense_graph_small, start_a, start_b, 5, testing_constants)
+        r2 = run_multihop(dense_graph_small, start_a, start_b, 5, testing_constants)
+        assert r1.rounds == r2.rounds
+
+
+class TestEstimationPath:
+    def test_unknown_delta_uses_estimation(self, testing_constants):
+        g = random_graph_with_min_degree(150, 35, random.Random(4))
+        prog_a, prog_b = multihop_programs(None, testing_constants)
+        start_a = g.vertices[0]
+        start_b = next(v for v in g.vertices if g.distance(start_a, v) == 2)
+        result = SyncScheduler(
+            g, prog_a, prog_b, start_a, start_b, seed=0, max_rounds=4_000_000
+        ).run()
+        assert result.met

@@ -1,0 +1,89 @@
+"""Tests for the structural graph statistics."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dense import is_dense_set
+from repro.graphs.analysis import (
+    common_neighborhood_profile,
+    degree_profile,
+    heaviness_profile,
+    predict_construct_regime,
+)
+from repro.graphs.families import complete_bipartite_graph
+from repro.graphs.generators import (
+    complete_graph,
+    random_geometric_dense_graph,
+    random_graph_with_min_degree,
+    star_graph,
+)
+
+
+class TestDegreeProfile:
+    def test_complete(self):
+        profile = degree_profile(complete_graph(10))
+        assert profile.minimum == profile.maximum == 9
+        assert profile.mean == 9
+        assert profile.stdev == 0
+        assert profile.skew_ratio == 1.0
+
+    def test_star(self):
+        profile = degree_profile(star_graph(11, center=0))
+        assert profile.minimum == 1
+        assert profile.maximum == 10
+        assert profile.skew_ratio == 10.0
+        assert profile.median == 1
+
+
+class TestCommonNeighborhoodProfile:
+    def test_complete_graph_full_overlap(self):
+        profile = common_neighborhood_profile(complete_graph(12))
+        assert profile.mean_common == 12  # N+(u) == N+(v) == V
+        assert profile.fraction_alpha_heavy == 1.0
+
+    def test_bipartite_minimal_overlap(self):
+        profile = common_neighborhood_profile(complete_bipartite_graph(10, 10))
+        # Adjacent vertices share no open neighbors; closed overlap = 2.
+        assert profile.mean_common == 2.0
+
+    def test_sampling_deterministic_without_rng(self):
+        g = random_graph_with_min_degree(80, 20, random.Random(0))
+        assert common_neighborhood_profile(g) == common_neighborhood_profile(g)
+
+    def test_sampling_with_rng(self):
+        g = random_graph_with_min_degree(120, 20, random.Random(0))
+        profile = common_neighborhood_profile(g, random.Random(1), samples=50)
+        assert profile.samples == 50
+
+
+class TestRegimePrediction:
+    def test_geometric_is_optimistic(self):
+        g = random_geometric_dense_graph(200, 50, random.Random(2))
+        assert predict_construct_regime(g) == "optimistic"
+
+    def test_bipartite_is_strict(self):
+        g = complete_bipartite_graph(30, 30)
+        assert predict_construct_regime(g) == "strict"
+
+    def test_er_midrange(self):
+        """ER at delta = n^0.75 sits at the regime boundary (see
+        EXPERIMENTS.md, CONSTRUCT section)."""
+        g = random_graph_with_min_degree(400, 89, random.Random(3))
+        assert predict_construct_regime(g) in ("strict", "mixed", "optimistic")
+
+
+class TestHeavinessProfile:
+    def test_valid_dense_set_has_no_below_alpha(self):
+        g = complete_graph(20)
+        alpha = g.min_degree / 8
+        assert is_dense_set(g, 0, g.vertices, alpha, 1)
+        profile = heaviness_profile(g, 0, g.vertices, alpha)
+        assert profile["fraction_below_alpha"] == 0.0
+        assert profile["min"] == 20
+
+    def test_detects_shortfall(self):
+        g = star_graph(10, center=0)
+        profile = heaviness_profile(g, 0, [0], alpha=2.0)
+        # Every leaf has |T ∩ N+| = 1 < 2.
+        assert profile["fraction_below_alpha"] > 0.8

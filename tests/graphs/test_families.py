@@ -1,0 +1,137 @@
+"""Tests for the structured graph families."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.graphs.families import (
+    complete_bipartite_graph,
+    hypercube_graph,
+    kneser_like_graph,
+    margulis_expander,
+    stochastic_block_graph,
+    torus_grid_graph,
+)
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube_graph(5)
+        assert g.n == 32
+        assert g.min_degree == g.max_degree == 5
+        assert g.edge_count == 32 * 5 // 2
+        assert g.is_connected()
+
+    def test_antipodal_distance(self):
+        g = hypercube_graph(6)
+        assert g.distance(0, 63) == 6
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            hypercube_graph(0)
+        with pytest.raises(GenerationError):
+            hypercube_graph(21)
+
+
+class TestTorus:
+    def test_four_regular(self):
+        g = torus_grid_graph(5, 7)
+        assert g.n == 35
+        assert g.min_degree == g.max_degree == 4
+        assert g.is_connected()
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            torus_grid_graph(2, 5)
+
+
+class TestMargulis:
+    def test_constant_degree(self):
+        g = margulis_expander(8)
+        assert g.n == 64
+        assert g.max_degree <= 8
+        assert g.min_degree >= 3
+        assert g.is_connected()
+
+    def test_expansion_sanity(self):
+        """Expanders have logarithmic-ish diameter (loose check)."""
+        g = margulis_expander(12)
+        # Sample a few distances; none should be near n.
+        for target in (17, 77, 140):
+            assert 0 < g.distance(0, target) <= 4 * math.ceil(math.log2(g.n))
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            margulis_expander(2)
+
+
+class TestStochasticBlock:
+    def test_min_degree_repair_stays_in_community(self):
+        rng = random.Random(0)
+        g = stochastic_block_graph(60, rng, p_in=0.3, p_out=0.0, min_degree=15)
+        assert g.min_degree >= 15
+        # p_out = 0: the two communities stay disconnected.
+        assert not g.is_connected()
+
+    def test_cross_edges_exist_when_p_out_positive(self):
+        rng = random.Random(1)
+        g = stochastic_block_graph(50, rng, p_in=0.5, p_out=0.05, min_degree=10)
+        cross = [
+            (u, v) for u, v in g.edges() if (u < 50) != (v < 50)
+        ]
+        assert cross
+        assert g.is_connected()
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(GenerationError):
+            stochastic_block_graph(2, rng)
+        with pytest.raises(GenerationError):
+            stochastic_block_graph(10, rng, p_in=0.1, p_out=0.5)
+        with pytest.raises(GenerationError):
+            stochastic_block_graph(10, rng, p_in=0.2, p_out=0.0, min_degree=10)
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        g = complete_bipartite_graph(6, 10)
+        assert g.n == 16
+        assert g.min_degree == 6
+        assert g.max_degree == 10
+        assert g.edge_count == 60
+
+    def test_adjacent_neighborhoods_disjoint(self):
+        """The Construct-adversarial property this family exists for."""
+        g = complete_bipartite_graph(8, 8)
+        u, v = 0, 8  # one vertex per side: adjacent
+        assert g.has_edge(u, v)
+        common = g.neighbor_set(u) & g.neighbor_set(v)
+        assert not common
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            complete_bipartite_graph(0, 5)
+
+
+class TestKneser:
+    def test_petersen(self):
+        """Kneser(5, 2) is the Petersen graph: 10 vertices, 3-regular."""
+        g = kneser_like_graph(5, 2)
+        assert g.n == 10
+        assert g.min_degree == g.max_degree == 3
+        assert g.edge_count == 15
+
+    def test_overlap_parameter_densifies(self):
+        strict = kneser_like_graph(7, 3, max_overlap=0)
+        loose = kneser_like_graph(7, 3, max_overlap=1)
+        assert loose.edge_count > strict.edge_count
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            kneser_like_graph(3, 2)
+        with pytest.raises(GenerationError):
+            kneser_like_graph(40, 10)

@@ -1,0 +1,181 @@
+"""Unit + property tests for the graph generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GenerationError
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    dilate_id_space,
+    path_graph,
+    powerlaw_graph_with_floor,
+    random_geometric_dense_graph,
+    random_graph_with_min_degree,
+    random_regular_graph,
+    star_graph,
+)
+
+
+class TestFixedShapes:
+    def test_complete(self):
+        g = complete_graph(10)
+        assert g.n == 10
+        assert g.min_degree == g.max_degree == 9
+        assert g.edge_count == 45
+
+    def test_complete_too_small(self):
+        with pytest.raises(GenerationError):
+            complete_graph(1)
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.min_degree == g.max_degree == 2
+        assert g.edge_count == 8
+        assert g.is_connected()
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.min_degree == 1
+        assert g.max_degree == 2
+        assert g.edge_count == 5
+
+    def test_star(self):
+        g = star_graph(9, center=4)
+        assert g.degree(4) == 8
+        assert g.min_degree == 1
+        assert g.max_degree == 8
+
+    def test_star_bad_center(self):
+        with pytest.raises(GenerationError):
+            star_graph(5, center=5)
+
+    def test_barbell(self):
+        g = barbell_graph(6)
+        assert g.n == 12
+        assert g.edge_count == 2 * 15 + 1
+        assert g.is_connected()
+        assert g.min_degree == 5
+
+
+class TestRandomMinDegree:
+    def test_respects_min_degree(self):
+        g = random_graph_with_min_degree(200, 40, random.Random(0))
+        assert g.min_degree >= 40
+        assert g.n == 200
+
+    def test_determinism(self):
+        g1 = random_graph_with_min_degree(100, 20, random.Random(7))
+        g2 = random_graph_with_min_degree(100, 20, random.Random(7))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = random_graph_with_min_degree(100, 20, random.Random(1))
+        g2 = random_graph_with_min_degree(100, 20, random.Random(2))
+        assert sorted(g1.edges()) != sorted(g2.edges())
+
+    def test_full_density(self):
+        g = random_graph_with_min_degree(20, 19, random.Random(0))
+        assert g.edge_count == 190
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GenerationError):
+            random_graph_with_min_degree(10, 10, random.Random(0))
+        with pytest.raises(GenerationError):
+            random_graph_with_min_degree(10, 0, random.Random(0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=150),
+        frac=st.floats(min_value=0.05, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_min_degree_contract(self, n, frac, seed):
+        delta = max(1, int(n * frac))
+        g = random_graph_with_min_degree(n, delta, random.Random(seed))
+        assert g.n == n
+        assert g.min_degree >= delta
+
+
+class TestRegular:
+    @pytest.mark.parametrize("n,d", [(20, 4), (30, 7), (50, 12), (16, 15)])
+    def test_exact_regularity(self, n, d):
+        if n * d % 2:
+            pytest.skip("odd stub sum")
+        g = random_regular_graph(n, d, random.Random(3))
+        assert g.min_degree == g.max_degree == d
+
+    def test_odd_stub_sum_rejected(self):
+        with pytest.raises(GenerationError):
+            random_regular_graph(9, 3, random.Random(0))
+
+    def test_dense_fallback_is_regular(self):
+        # Dense enough that the pairing model usually needs the fallback.
+        g = random_regular_graph(24, 20, random.Random(5), max_attempts=1)
+        assert g.min_degree == g.max_degree == 20
+
+
+class TestGeometric:
+    def test_min_degree_contract(self):
+        g = random_geometric_dense_graph(150, 30, random.Random(0))
+        assert g.min_degree >= 30
+        assert g.n == 150
+
+    def test_determinism(self):
+        g1 = random_geometric_dense_graph(80, 15, random.Random(4))
+        g2 = random_geometric_dense_graph(80, 15, random.Random(4))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+
+class TestPowerlaw:
+    def test_min_degree_floor(self):
+        g = powerlaw_graph_with_floor(300, 12, random.Random(0))
+        assert g.min_degree >= 12
+
+    def test_skew(self):
+        g = powerlaw_graph_with_floor(400, 10, random.Random(1))
+        assert g.max_degree > 3 * g.min_degree
+
+    def test_cap_respected(self):
+        g = powerlaw_graph_with_floor(200, 8, random.Random(2), max_degree=25)
+        # The repair pass may push a few vertices slightly above the cap.
+        assert g.max_degree <= 40
+
+
+class TestDilation:
+    def test_id_space_grows(self):
+        g = complete_graph(20)
+        d = dilate_id_space(g, 10, random.Random(0))
+        assert d.id_space == 200
+        assert d.n == 20
+        assert d.min_degree == 19
+
+    def test_structure_preserved(self):
+        g = cycle_graph(12)
+        d = dilate_id_space(g, 5, random.Random(1))
+        assert d.edge_count == g.edge_count
+        assert d.min_degree == d.max_degree == 2
+
+    def test_factor_one_allowed(self):
+        g = cycle_graph(6)
+        d = dilate_id_space(g, 1, random.Random(0))
+        assert d.id_space == g.id_space
+
+    def test_bad_factor(self):
+        with pytest.raises(GenerationError):
+            dilate_id_space(cycle_graph(6), 0, random.Random(0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_property_degrees_preserved(self, seed):
+        rng = random.Random(seed)
+        g = random_graph_with_min_degree(60, 10, rng)
+        d = dilate_id_space(g, 7, rng)
+        assert sorted(len(d.neighbors(v)) for v in d.vertices) == sorted(
+            len(g.neighbors(v)) for v in g.vertices
+        )

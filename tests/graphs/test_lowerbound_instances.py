@@ -1,0 +1,121 @@
+"""Structural validation of the Section 5 hard instances (Figures 1-3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.graphs.lowerbound import (
+    cliques_sharing_vertex,
+    double_star,
+    double_star_with_cliques,
+    swapped_edge_cliques,
+)
+from repro.graphs.ports import PortModel
+
+
+class TestDoubleStar:
+    def test_structure(self):
+        g, j, k = double_star(64)
+        assert g.n == 64
+        assert g.has_edge(j, k)
+        assert g.degree(j) == 32  # 31 leaves + the center edge
+        assert g.degree(k) == 32
+        assert g.min_degree == 1
+        assert g.is_connected()
+
+    def test_id_halves(self):
+        g, j, k = double_star(32)
+        assert j >= 16 and k < 16
+        for leaf in g.neighbors(j):
+            if leaf != k:
+                assert leaf >= 16
+        for leaf in g.neighbors(k):
+            if leaf != j:
+                assert leaf < 16
+
+    def test_delta_is_o_sqrt_n(self):
+        g, _, _ = double_star(256)
+        assert g.min_degree < 256 ** 0.5
+
+    def test_invalid_n(self):
+        with pytest.raises(GenerationError):
+            double_star(30)
+
+
+class TestDoubleStarWithCliques:
+    def test_min_degree(self):
+        g, j, k = double_star_with_cliques(300, delta=5)
+        assert g.min_degree >= 5
+        assert g.has_edge(j, k)
+        assert g.is_connected()
+
+    def test_centers_have_high_degree(self):
+        g, j, k = double_star_with_cliques(400, delta=4)
+        assert g.degree(j) > 10
+        assert g.degree(k) > 10
+
+    def test_bad_delta(self):
+        with pytest.raises(GenerationError):
+            double_star_with_cliques(100, delta=0)
+
+
+class TestSwappedEdgeCliques:
+    def test_structure(self):
+        g, labeling, v_a, v_b = swapped_edge_cliques(40, random.Random(0))
+        assert g.n == 40
+        assert g.has_edge(v_a, v_b)
+        # The surgery preserves all degrees of the original cliques.
+        assert g.min_degree == g.max_degree == 19
+        assert g.is_connected()
+
+    def test_cross_edge_count(self):
+        g, _, v_a, v_b = swapped_edge_cliques(24, random.Random(1))
+        half = 12
+        cross = [
+            (u, v) for u, v in g.edges() if (u < half) != (v < half)
+        ]
+        assert len(cross) == 2  # (v_a, v_b) and (x1, x2)
+
+    def test_crafted_ports_hide_the_swap(self):
+        """The replacement edge reuses the removed edge's port slot."""
+        g, labeling, v_a, v_b = swapped_edge_cliques(30, random.Random(2))
+        # Find x1: the unique lower-half non-neighbor of v_a.
+        half = 15
+        x1 = next(u for u in range(half) if u != v_a and not g.has_edge(v_a, u))
+        original = sorted((set(g.neighbors(v_a)) - {v_b}) | {x1})
+        slot = original.index(x1)
+        assert labeling.resolve(v_a, slot) == v_b
+
+    def test_kt0_ports_shape(self):
+        g, labeling, v_a, _ = swapped_edge_cliques(20, random.Random(3))
+        ports = labeling.accessible_ports(v_a, PortModel.KT0)
+        assert ports == tuple(range(g.degree(v_a)))
+
+    def test_invalid_n(self):
+        with pytest.raises(GenerationError):
+            swapped_edge_cliques(5, random.Random(0))
+
+
+class TestCliquesSharingVertex:
+    def test_structure(self):
+        g, c_a, c_b = cliques_sharing_vertex(41)
+        assert g.n == 41
+        assert g.distance(c_a, c_b) == 2
+        assert g.max_degree == 40  # the shared vertex
+        assert g.min_degree == 20  # (n - 1) / 2
+        assert g.is_connected()
+
+    def test_shared_vertex_is_unique_cut(self):
+        g, c_a, c_b = cliques_sharing_vertex(21)
+        shared = 0
+        assert g.degree(shared) == 20
+        # Removing the shared vertex disconnects the two cliques: no
+        # direct edge between the agents' sides.
+        assert not g.has_edge(c_a, c_b)
+
+    def test_invalid_n(self):
+        with pytest.raises(GenerationError):
+            cliques_sharing_vertex(10)

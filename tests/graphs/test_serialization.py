@@ -1,0 +1,89 @@
+"""Tests for graph save/load round trips."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    dilate_id_space,
+    random_graph_with_min_degree,
+)
+from repro.graphs.graph import StaticGraph
+from repro.graphs.serialization import (
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+
+
+def graphs_equal(g1: StaticGraph, g2: StaticGraph) -> bool:
+    return (
+        g1.vertices == g2.vertices
+        and sorted(g1.edges()) == sorted(g2.edges())
+        and g1.id_space == g2.id_space
+        and g1.name == g2.name
+    )
+
+
+@pytest.fixture
+def sample_graph():
+    rng = random.Random("serialize")
+    return dilate_id_space(random_graph_with_min_degree(60, 12, rng), 3, rng)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, sample_graph):
+        path = save_edge_list(sample_graph, tmp_path / "g.edges")
+        assert graphs_equal(load_edge_list(path), sample_graph)
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = StaticGraph.from_edges([(0, 1)], vertices=[0, 1, 5], name="iso")
+        path = save_edge_list(g, tmp_path / "iso.edges")
+        loaded = load_edge_list(path)
+        assert loaded.vertices == (0, 1, 5)
+        assert loaded.degree(5) == 0
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.edges"
+        path.write_text("1 2\n3 4\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_header_preserves_metadata(self, tmp_path, sample_graph):
+        path = save_edge_list(sample_graph, tmp_path / "g.edges")
+        loaded = load_edge_list(path)
+        assert loaded.id_space == sample_graph.id_space
+        assert loaded.name == sample_graph.name
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path, sample_graph):
+        path = save_json(sample_graph, tmp_path / "g.json")
+        assert graphs_equal(load_json(path), sample_graph)
+
+    def test_round_trip_complete(self, tmp_path):
+        g = complete_graph(12)
+        path = save_json(g, tmp_path / "k.json")
+        loaded = load_json(path)
+        assert graphs_equal(loaded, g)
+        assert loaded.min_degree == 11
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(GraphError):
+            load_json(path)
+
+    def test_loaded_graph_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "repro-graph-v1", "name": "bad", "id_space": 3, '
+            '"adjacency": {"0": [1], "1": []}}'
+        )
+        with pytest.raises(GraphError):
+            load_json(path)

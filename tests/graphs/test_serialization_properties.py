@@ -1,0 +1,61 @@
+"""Hypothesis round-trip properties for graph serialization."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import (
+    dilate_id_space,
+    random_graph_with_min_degree,
+)
+from repro.graphs.serialization import (
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+
+
+def random_instance(seed: int):
+    rng = random.Random(f"ser-prop:{seed}")
+    n = 20 + seed % 40
+    delta = max(1, n // 6)
+    graph = random_graph_with_min_degree(n, delta, rng)
+    if seed % 3 == 0:
+        graph = dilate_id_space(graph, 2 + seed % 4, rng)
+    return graph
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_edge_list_round_trip(self, tmp_path_factory, seed):
+        graph = random_instance(seed)
+        path = tmp_path_factory.mktemp("edges") / "g.edges"
+        loaded = load_edge_list(save_edge_list(graph, path))
+        assert loaded.vertices == graph.vertices
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert loaded.id_space == graph.id_space
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_json_round_trip(self, tmp_path_factory, seed):
+        graph = random_instance(seed)
+        path = tmp_path_factory.mktemp("json") / "g.json"
+        loaded = load_json(save_json(graph, path))
+        assert loaded.vertices == graph.vertices
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert loaded.min_degree == graph.min_degree
+        assert loaded.max_degree == graph.max_degree
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_formats_agree(self, tmp_path_factory, seed):
+        graph = random_instance(seed)
+        base = tmp_path_factory.mktemp("both")
+        from_edges = load_edge_list(save_edge_list(graph, base / "g.edges"))
+        from_json = load_json(save_json(graph, base / "g.json"))
+        assert from_edges.vertices == from_json.vertices
+        assert sorted(from_edges.edges()) == sorted(from_json.edges())

@@ -1,0 +1,48 @@
+"""Tests for the instance validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import complete_graph, path_graph
+from repro.graphs.validation import (
+    check_instance,
+    require_neighborhood_instance,
+)
+
+
+class TestCheckInstance:
+    def test_report_fields(self):
+        g = complete_graph(10)
+        report = check_instance(g, 0, 1)
+        assert report.n == 10
+        assert report.min_degree == 9
+        assert report.start_distance == 1
+        assert report.connected
+        assert report.density == 1.0
+
+    def test_start_outside_graph(self):
+        with pytest.raises(GraphError):
+            check_instance(complete_graph(5), 0, 99)
+
+
+class TestRequireNeighborhoodInstance:
+    def test_accepts_adjacent_starts(self):
+        report = require_neighborhood_instance(complete_graph(6), 2, 3)
+        assert report.start_distance == 1
+
+    def test_rejects_same_start(self):
+        with pytest.raises(GraphError):
+            require_neighborhood_instance(complete_graph(6), 2, 2)
+
+    def test_rejects_distance_two(self):
+        g = path_graph(5)
+        with pytest.raises(GraphError):
+            require_neighborhood_instance(g, 0, 2)
+
+    def test_min_degree_bound(self):
+        g = path_graph(5)
+        with pytest.raises(GraphError):
+            require_neighborhood_instance(g, 0, 1, min_degree=2)
+        require_neighborhood_instance(g, 0, 1, min_degree=1)

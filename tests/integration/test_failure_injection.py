@@ -1,0 +1,132 @@
+"""Failure injection: corrupted whiteboards and hostile environments.
+
+The paper assumes a benign environment; production code shouldn't
+crash when that assumption breaks.  These tests scribble garbage on
+whiteboards mid-execution and assert the algorithms either still meet
+(the marks keep being rewritten) or fail *gracefully* — never with an
+unhandled exception.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constants import Constants
+from repro.core.main_rendezvous import MainRendezvousA, MarkerB
+from repro.core.whiteboard_algorithm import theorem1_programs
+from repro.experiments.workloads import two_hop_oracle
+from repro.extensions.multihop import multihop_programs
+from repro.graphs.generators import random_graph_with_min_degree
+from repro.runtime.scheduler import SyncScheduler
+from repro.runtime.whiteboard import WhiteboardStore
+
+
+class CorruptingWhiteboards(WhiteboardStore):
+    """A store that randomly corrupts a fraction of reads."""
+
+    def __init__(self, rng: random.Random, corruption_rate: float,
+                 garbage=("junk", 10**9, ("trail", "not-a-path"), -1)):
+        super().__init__()
+        self._rng = rng
+        self._rate = corruption_rate
+        self._garbage = garbage
+
+    def read(self, vertex):
+        value = super().read(vertex)
+        if self._rng.random() < self._rate:
+            return self._garbage[self._rng.randrange(len(self._garbage))]
+        return value
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_with_min_degree(180, 45, random.Random("inject"))
+
+
+def run_with_corruption(graph, prog_a, prog_b, start_a, start_b, seed, rate):
+    scheduler = SyncScheduler(
+        graph, prog_a, prog_b, start_a, start_b, seed=seed,
+        max_rounds=2_000_000,
+    )
+    scheduler.whiteboards = CorruptingWhiteboards(
+        random.Random(f"corrupt:{seed}"), rate
+    )
+    return scheduler.run()
+
+
+def adjacent_pair(graph, seed=0):
+    edges = list(graph.edges())
+    return edges[random.Random(seed).randrange(len(edges))]
+
+
+class TestMainRendezvousUnderCorruption:
+    @pytest.mark.parametrize("rate", [0.05, 0.3])
+    def test_never_crashes_and_usually_meets(self, graph, rate):
+        constants = Constants.testing()
+        start_a, start_b = adjacent_pair(graph)
+        met = 0
+        for seed in range(4):
+            target_set, via = two_hop_oracle(graph, start_a)
+            result = run_with_corruption(
+                graph,
+                MainRendezvousA(target_set, routes_via=via),
+                MarkerB(),
+                start_a, start_b, seed, rate,
+            )
+            met += result.met
+        # Corrupted marks are either unreachable IDs (skipped by the
+        # defensive check) or reachable wrong vertices (agent a walks
+        # there, finds nothing, b keeps marking): meetings still happen.
+        assert met >= 2
+
+    def test_corrupted_mark_to_reachable_wrong_vertex(self, graph):
+        """A plausible-but-wrong mark must not deadlock the system."""
+        constants = Constants.testing()
+        start_a, start_b = adjacent_pair(graph, seed=3)
+        # Garbage values drawn from real neighbor IDs of the start:
+        neighbors = graph.neighbors(start_a)
+        target_set, via = two_hop_oracle(graph, start_a)
+        scheduler = SyncScheduler(
+            graph,
+            MainRendezvousA(target_set, routes_via=via),
+            MarkerB(),
+            start_a, start_b, seed=5, max_rounds=2_000_000,
+        )
+        scheduler.whiteboards = CorruptingWhiteboards(
+            random.Random(9), 0.2, garbage=tuple(neighbors[:4])
+        )
+        result = scheduler.run()
+        # Agent a may halt at a wrong vertex; agent b's walk can still
+        # stumble onto it, or the budget expires — but no exception.
+        assert result.met or result.failure_reason is not None
+
+
+class TestTheorem1UnderCorruption:
+    def test_full_algorithm_survives_noise(self, graph):
+        start_a, start_b = adjacent_pair(graph, seed=1)
+        met = 0
+        for seed in range(3):
+            prog_a, prog_b = theorem1_programs(
+                graph.min_degree, Constants.testing()
+            )
+            result = run_with_corruption(
+                graph, prog_a, prog_b, start_a, start_b, seed, rate=0.1
+            )
+            met += result.met
+        assert met >= 2
+
+
+class TestMultihopUnderCorruption:
+    def test_garbage_trails_are_rejected(self, graph):
+        """Corrupted trail tuples must fail the walkability check, not
+        crash the searcher."""
+        start_a, start_b = adjacent_pair(graph, seed=2)
+        prog_a, prog_b = multihop_programs(
+            graph.min_degree, Constants.testing()
+        )
+        result = run_with_corruption(
+            graph, prog_a, prog_b, start_a, start_b, seed=0, rate=0.15
+        )
+        assert result.met or result.failure_reason is not None

@@ -1,0 +1,118 @@
+"""Deep invariants, driven by hypothesis across seeds and sizes.
+
+These assert structural facts that must hold for *every* execution —
+the machine-checkable core of the paper's arguments:
+
+* routes learned by ``Construct`` are real paths in the graph;
+* whiteboard contents during Theorem 1 runs are only ever ``v₀ᵇ``;
+* the whiteboard-free execution truly never touches whiteboards;
+* meeting rounds respect the trivial distance/2 lower bound;
+* the scheduler never teleports (trace consecutive positions are
+  adjacent or equal).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import rendezvous
+from repro.core.constants import Constants
+from repro.core.construct import ConstructOnlyProgram
+from repro.graphs.generators import random_graph_with_min_degree
+from repro.runtime.single import run_single_agent
+
+CONSTANTS = Constants.testing()
+
+
+def make_graph(seed, n=100, delta=24):
+    return random_graph_with_min_degree(n, delta, random.Random(f"inv:{seed}"))
+
+
+class TestConstructRouteValidity:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_routes_are_graph_paths(self, seed):
+        graph = make_graph(seed)
+        start = graph.vertices[0]
+        program = ConstructOnlyProgram(graph.min_degree, CONSTANTS)
+        run_single_agent(program, graph, start, rounds=10**9, seed=seed,
+                         id_space=graph.id_space)
+        outcome = program.outcome
+        assert outcome.completed
+        for vertex in outcome.target_set:
+            here = start
+            for hop in outcome.local_map.route(vertex):
+                assert graph.has_edge(here, hop), (
+                    f"route to {vertex} uses non-edge ({here}, {hop})"
+                )
+                here = hop
+            assert here == vertex
+
+
+class TestWhiteboardDiscipline:
+    def test_theorem1_writes_only_partner_home(self):
+        from repro.core.whiteboard_algorithm import theorem1_programs
+        from repro.runtime.scheduler import SyncScheduler
+
+        graph = make_graph(1)
+        start_a = graph.vertices[0]
+        start_b = graph.neighbors(start_a)[0]
+        prog_a, prog_b = theorem1_programs(graph.min_degree, CONSTANTS)
+        scheduler = SyncScheduler(
+            graph, prog_a, prog_b, start_a, start_b, seed=0,
+            max_rounds=2_000_000,
+        )
+        result = scheduler.run()
+        assert result.met
+        for vertex in scheduler.whiteboards.written_vertices():
+            assert scheduler.whiteboards.peek(vertex) == start_b
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_theorem2_never_touches_whiteboards(self, seed):
+        graph = make_graph(seed, n=120, delta=30)
+        result = rendezvous(graph, "theorem2", seed=seed, constants=CONSTANTS)
+        assert result.met
+        assert result.whiteboard_reads == 0
+        assert result.whiteboard_writes == 0
+
+
+class TestSchedulerPhysics:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_no_teleportation(self, seed):
+        graph = make_graph(seed, n=60, delta=12)
+        result = rendezvous(
+            graph, "random-walk", seed=seed, max_rounds=5_000,
+            record_trace=True,
+        )
+        trace = result.trace
+        for (_, a0, b0), (_, a1, b1) in zip(trace, trace[1:]):
+            assert a0 == a1 or graph.has_edge(a0, a1)
+            assert b0 == b1 or graph.has_edge(b0, b1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_meeting_respects_distance_lower_bound(self, seed):
+        """Half the initial distance is the trivial lower bound (§1.1)."""
+        graph = make_graph(seed, n=80, delta=16)
+        from repro.core.api import pick_adjacent_starts
+
+        start_a, start_b = pick_adjacent_starts(graph, random.Random(seed))
+        result = rendezvous(
+            graph, "random-walk", seed=seed, start_a=start_a, start_b=start_b,
+            max_rounds=200_000,
+        )
+        if result.met:
+            distance = graph.distance(start_a, start_b)
+            assert result.rounds >= (distance + 1) // 2
+
+    def test_moves_bounded_by_rounds(self):
+        graph = make_graph(5)
+        result = rendezvous(graph, "theorem1", seed=2, constants=CONSTANTS)
+        assert result.met
+        assert result.moves["a"] <= result.rounds
+        assert result.moves["b"] <= result.rounds

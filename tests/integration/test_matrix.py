@@ -1,0 +1,114 @@
+"""Integration matrix: algorithms × graph families × seeds.
+
+Systematic coverage that every registered algorithm completes
+rendezvous on every compatible graph family.  Instances are kept small
+so the matrix stays fast; the benchmark suite covers the large sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import rendezvous
+from repro.core.constants import Constants
+from repro.graphs.families import (
+    complete_bipartite_graph,
+    hypercube_graph,
+    margulis_expander,
+    stochastic_block_graph,
+    torus_grid_graph,
+)
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    powerlaw_graph_with_floor,
+    random_geometric_dense_graph,
+    random_graph_with_min_degree,
+    random_regular_graph,
+)
+
+CONSTANTS = Constants.testing()
+
+
+def _families():
+    rng = random.Random("matrix")
+    return [
+        ("complete", complete_graph(60)),
+        ("er-dense", random_graph_with_min_degree(150, 40, rng)),
+        ("geometric", random_geometric_dense_graph(150, 40, rng)),
+        ("regular", random_regular_graph(120, 30, rng)),
+        ("powerlaw", powerlaw_graph_with_floor(150, 15, rng)),
+        ("bipartite", complete_bipartite_graph(40, 50)),
+        ("sbm", stochastic_block_graph(60, rng, p_in=0.5, p_out=0.05, min_degree=15)),
+    ]
+
+
+FAMILIES = _families()
+DENSE_FAMILY_IDS = [name for name, _ in FAMILIES]
+
+
+@pytest.mark.parametrize("name,graph", FAMILIES, ids=DENSE_FAMILY_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+class TestTheorem1Matrix:
+    def test_theorem1(self, name, graph, seed):
+        result = rendezvous(graph, "theorem1", seed=seed, constants=CONSTANTS)
+        assert result.met, f"theorem1 failed on {name} seed {seed}"
+
+    def test_theorem1_with_estimation(self, name, graph, seed):
+        result = rendezvous(
+            graph, "theorem1", seed=seed, delta="estimate", constants=CONSTANTS
+        )
+        assert result.met, f"estimation failed on {name} seed {seed}"
+
+
+@pytest.mark.parametrize("name,graph", FAMILIES, ids=DENSE_FAMILY_IDS)
+class TestBaselineMatrix:
+    def test_trivial(self, name, graph):
+        result = rendezvous(graph, "trivial", seed=0)
+        assert result.met
+        assert result.rounds <= 2 * graph.max_degree + 2
+
+    def test_explore(self, name, graph):
+        result = rendezvous(graph, "explore", seed=0)
+        assert result.met
+        assert result.rounds <= 2 * graph.n
+
+
+class TestSparseFamilies:
+    """Families below the paper's δ ≥ √n premise: the algorithm still
+    terminates and meets (the bound just isn't sublinear)."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            hypercube_graph(6),
+            torus_grid_graph(6, 6),
+            margulis_expander(6),
+            cycle_graph(40),
+            barbell_graph(20),
+        ],
+        ids=["hypercube", "torus", "expander", "cycle", "barbell"],
+    )
+    def test_theorem1_on_sparse_graphs(self, graph):
+        result = rendezvous(
+            graph, "theorem1", seed=0, constants=CONSTANTS,
+            max_rounds=8_000_000,
+        )
+        assert result.met, f"theorem1 failed on {graph.name}"
+
+
+class TestWhiteboardFreeMatrix:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_theorem2_on_dense_er(self, seed):
+        graph = dict(FAMILIES)["er-dense"]
+        result = rendezvous(graph, "theorem2", seed=seed, constants=CONSTANTS)
+        assert result.met
+        assert result.whiteboard_writes == 0
+
+    def test_theorem2_on_geometric(self):
+        graph = dict(FAMILIES)["geometric"]
+        result = rendezvous(graph, "theorem2", seed=0, constants=CONSTANTS)
+        assert result.met

@@ -1,0 +1,92 @@
+"""The runtime enforces model boundaries — mismatches fail loudly.
+
+The paper's lower bounds are about what weaker models *cannot* do;
+correspondingly, our runtime must make it impossible to accidentally
+run a KT1 algorithm under KT0 or a whiteboard algorithm without
+whiteboards.  These tests pin that enforcement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constants import Constants
+from repro.core.whiteboard_algorithm import theorem1_programs
+from repro.baselines.trivial import trivial_programs
+from repro.errors import ProtocolError, WhiteboardDisabledError
+from repro.graphs.generators import (
+    complete_graph,
+    dilate_id_space,
+    random_graph_with_min_degree,
+)
+from repro.graphs.ports import PortModel
+from repro.runtime.scheduler import SyncScheduler
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph_with_min_degree(120, 30, random.Random("enforce"))
+
+
+class TestKt0Enforcement:
+    def test_theorem1_cannot_run_under_kt0(self, graph):
+        """Theorem 4's model: the KT1 algorithm fails at its first
+        neighborhood read, it does not silently degrade."""
+        prog_a, prog_b = theorem1_programs(graph.min_degree, Constants.testing())
+        scheduler = SyncScheduler(
+            graph, prog_a, prog_b, graph.vertices[0],
+            graph.neighbors(graph.vertices[0])[0],
+            port_model=PortModel.KT0, max_rounds=1000,
+        )
+        with pytest.raises(ProtocolError):
+            scheduler.run()
+
+    def test_trivial_probe_cannot_run_under_kt0(self, graph):
+        prog_a, prog_b = trivial_programs()
+        scheduler = SyncScheduler(
+            graph, prog_a, prog_b, graph.vertices[0],
+            graph.neighbors(graph.vertices[0])[0],
+            port_model=PortModel.KT0, max_rounds=1000,
+        )
+        with pytest.raises(ProtocolError):
+            scheduler.run()
+
+
+class TestWhiteboardEnforcement:
+    def test_theorem1_cannot_run_without_whiteboards(self, graph):
+        prog_a, prog_b = theorem1_programs(graph.min_degree, Constants.testing())
+        scheduler = SyncScheduler(
+            graph, prog_a, prog_b, graph.vertices[0],
+            graph.neighbors(graph.vertices[0])[0],
+            whiteboards=False, max_rounds=2_000_000,
+        )
+        with pytest.raises(WhiteboardDisabledError):
+            scheduler.run()
+
+
+class TestIdSpaceRobustness:
+    """Algorithms must rely only on n' — scattered IDs change nothing
+    about correctness."""
+
+    def test_theorem2_with_dilated_ids(self):
+        from repro.core.api import rendezvous
+
+        rng = random.Random("dilate-t2")
+        graph = dilate_id_space(
+            random_graph_with_min_degree(150, 45, rng), 3, rng
+        )
+        assert graph.id_space == 3 * 150
+        result = rendezvous(graph, "theorem2", seed=0,
+                            constants=Constants.testing())
+        assert result.met
+        assert result.whiteboard_writes == 0
+
+    def test_anderson_weber_with_dilated_ids(self):
+        from repro.core.api import rendezvous
+
+        rng = random.Random("dilate-aw")
+        graph = dilate_id_space(complete_graph(80), 5, rng)
+        result = rendezvous(graph, "anderson-weber", seed=0)
+        assert result.met

@@ -1,0 +1,77 @@
+"""Cross-validation: the k-agent scheduler generalizes the 2-agent one.
+
+With the same programs, starts, and seed, ``MultiAgentScheduler`` in
+pairwise-termination mode must reproduce ``SyncScheduler``'s outcome
+exactly (same meeting round, vertex, and move counts).  Agent names
+``a``/``b`` are passed explicitly so the private random tapes match.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.random_walk import RandomWalker
+from repro.baselines.trivial import TrivialProbeA, WaitingB
+from repro.core.main_rendezvous import MainRendezvousA, MarkerB
+from repro.experiments.workloads import two_hop_oracle
+from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+from repro.runtime.multi import MultiAgentScheduler
+from repro.runtime.scheduler import SyncScheduler
+
+
+def both_schedulers(graph, make_programs, start_a, start_b, seed, max_rounds):
+    prog_a, prog_b = make_programs()
+    two = SyncScheduler(
+        graph, prog_a, prog_b, start_a, start_b, seed=seed,
+        max_rounds=max_rounds,
+    ).run()
+    prog_a, prog_b = make_programs()
+    multi = MultiAgentScheduler(
+        graph, [prog_a, prog_b], [start_a, start_b], names=["a", "b"],
+        seed=seed, termination="pair", max_rounds=max_rounds,
+    ).run()
+    return two, multi
+
+
+class TestEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_random_walks_identical(self, seed):
+        graph = complete_graph(24)
+        two, multi = both_schedulers(
+            graph, lambda: (RandomWalker(), RandomWalker()), 0, 1, seed, 50_000
+        )
+        assert two.met == multi.completed
+        assert two.rounds == multi.rounds
+        assert two.meeting_vertex == multi.meeting_vertex
+        assert two.moves["a"] == multi.moves["a"]
+        assert two.moves["b"] == multi.moves["b"]
+
+    def test_trivial_identical(self):
+        graph = random_graph_with_min_degree(80, 20, random.Random(0))
+        start_a = graph.vertices[0]
+        start_b = graph.neighbors(start_a)[0]
+        two, multi = both_schedulers(
+            graph, lambda: (TrivialProbeA(), WaitingB()),
+            start_a, start_b, 3, 10_000,
+        )
+        assert two.rounds == multi.rounds
+        assert two.meeting_vertex == multi.meeting_vertex
+
+    def test_main_rendezvous_identical(self):
+        graph = random_graph_with_min_degree(100, 25, random.Random(1))
+        start_a = graph.vertices[0]
+        start_b = graph.neighbors(start_a)[0]
+        target_set, via = two_hop_oracle(graph, start_a)
+
+        def make():
+            return MainRendezvousA(target_set, routes_via=via), MarkerB()
+
+        two, multi = both_schedulers(graph, make, start_a, start_b, 7, 500_000)
+        assert two.met and multi.completed
+        assert two.rounds == multi.rounds
+        assert two.meeting_vertex == multi.meeting_vertex
+        assert two.whiteboard_writes == multi.whiteboard_writes

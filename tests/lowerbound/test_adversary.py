@@ -1,0 +1,136 @@
+"""Tests for the Lemma 9 adaptive adversary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.explore import DfsExplorerA
+from repro.errors import AdversaryError
+from repro.lowerbound.adversary import AdaptiveAdversary, lemma9_run
+
+
+class TestInitialGraph:
+    def test_star_plus_clique(self):
+        adv = AdaptiveAdversary(range(33), start=0)
+        # v0 adjacent to everyone.
+        assert set(adv.neighbors(0)) == set(range(1, 33))
+        # Clique side vertices adjacent to v0 and each other.
+        clique = sorted(adv.clique_side)
+        for u in clique:
+            assert 0 in adv.neighbors(u)
+            for v in clique:
+                if u != v:
+                    assert v in adv.neighbors(u)
+
+    def test_pool_fraction(self):
+        adv = AdaptiveAdversary(range(65), start=0)
+        assert len(adv.pool) == int(64 * 7 / 8)
+        assert len(adv.clique_side) == 64 - len(adv.pool)
+
+    def test_pool_vertices_start_with_degree_one(self):
+        adv = AdaptiveAdversary(range(33), start=0)
+        for v in adv.pool:
+            assert adv.neighbors(v) == (0,)
+
+    def test_force_pool(self):
+        adv = AdaptiveAdversary(range(33), start=0, force_pool=[5, 6])
+        assert {5, 6} <= adv.pool
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AdversaryError):
+            AdaptiveAdversary(range(4), start=0)  # too small
+        with pytest.raises(AdversaryError):
+            AdaptiveAdversary(range(33), start=99)
+        with pytest.raises(AdversaryError):
+            AdaptiveAdversary(range(33), start=0, force_pool=[0])
+        with pytest.raises(AdversaryError):
+            AdaptiveAdversary(range(33), start=0, pool_fraction=1.0)
+
+
+class TestUpdateRule:
+    def test_visiting_pool_vertex_gains_clique_edges(self):
+        adv = AdaptiveAdversary(range(33), start=0)
+        v = sorted(adv.pool)[0]
+        adv.on_arrival(0, 0)
+        adv.on_arrival(v, 1)
+        # v is now adjacent to v0 plus every unvisited clique vertex.
+        expected = {0} | (adv.clique_side - {0})
+        assert set(adv.neighbors(v)) == expected
+
+    def test_unvisited_pool_stays_degree_one(self):
+        adv = AdaptiveAdversary(range(33), start=0)
+        visited_pool = sorted(adv.pool)[0]
+        adv.on_arrival(0, 0)
+        adv.on_arrival(visited_pool, 1)
+        for w in adv.pool - {visited_pool}:
+            assert adv.neighbors(w) == (0,)
+
+    def test_revisit_is_noop(self):
+        adv = AdaptiveAdversary(range(33), start=0)
+        v = sorted(adv.pool)[0]
+        adv.on_arrival(v, 1)
+        additions = adv.edge_additions
+        adv.on_arrival(v, 2)
+        assert adv.edge_additions == additions
+
+    def test_clique_vertex_visit_adds_nothing(self):
+        adv = AdaptiveAdversary(range(33), start=0)
+        c = sorted(adv.clique_side)[0]
+        adv.on_arrival(c, 1)
+        assert adv.edge_additions == 0
+
+
+class TestLemma9Conditions:
+    def _run(self, m, seed=0):
+        ids = list(range(m))
+        budget = max(1, (m - 1) // 16)
+        return lemma9_run(
+            DfsExplorerA(randomize=False), ids, start=0, rounds=budget,
+            rng=random.Random(seed),
+        )
+
+    def test_surviving_pool_large(self):
+        """|W| >= 13/14 of the pool (the paper's 13n/32 vs 7n/16)."""
+        run = self._run(129)
+        pool_size = len(run.adversary.pool)
+        assert len(run.surviving_pool) >= pool_size - run.rounds
+
+    def test_condition_i_w_only_adjacent_to_start(self):
+        """Lemma 9 (i): surviving pool vertices touch only v0."""
+        run = self._run(129)
+        graph = run.graph()
+        for w in run.surviving_pool:
+            assert graph.neighbors(w) == (0,)
+
+    def test_condition_ii_other_degrees_theta_n(self):
+        """Lemma 9 (ii): every non-W vertex has degree Θ(n)."""
+        run = self._run(129)
+        graph = run.graph()
+        floor = (129 - 1) // 16  # n/32 in the paper's doubled accounting
+        for v in graph.vertices:
+            if v in run.surviving_pool:
+                continue
+            assert graph.degree(v) >= min(floor, len(run.adversary.clique_side) - 1)
+
+    def test_view_consistency_replay(self):
+        """Replaying the agent on the final graph follows the same path."""
+        from repro.runtime.single import run_single_agent
+
+        run = self._run(161)
+        final_graph = run.graph()
+        replay = run_single_agent(
+            DfsExplorerA(randomize=False), final_graph, 0,
+            rounds=run.rounds,
+        )
+        assert replay.positions == run.recorder.positions
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_conditions_across_seeds(self, seed):
+        run = self._run(97, seed)
+        graph = run.graph()
+        for w in run.surviving_pool:
+            assert graph.neighbors(w) == (0,)

@@ -1,0 +1,111 @@
+"""Tests for the Theorem 6 glued instance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.explore import DfsExplorerA
+from repro.core.api import rendezvous
+from repro.errors import AdversaryError
+from repro.lowerbound.glue import build_theorem6_instance
+from repro.runtime.scheduler import SyncScheduler
+
+
+def dfs_factory():
+    return DfsExplorerA(randomize=False)
+
+
+@pytest.fixture(scope="module")
+def glued_256():
+    return build_theorem6_instance(
+        dfs_factory, dfs_factory, n=256, rng=random.Random(0)
+    )
+
+
+class TestInstanceStructure:
+    def test_starts_adjacent(self, glued_256):
+        g = glued_256.graph
+        assert g.has_edge(glued_256.start_a, glued_256.start_b)
+
+    def test_min_degree_theta_n(self, glued_256):
+        # Theorem 6 requires delta = Theta(n); our construction gives
+        # at least ~n/16.
+        assert glued_256.graph.min_degree >= 256 // 16
+
+    def test_max_degree_theta_n(self, glued_256):
+        assert glued_256.graph.max_degree >= 256 // 4
+
+    def test_id_space(self, glued_256):
+        assert glued_256.graph.id_space == 256
+        assert glued_256.graph.n == 256
+
+    def test_budget_is_n_over_32(self, glued_256):
+        assert glued_256.budget == 256 // 32
+
+    def test_pair_compatibility(self, glued_256):
+        assert glued_256.start_b in glued_256.run_a.surviving_pool
+        assert glued_256.start_a in glued_256.run_b.surviving_pool
+
+    def test_connected(self, glued_256):
+        assert glued_256.graph.is_connected()
+
+
+class TestLowerBoundHolds:
+    def test_deterministic_pair_cannot_meet(self, glued_256):
+        result = SyncScheduler(
+            glued_256.graph, dfs_factory(), dfs_factory(),
+            glued_256.start_a, glued_256.start_b,
+            whiteboards=False, max_rounds=glued_256.budget,
+        ).run()
+        assert not result.met
+
+    def test_trajectories_replay_solo_runs(self, glued_256):
+        """Each agent's glued-run path equals its solo adversarial path."""
+        result = SyncScheduler(
+            glued_256.graph, dfs_factory(), dfs_factory(),
+            glued_256.start_a, glued_256.start_b,
+            whiteboards=False, max_rounds=glued_256.budget,
+            record_trace=True,
+        ).run()
+        trace_a = [glued_256.start_a] + [pos_a for _, pos_a, _ in result.trace]
+        trace_b = [glued_256.start_b] + [pos_b for _, _, pos_b in result.trace]
+        solo_a = list(glued_256.run_a.recorder.positions[: len(trace_a)])
+        solo_b = list(glued_256.run_b.recorder.positions[: len(trace_b)])
+        assert trace_a == solo_a
+        assert trace_b == solo_b
+
+    def test_randomized_algorithm_meets_on_same_instance(self, glued_256):
+        result = rendezvous(
+            glued_256.graph, "theorem1", seed=1,
+            start_a=glued_256.start_a, start_b=glued_256.start_b,
+        )
+        assert result.met
+
+    @pytest.mark.parametrize("n", [64, 128])
+    def test_scales(self, n):
+        instance = build_theorem6_instance(
+            dfs_factory, dfs_factory, n=n, rng=random.Random(n)
+        )
+        result = SyncScheduler(
+            instance.graph, dfs_factory(), dfs_factory(),
+            instance.start_a, instance.start_b,
+            whiteboards=False, max_rounds=instance.budget,
+        ).run()
+        assert not result.met
+
+
+class TestValidation:
+    def test_bad_n_rejected(self):
+        with pytest.raises(AdversaryError):
+            build_theorem6_instance(dfs_factory, dfs_factory, n=32)
+        with pytest.raises(AdversaryError):
+            build_theorem6_instance(dfs_factory, dfs_factory, n=65)
+
+    def test_attempt_budget_error(self):
+        with pytest.raises(AdversaryError):
+            build_theorem6_instance(
+                dfs_factory, dfs_factory, n=64,
+                rng=random.Random(0), max_attempts=0,
+            )

@@ -1,0 +1,102 @@
+"""Tests for the single-agent driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.runtime.actions import Halt, Move, Stay, WaitUntil
+from repro.runtime.agent import AgentProgram
+from repro.runtime.single import run_single_agent
+
+
+class LineWalker(AgentProgram):
+    def run(self, ctx):
+        while True:
+            neighbors = ctx.view.neighbors
+            bigger = [u for u in neighbors if u > ctx.view.vertex]
+            if not bigger:
+                yield Halt()
+                return
+            yield Move(bigger[0])
+
+
+class TestRunSingleAgent:
+    def test_walk_records_positions(self):
+        g = path_graph(5)
+        rec = run_single_agent(LineWalker(), g, 0, rounds=10)
+        assert rec.positions[:5] == (0, 1, 2, 3, 4)
+        assert rec.visited == (0, 1, 2, 3, 4)
+        assert rec.halted
+
+    def test_round_budget_stops_run(self):
+        g = path_graph(10)
+        rec = run_single_agent(LineWalker(), g, 0, rounds=3)
+        assert rec.rounds == 3
+        assert rec.visited == (0, 1, 2, 3)
+        assert not rec.halted
+
+    def test_visited_set(self):
+        g = cycle_graph(4)
+
+        class BackAndForth(AgentProgram):
+            def run(self, ctx):
+                yield Move(1)
+                yield Move(0)
+                yield Move(1)
+
+        rec = run_single_agent(BackAndForth(), g, 0, rounds=10)
+        assert rec.visited_set == frozenset({0, 1})
+
+    def test_stay_and_wait(self):
+        g = path_graph(3)
+
+        class Lazy(AgentProgram):
+            def run(self, ctx):
+                yield Stay()
+                yield WaitUntil(7)
+                yield Move(1)
+
+        rec = run_single_agent(Lazy(), g, 0, rounds=20)
+        assert rec.positions[-1] == 1
+        assert rec.rounds == 8
+
+    def test_illegal_move_raises(self):
+        g = path_graph(4)
+
+        class Teleporter(AgentProgram):
+            def run(self, ctx):
+                yield Move(3)
+
+        with pytest.raises(ProtocolError):
+            run_single_agent(Teleporter(), g, 0, rounds=5)
+
+    def test_whiteboard_access_forbidden(self):
+        g = path_graph(3)
+
+        class Toucher(AgentProgram):
+            def run(self, ctx):
+                _ = ctx.view.whiteboard
+                yield Halt()
+
+        with pytest.raises(ProtocolError):
+            run_single_agent(Toucher(), g, 0, rounds=5)
+
+    def test_on_arrival_hook_called(self):
+        calls = []
+
+        class HookedGraph:
+            def __init__(self, graph):
+                self._graph = graph
+
+            def neighbors(self, v):
+                return self._graph.neighbors(v)
+
+            def on_arrival(self, v, round_number):
+                calls.append((v, round_number))
+
+        g = HookedGraph(path_graph(4))
+        run_single_agent(LineWalker(), g, 0, rounds=10)
+        assert calls[0] == (0, 0)
+        assert (1, 1) in calls and (2, 2) in calls

@@ -1,0 +1,198 @@
+"""Tests for agent views, actions, whiteboard stores, and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError, WhiteboardDisabledError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.ports import PortModel
+from repro.runtime.actions import Halt, KEEP, Move, Stay, WaitUntil
+from repro.runtime.agent import AgentProgram, stay_rounds, walk, walk_and_return
+from repro.runtime.scheduler import SyncScheduler
+from repro.runtime.whiteboard import BLANK, DisabledWhiteboards, WhiteboardStore
+
+
+class TestActions:
+    def test_keep_sentinel_is_singleton(self):
+        assert Stay().write is KEEP
+        assert Move(3).write is KEEP
+        assert repr(KEEP) == "KEEP"
+
+    def test_none_is_a_writable_value(self):
+        action = Stay(write=None)
+        assert action.write is None
+        assert action.write is not KEEP
+
+    def test_reprs(self):
+        assert repr(Stay()) == "Stay()"
+        assert "Move(3" in repr(Move(3))
+        assert repr(WaitUntil(9)) == "WaitUntil(9)"
+        assert repr(Halt()) == "Halt()"
+
+    def test_wait_until_coerces_int(self):
+        assert WaitUntil(7.0).round == 7
+
+
+class TestWhiteboardStore:
+    def test_blank_default(self):
+        store = WhiteboardStore()
+        assert store.read(0) is BLANK
+
+    def test_write_read_counters(self):
+        store = WhiteboardStore()
+        store.write(3, "x")
+        assert store.read(3) == "x"
+        assert store.writes == 1
+        assert store.reads == 1
+
+    def test_peek_does_not_count(self):
+        store = WhiteboardStore()
+        store.write(1, "y")
+        assert store.peek(1) == "y"
+        assert store.reads == 0
+
+    def test_written_vertices(self):
+        store = WhiteboardStore()
+        store.write(1, "a")
+        store.write(5, "b")
+        assert store.written_vertices() == frozenset({1, 5})
+
+    def test_disabled_store(self):
+        store = DisabledWhiteboards()
+        with pytest.raises(WhiteboardDisabledError):
+            store.read(0)
+        with pytest.raises(WhiteboardDisabledError):
+            store.write(0, "x")
+        assert not store.enabled
+        assert WhiteboardStore().enabled
+
+
+class _Probe(AgentProgram):
+    """Captures view attributes for assertions."""
+
+    def __init__(self):
+        self.seen = {}
+
+    def run(self, ctx):
+        view = ctx.view
+        self.seen["vertex"] = view.vertex
+        self.seen["degree"] = view.degree
+        self.seen["neighbors"] = view.neighbors
+        self.seen["ports"] = view.ports
+        self.seen["closed"] = view.closed_neighbors
+        self.seen["round"] = view.round
+        yield Move(view.neighbors[0])
+        self.seen["after_vertex"] = ctx.view.vertex
+        self.seen["after_round"] = ctx.view.round
+        yield Halt()
+
+
+class _Idle(AgentProgram):
+    def run(self, ctx):
+        yield Halt()
+
+
+class TestAgentView:
+    def test_live_view_tracks_movement(self):
+        g = cycle_graph(6)
+        probe = _Probe()
+        SyncScheduler(g, probe, _Idle(), 0, 3, max_rounds=10).run()
+        assert probe.seen["vertex"] == 0
+        assert probe.seen["degree"] == 2
+        assert probe.seen["neighbors"] == (1, 5)
+        assert probe.seen["ports"] == (1, 5)
+        assert probe.seen["closed"] == frozenset({0, 1, 5})
+        assert probe.seen["round"] == 0
+        assert probe.seen["after_vertex"] == 1
+        assert probe.seen["after_round"] == 1
+
+    def test_kt0_view_hides_neighbor_ids(self):
+        g = cycle_graph(6)
+
+        class Kt0Probe(AgentProgram):
+            def __init__(self):
+                self.error = None
+                self.ports = None
+
+            def run(self, ctx):
+                self.ports = ctx.view.ports
+                try:
+                    _ = ctx.view.neighbors
+                except ProtocolError as exc:
+                    self.error = exc
+                yield Halt()
+
+        probe = Kt0Probe()
+        SyncScheduler(
+            g, probe, _Idle(), 0, 3, port_model=PortModel.KT0, max_rounds=10
+        ).run()
+        assert probe.ports == (0, 1)
+        assert probe.error is not None
+
+    def test_other_agent_here(self):
+        g = path_graph(2)
+
+        class Checker(AgentProgram):
+            def __init__(self):
+                self.flag = None
+
+            def run(self, ctx):
+                self.flag = ctx.view.other_agent_here
+                yield Halt()
+
+        checker = Checker()
+        SyncScheduler(g, checker, _Idle(), 0, 1, max_rounds=5).run()
+        assert checker.flag is False
+
+
+class TestWalkHelpers:
+    def test_walk_skips_current_vertex(self):
+        g = path_graph(4)
+
+        class Walker(AgentProgram):
+            def __init__(self):
+                self.rounds_used = None
+
+            def run(self, ctx):
+                start_round = ctx.view.round
+                yield from walk(ctx, [0, 1, 2])  # first hop is a no-op
+                self.rounds_used = ctx.view.round - start_round
+                yield Halt()
+
+        walker = Walker()
+        SyncScheduler(g, walker, _Idle(), 0, 3, max_rounds=20).run()
+        assert walker.rounds_used == 2
+
+    def test_walk_and_return(self):
+        g = path_graph(4)
+
+        class OutAndBack(AgentProgram):
+            def __init__(self):
+                self.positions = []
+
+            def run(self, ctx):
+                yield from walk_and_return(ctx, [1, 2])
+                self.positions.append(ctx.view.vertex)
+                yield Halt()
+
+        program = OutAndBack()
+        SyncScheduler(g, program, _Idle(), 0, 3, max_rounds=20).run()
+        assert program.positions == [0]
+
+    def test_stay_rounds(self):
+        g = path_graph(3)
+
+        class Sitter(AgentProgram):
+            def __init__(self):
+                self.elapsed = None
+
+            def run(self, ctx):
+                start = ctx.view.round
+                yield from stay_rounds(5)
+                self.elapsed = ctx.view.round - start
+                yield Halt()
+
+        sitter = Sitter()
+        SyncScheduler(g, sitter, _Idle(), 0, 2, max_rounds=20).run()
+        assert sitter.elapsed == 5

@@ -1,0 +1,51 @@
+"""Every example script runs end to end (small parameters)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", "200", "1")
+    assert "met: True" in out
+
+
+def test_swarm_proximity(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "swarm_proximity.py", "200", "2")
+    assert "theorem1" in out
+    assert "met 2/2" in out
+
+
+def test_p2p_overlay(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "p2p_overlay.py", "200")
+    assert "met: True" in out
+    assert "0 reads, 0 writes" in out
+
+
+def test_adversarial_deterministic(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "adversarial_deterministic.py", "128")
+    assert "met = False" in out
+    assert "met = True" in out
+
+
+def test_swarm_gathering(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "swarm_gathering.py", "200", "3")
+    assert "gathered: True" in out
+
+
+def test_algorithm_shootout(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "algorithm_shootout.py", "200")
+    assert "theorem1" in out
+    assert "trivial" in out
