@@ -1,0 +1,74 @@
+"""Benchmark for the parallel sweep engine: determinism and speedup.
+
+Runs one moderate (family × n × algorithm × seed) grid twice — inline
+and through the process pool — and checks the engine's two promises:
+
+* the exported JSON-lines records are **byte-identical** regardless of
+  worker count (determinism is a correctness property, asserted on
+  every machine);
+* with ≥ 4 cores the fanned-out run is at least 2× faster wall-clock
+  (the speedup assertion is skipped on smaller machines, where the
+  pool has nothing to fan out over — the table still reports it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.report import Table
+from repro.experiments.results_io import record_to_jsonable
+
+SPEC = SweepSpec(
+    name="bench-parallel",
+    families=("er-min-degree", "geometric"),
+    ns=(300, 450, 600, 750),
+    deltas=("n^0.75",),
+    algorithms=("explore", "trivial"),
+    seeds=tuple(range(8)),
+)
+
+
+def _record_bytes(result) -> bytes:
+    lines = [
+        json.dumps(record_to_jsonable(r), sort_keys=True) for r in result.records
+    ]
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def test_parallel_sweep_speedup(capsys):
+    """Serial vs pooled sweep: identical bytes, near-linear speedup."""
+    cores = os.cpu_count() or 1
+    # At least 2 so the pool path (not the inline fast path) is what
+    # determinism is checked against, even on single-core machines.
+    workers = max(2, min(4, cores))
+
+    serial = run_sweep(SPEC, workers=1)
+    fanned = run_sweep(SPEC, workers=workers)
+
+    assert _record_bytes(serial) == _record_bytes(fanned), (
+        "sweep records differ between workers=1 and the process pool"
+    )
+
+    speedup = serial.elapsed / max(fanned.elapsed, 1e-9)
+    table = Table(
+        title=f"PARALLEL-SWEEP — {len(SPEC.points())} trials, {cores} core(s)",
+        headers=["workers", "wall clock (s)", "speedup", "byte-identical"],
+    )
+    table.add_row(1, serial.elapsed, 1.0, True)
+    table.add_row(workers, fanned.elapsed, speedup, True)
+    table.add_note(
+        "speedup asserted >= 2x only on machines with >= 4 cores; "
+        "determinism is asserted everywhere"
+    )
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print()
+
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {workers} workers on {cores} cores, "
+            f"measured {speedup:.2f}x"
+        )

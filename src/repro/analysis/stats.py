@@ -12,7 +12,14 @@ import statistics
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-__all__ = ["Summary", "summarize", "wilson_interval", "success_rate"]
+__all__ = [
+    "Summary",
+    "summarize",
+    "wilson_interval",
+    "success_rate",
+    "PartialSummary",
+    "merge_partial_summaries",
+]
 
 #: Two-sided z-value for 95% confidence.
 _Z95 = 1.959963984540054
@@ -57,6 +64,76 @@ def summarize(values: Sequence[float]) -> Summary:
         ci_low=mean - half_width,
         ci_high=mean + half_width,
     )
+
+
+@dataclass(frozen=True)
+class PartialSummary:
+    """Mergeable moment sketch of one metric over a chunk of trials.
+
+    Stores exactly the sufficient statistics (count, mean, the Welford
+    ``M2`` sum of squared deviations, extremes) so chunks computed on
+    different workers can be combined without shipping raw values.
+    Merging uses Chan's parallel update, which is numerically stable
+    for unbalanced chunk sizes.  The median is *not* derivable from
+    moments; callers that need it keep the raw records (the sweep
+    engine does) and use :func:`summarize`.
+    """
+
+    count: int
+    mean: float
+    m2: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "PartialSummary":
+        """Exact sketch of one chunk of values."""
+        if not values:
+            raise ValueError("cannot sketch an empty sequence")
+        data = [float(v) for v in values]
+        mean = statistics.fmean(data)
+        m2 = sum((v - mean) ** 2 for v in data)
+        return cls(
+            count=len(data), mean=mean, m2=m2, minimum=min(data), maximum=max(data)
+        )
+
+    def merge(self, other: "PartialSummary") -> "PartialSummary":
+        """Combine two sketches (Chan et al. parallel variance update)."""
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / total
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / total
+        return PartialSummary(
+            count=total,
+            mean=mean,
+            m2=m2,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (matches :func:`statistics.stdev`)."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.count - 1))
+
+    def confidence_interval(self) -> tuple[float, float]:
+        """95% normal-approximation CI, matching :func:`summarize`."""
+        if self.count < 2:
+            return (self.mean, self.mean)
+        half_width = _Z95 * self.stdev / math.sqrt(self.count)
+        return (self.mean - half_width, self.mean + half_width)
+
+
+def merge_partial_summaries(parts: Sequence[PartialSummary]) -> PartialSummary:
+    """Fold any number of chunk sketches into one."""
+    if not parts:
+        raise ValueError("cannot merge zero partial summaries")
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merge(part)
+    return merged
 
 
 def wilson_interval(successes: int, trials: int, z: float = _Z95) -> tuple[float, float]:

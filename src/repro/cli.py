@@ -11,6 +11,15 @@ Commands
     tables; ``--save`` also writes markdown into a directory.
 ``run-all [--full] [--save DIR]``
     Run the entire registry in order.
+``sweep [grid options] [--workers N] [--resume] [--out FILE]``
+    Fan a (family × n × δ × algorithm × seeds) trial grid out over a
+    process pool (:mod:`repro.experiments.parallel`).  Results are
+    byte-identical for every worker count; with ``--cache-dir`` the
+    sweep streams into a content-addressed cache and ``--resume``
+    (the default) finishes interrupted runs instead of recomputing.
+
+Run ``python -m repro --help`` (or ``<command> --help``) for the full
+option reference.
 """
 
 from __future__ import annotations
@@ -22,6 +31,22 @@ import time
 from repro.experiments.workloads import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
+
+_EPILOG = """\
+commands (run `<command> --help` for its options):
+  list                  list registered experiments and their claims
+  describe KEY [...]    print what an experiment measures and how
+  run KEY [...]         run experiments and print their tables
+  run-all               run the whole registry in order
+  sweep                 fan a trial grid out over a process pool, with
+                        an optional resumable result cache
+
+examples:
+  python -m repro list
+  python -m repro run T1-SCALING --save results/
+  python -m repro sweep --family er-min-degree --n 200 --n 400 \\
+      --algorithm trivial --seeds 10 --workers 0 --out sweep.jsonl
+"""
 
 
 def _cmd_list() -> int:
@@ -64,11 +89,60 @@ def _cmd_run(keys: list[str], full: bool, save: str | None) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.parallel import SweepSpec, run_sweep
+
+    try:
+        spec = SweepSpec(
+            name=args.name,
+            families=tuple(args.family or ["er-min-degree"]),
+            ns=tuple(args.n or [200, 400]),
+            deltas=tuple(args.delta or ["n^0.75"]),
+            algorithms=tuple(args.algorithm or ["trivial"]),
+            seeds=tuple(range(args.seeds)),
+            preset=args.preset,
+            max_rounds=args.max_rounds,
+        )
+    except ReproError as error:
+        print(f"bad sweep spec: {error}", file=sys.stderr)
+        return 2
+
+    def progress(completed: int, total: int) -> None:
+        print(
+            f"\r[{spec.name}] {completed}/{total} trials",
+            end="", file=sys.stderr, flush=True,
+        )
+
+    try:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ReproError as error:
+        # e.g. a family/parameter combination the generator rejects
+        # (regular graphs need n·δ even) — a user error, not a crash.
+        print(file=sys.stderr)
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 1
+    print(file=sys.stderr)
+    print(result.summary_table().render())
+    if args.out:
+        target = result.write_jsonl(args.out)
+        print(f"[{len(result.records)} records written to {target}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Fast Neighborhood Rendezvous (ICDCS 2020) experiment runner",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list registered experiments")
@@ -85,6 +159,52 @@ def main(argv: list[str] | None = None) -> int:
     all_parser.add_argument("--full", action="store_true")
     all_parser.add_argument("--save", default=None)
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a parallel trial grid (see --help epilog)"
+    )
+    sweep_parser.add_argument("--name", default="cli", help="sweep name for reports")
+    sweep_parser.add_argument(
+        "--family", action="append",
+        help="graph family axis, repeatable (default: er-min-degree)",
+    )
+    sweep_parser.add_argument(
+        "--n", action="append", type=int,
+        help="instance size axis, repeatable (default: 200 400)",
+    )
+    sweep_parser.add_argument(
+        "--delta", action="append",
+        help="min-degree rule axis: an integer or 'n^<exp>' (default: n^0.75)",
+    )
+    sweep_parser.add_argument(
+        "--algorithm", action="append",
+        help="algorithm axis, repeatable (default: trivial)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=5, help="seeds 0..N-1 per grid point (default 5)"
+    )
+    sweep_parser.add_argument(
+        "--preset", default="tuned",
+        help="constants preset: paper|tuned|testing|aggressive (default tuned)",
+    )
+    sweep_parser.add_argument(
+        "--max-rounds", type=int, default=None, help="round budget override"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes; 0 = one per core, 1 = inline (default 0)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache directory (enables resume)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse cached trials of this spec (--no-resume recomputes)",
+    )
+    sweep_parser.add_argument(
+        "--out", default=None, help="write raw records as JSON lines to this file"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -92,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_describe(args.keys)
     if args.command == "run":
         return _cmd_run(args.keys, args.full, args.save)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return _cmd_run(list(EXPERIMENTS), args.full, args.save)
 
 

@@ -4,6 +4,11 @@ Every quantitative claim of the paper maps to one entry of
 :data:`~repro.experiments.workloads.EXPERIMENTS`; the benchmark suite
 (``benchmarks/``) and the CLI (``python -m repro``) both drive this
 registry.  ``EXPERIMENTS.md`` records one section per entry.
+
+Large grids run through the process-pool sweep engine
+(:mod:`repro.experiments.parallel`) with its content-addressed result
+cache (:mod:`repro.experiments.cache`); ``repro sweep`` on the command
+line is the front door.
 """
 
 from repro.experiments.harness import (
@@ -12,8 +17,12 @@ from repro.experiments.harness import (
     repeat_trials,
     aggregate_rounds,
 )
+from repro.experiments.cache import ResultCache, content_hash
+from repro.experiments.parallel import SweepPoint, SweepResult, SweepSpec, run_sweep
 from repro.experiments.report import Table
 from repro.experiments.results_io import (
+    record_from_jsonable,
+    record_to_jsonable,
     write_records_jsonl,
     read_records_jsonl,
     write_records_csv,
@@ -26,6 +35,14 @@ __all__ = [
     "repeat_trials",
     "aggregate_rounds",
     "Table",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "ResultCache",
+    "content_hash",
+    "record_to_jsonable",
+    "record_from_jsonable",
     "write_records_jsonl",
     "read_records_jsonl",
     "write_records_csv",

@@ -1,0 +1,137 @@
+"""Content-addressed on-disk cache for sweep trial results.
+
+The parallel sweep engine (:mod:`repro.experiments.parallel`) keys
+every trial by the hash of its *content* — the grid point's family,
+size, δ rule, algorithm, seed, constants preset, and round budget —
+so a cached record is valid exactly as long as that tuple is, and a
+re-run of the same :class:`~repro.experiments.parallel.SweepSpec`
+never recomputes a trial it already has on disk.
+
+Storage is one JSON-lines file per spec (``<dir>/<spec_hash>.jsonl``,
+one ``{"key": ..., "record": ...}`` object per line, flushed after
+every append) plus a human-readable ``<spec_hash>.spec.json``
+manifest.  Appending line-by-line makes interrupted sweeps resumable:
+loading tolerates a truncated final line and simply re-runs whatever
+is missing.  All record (de)serialization goes through
+:mod:`repro.experiments.results_io`, so cached records round-trip
+exactly like exported ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, IO
+
+from repro.experiments.harness import TrialRecord
+from repro.experiments.results_io import record_from_jsonable, record_to_jsonable
+
+__all__ = ["CACHE_FORMAT_VERSION", "content_hash", "ResultCache"]
+
+#: Bump to invalidate every existing cache file (schema changes).
+CACHE_FORMAT_VERSION = 1
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Canonical means sorted keys and compact separators, so logically
+    equal payloads hash identically regardless of construction order.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Append-only JSON-lines store of trial records keyed by content hash.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first write.
+    spec_hash:
+        Hash of the owning sweep spec — names the cache file.
+    spec_payload:
+        Optional JSON-able description of the spec, written once as a
+        ``.spec.json`` manifest next to the data for human inspection.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        spec_hash: str,
+        spec_payload: Any | None = None,
+    ) -> None:
+        self._directory = Path(directory)
+        self._spec_hash = spec_hash
+        self._spec_payload = spec_payload
+        self._handle: IO[str] | None = None
+
+    @property
+    def path(self) -> Path:
+        """The JSON-lines data file backing this cache."""
+        return self._directory / f"{self._spec_hash}.jsonl"
+
+    @property
+    def manifest_path(self) -> Path:
+        """The human-readable spec manifest next to the data file."""
+        return self._directory / f"{self._spec_hash}.spec.json"
+
+    def load(self) -> dict[str, TrialRecord]:
+        """All cached records, keyed by content hash.
+
+        Blank, truncated, or otherwise corrupt lines (an interrupted
+        writer) are skipped — the sweep engine recomputes those keys.
+        Duplicate keys keep the last occurrence.
+        """
+        if not self.path.exists():
+            return {}
+        loaded: dict[str, TrialRecord] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    key = payload["key"]
+                    record = record_from_jsonable(payload["record"])
+                except (ValueError, KeyError, TypeError):
+                    continue
+                loaded[key] = record
+        return loaded
+
+    def reset(self) -> None:
+        """Discard the on-disk contents (``--no-resume`` semantics)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def append(self, key: str, record: TrialRecord) -> None:
+        """Persist one record; flushed immediately for crash safety."""
+        if self._handle is None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            if self._spec_payload is not None and not self.manifest_path.exists():
+                self.manifest_path.write_text(
+                    json.dumps(self._spec_payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+            self._handle = self.path.open("a", encoding="utf-8")
+        payload = {"key": key, "record": record_to_jsonable(record)}
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Release the file handle (safe to call repeatedly)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

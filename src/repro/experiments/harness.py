@@ -94,10 +94,32 @@ def repeat_trials(
     graph: StaticGraph,
     algorithm: str,
     seeds: range | list[int],
+    workers: int | None = None,
     **kwargs: Any,
 ) -> list[TrialRecord]:
-    """Run one trial per seed (new random starts and tapes each time)."""
-    return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
+    """Run one trial per seed (new random starts and tapes each time).
+
+    ``workers`` above 1 fans the seeds out over a process pool via
+    :func:`repro.experiments.parallel.map_trials` (``0`` means one
+    worker per core, as everywhere in the sweep engine); the default
+    of ``None`` consults the ambient configuration (the
+    ``REPRO_PARALLEL_WORKERS`` environment variable or
+    :func:`repro.experiments.parallel.configure`), so existing callers
+    opt in without code changes.  Every trial is independently seeded,
+    so the returned records are identical either way.
+    """
+    seed_list = list(seeds)
+    # Imported lazily: parallel imports run_trial from this module.
+    from repro.experiments import parallel
+
+    count = (
+        parallel.ambient_workers()
+        if workers is None
+        else parallel.resolve_workers(workers)
+    )
+    if count > 1 and len(seed_list) > 1:
+        return parallel.map_trials(graph, algorithm, seed_list, count, **kwargs)
+    return [run_trial(graph, algorithm, seed, **kwargs) for seed in seed_list]
 
 
 def aggregate_rounds(records: list[TrialRecord]) -> Summary:

@@ -1,0 +1,586 @@
+"""Process-pool sweep engine: seeded trial grids fanned out over cores.
+
+The serial harness (:mod:`repro.experiments.harness`) runs one trial
+at a time; this module scales the same trials across CPU cores while
+keeping the output *bit-for-bit deterministic*:
+
+* a :class:`SweepSpec` names a grid — graph family × n × δ rule ×
+  algorithm × seeds — and every grid point is enumerated in one fixed
+  order, independent of worker count;
+* workers rebuild each graph from a seeded generator tag (graphs are
+  never pickled), run the fully seeded trials of their chunk, and
+  stream ``(index, TrialRecord)`` pairs back;
+* :func:`run_sweep` reassembles records in grid order, so
+  ``workers=1`` and ``workers=8`` produce byte-identical JSON lines;
+* an optional content-addressed cache (:mod:`repro.experiments.cache`)
+  makes re-runs and interrupted sweeps resume instead of recompute.
+
+Existing callers opt in without code changes: set the
+``REPRO_PARALLEL_WORKERS`` environment variable (or call
+:func:`configure`) and :func:`repro.experiments.harness.repeat_trials`
+fans its seeds out through :func:`map_trials` transparently.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+import multiprocessing
+import random
+
+from repro.analysis.stats import PartialSummary, merge_partial_summaries, summarize
+from repro.core.constants import Constants
+from repro.core.api import ALGORITHMS
+from repro.errors import ReproError
+from repro.experiments.cache import CACHE_FORMAT_VERSION, ResultCache, content_hash
+from repro.experiments.harness import TrialRecord, run_trial
+from repro.experiments.report import Table
+from repro.experiments.results_io import write_records_jsonl
+from repro.graphs.generators import (
+    complete_graph,
+    powerlaw_graph_with_floor,
+    random_geometric_dense_graph,
+    random_graph_with_min_degree,
+    random_regular_graph,
+)
+from repro.graphs.graph import StaticGraph
+
+__all__ = [
+    "GRAPH_FAMILIES",
+    "CONSTANTS_PRESETS",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepResult",
+    "build_graph",
+    "resolve_delta",
+    "run_sweep",
+    "map_trials",
+    "configure",
+    "ambient_workers",
+    "resolve_workers",
+]
+
+#: Environment variable consulted by :func:`ambient_workers`.
+WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
+
+#: Graph families a sweep can range over: ``name -> builder(n, delta, rng)``.
+GRAPH_FAMILIES: dict[str, Callable[[int, int, random.Random], StaticGraph]] = {
+    "er-min-degree": random_graph_with_min_degree,
+    "geometric": random_geometric_dense_graph,
+    "regular": random_regular_graph,
+    "powerlaw": powerlaw_graph_with_floor,
+    "complete": lambda n, delta, rng: complete_graph(n),
+}
+
+#: Constants presets addressable by name in a spec.
+CONSTANTS_PRESETS: dict[str, Callable[[], Constants]] = {
+    "paper": Constants.paper,
+    "tuned": Constants.tuned,
+    "testing": Constants.testing,
+    "aggressive": Constants.aggressive,
+}
+
+
+def resolve_delta(delta_spec: str, n: int) -> int:
+    """Turn a δ rule into a concrete request for instance size ``n``.
+
+    Two forms are accepted: a plain integer (``"90"``) used verbatim,
+    or an exponent rule ``"n^0.75"`` resolving to ``max(8, round(n^e))``
+    — the convention the registry experiments use throughout.
+    """
+    spec = delta_spec.strip()
+    if spec.startswith("n^"):
+        try:
+            exponent = float(spec[2:])
+        except ValueError:
+            raise ReproError(f"bad delta rule {delta_spec!r}: want 'n^<float>'") from None
+        return max(8, round(n ** exponent))
+    try:
+        return int(spec)
+    except ValueError:
+        raise ReproError(
+            f"bad delta rule {delta_spec!r}: want an integer or 'n^<float>'"
+        ) from None
+
+
+def build_graph(family: str, n: int, delta_spec: str) -> StaticGraph:
+    """Deterministically build one sweep instance.
+
+    The generator RNG is seeded from the ``(family, n, delta)`` tag
+    alone, so every worker process — and every re-run — reconstructs
+    the identical graph without any pickling.
+    """
+    try:
+        builder = GRAPH_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(GRAPH_FAMILIES))
+        raise ReproError(f"unknown graph family {family!r}; known: {known}") from None
+    delta = resolve_delta(delta_spec, n)
+    rng = random.Random(f"sweep-graph:{family}:{n}:{delta_spec}")
+    return builder(n, delta, rng)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a single seeded trial of one algorithm."""
+
+    index: int
+    family: str
+    n: int
+    delta_spec: str
+    algorithm: str
+    seed: int
+
+    def graph_key(self) -> tuple[str, int, str]:
+        """Points sharing this key run on the same instance."""
+        return (self.family, self.n, self.delta_spec)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full factorial grid of seeded trials.
+
+    Every axis is a tuple; the grid is the cross product in the fixed
+    order families × ns × deltas × algorithms × seeds.  The spec (not
+    the worker count) determines the result, which is why its hash
+    names the cache file.
+    """
+
+    name: str
+    families: tuple[str, ...] = ("er-min-degree",)
+    ns: tuple[int, ...] = (200, 400)
+    deltas: tuple[str, ...] = ("n^0.75",)
+    algorithms: tuple[str, ...] = ("trivial",)
+    seeds: tuple[int, ...] = tuple(range(5))
+    preset: str = "tuned"
+    max_rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "families", tuple(self.families))
+        object.__setattr__(self, "ns", tuple(int(n) for n in self.ns))
+        object.__setattr__(self, "deltas", tuple(str(d) for d in self.deltas))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        for family in self.families:
+            if family not in GRAPH_FAMILIES:
+                known = ", ".join(sorted(GRAPH_FAMILIES))
+                raise ReproError(f"unknown graph family {family!r}; known: {known}")
+        for algorithm in self.algorithms:
+            if algorithm not in ALGORITHMS:
+                known = ", ".join(sorted(ALGORITHMS))
+                raise ReproError(f"unknown algorithm {algorithm!r}; known: {known}")
+        if self.preset not in CONSTANTS_PRESETS:
+            known = ", ".join(sorted(CONSTANTS_PRESETS))
+            raise ReproError(f"unknown constants preset {self.preset!r}; known: {known}")
+        for delta_spec, n in ((d, n) for d in self.deltas for n in self.ns):
+            resolve_delta(delta_spec, n)  # raises on malformed rules
+        if not (self.families and self.ns and self.deltas
+                and self.algorithms and self.seeds):
+            raise ReproError("every sweep axis needs at least one value")
+
+    def points(self) -> list[SweepPoint]:
+        """The grid in its one canonical enumeration order."""
+        out: list[SweepPoint] = []
+        for family in self.families:
+            for n in self.ns:
+                for delta_spec in self.deltas:
+                    for algorithm in self.algorithms:
+                        for seed in self.seeds:
+                            out.append(SweepPoint(
+                                index=len(out),
+                                family=family,
+                                n=n,
+                                delta_spec=delta_spec,
+                                algorithm=algorithm,
+                                seed=seed,
+                            ))
+        return out
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able description (cache manifest, spec hashing)."""
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "name": self.name,
+            "families": list(self.families),
+            "ns": list(self.ns),
+            "deltas": list(self.deltas),
+            "algorithms": list(self.algorithms),
+            "seeds": list(self.seeds),
+            "preset": self.preset,
+            "max_rounds": self.max_rounds,
+        }
+
+    def spec_hash(self) -> str:
+        """Content hash naming this spec's cache file (16 hex chars)."""
+        return content_hash(self.describe())[:16]
+
+    def point_key(self, point: SweepPoint) -> str:
+        """Content hash of one trial (what the cache is keyed by)."""
+        return content_hash({
+            "version": CACHE_FORMAT_VERSION,
+            "family": point.family,
+            "n": point.n,
+            "delta": point.delta_spec,
+            "algorithm": point.algorithm,
+            "seed": point.seed,
+            "preset": self.preset,
+            "max_rounds": self.max_rounds,
+        })
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything :func:`run_sweep` produced, in grid order."""
+
+    spec: SweepSpec
+    records: tuple[TrialRecord, ...]
+    executed: int
+    cached: int
+    workers: int
+    elapsed: float
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Export the raw records (byte-identical across worker counts)."""
+        return write_records_jsonl(self.records, path)
+
+    def grouped(self) -> dict[tuple[str, int, str, str], list[TrialRecord]]:
+        """Records grouped by (family, n, delta rule, algorithm)."""
+        points = self.spec.points()
+        groups: dict[tuple[str, int, str, str], list[TrialRecord]] = {}
+        for point, record in zip(points, self.records):
+            key = (point.family, point.n, point.delta_spec, point.algorithm)
+            groups.setdefault(key, []).append(record)
+        return groups
+
+    def rounds_sketch(self) -> PartialSummary | None:
+        """Overall successful-rounds sketch, merged from per-group partials.
+
+        Each (family, n, δ, algorithm) group contributes one
+        :class:`~repro.analysis.stats.PartialSummary`; the fold is the
+        same merge a distributed aggregator would do with partial
+        results instead of raw records.  ``None`` when no trial met.
+        """
+        parts = []
+        for records in self.grouped().values():
+            rounds = [r.rounds for r in records if r.met]
+            if rounds:
+                parts.append(PartialSummary.of(rounds))
+        return merge_partial_summaries(parts) if parts else None
+
+    def summary_table(self) -> Table:
+        """One row per grid point family, aggregated over seeds."""
+        table = Table(
+            title=f"SWEEP {self.spec.name} — preset {self.spec.preset}",
+            headers=[
+                "family", "n", "delta rule", "delta", "algorithm",
+                "met", "mean rounds", "median rounds",
+            ],
+        )
+        for (family, n, delta_spec, algorithm), records in self.grouped().items():
+            met = [r for r in records if r.met]
+            rounds = [r.rounds for r in met]
+            summary = summarize(rounds) if rounds else None
+            table.add_row(
+                family, n, delta_spec, records[0].delta, algorithm,
+                f"{len(met)}/{len(records)}",
+                summary.mean if summary else float("nan"),
+                summary.median if summary else float("nan"),
+            )
+        sketch = self.rounds_sketch()
+        if sketch is not None:
+            low, high = sketch.confidence_interval()
+            table.add_note(
+                f"all groups pooled: mean rounds {sketch.mean:.1f} "
+                f"[{low:.1f}, {high:.1f}] over {sketch.count} successful trials"
+            )
+        table.add_note(
+            f"{self.executed} trials executed, {self.cached} served from cache, "
+            f"{self.workers} worker(s), {self.elapsed:.1f}s wall clock"
+        )
+        return table
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _GraphChunk:
+    """All pending trials of one instance, shipped to one worker."""
+
+    family: str
+    n: int
+    delta_spec: str
+    preset: str
+    max_rounds: int | None
+    trials: tuple[tuple[int, str, int], ...]  # (point index, algorithm, seed)
+
+
+def _run_chunk(chunk: _GraphChunk) -> list[tuple[int, TrialRecord]]:
+    """Build the chunk's graph once and run every trial in it."""
+    graph = build_graph(chunk.family, chunk.n, chunk.delta_spec)
+    constants = CONSTANTS_PRESETS[chunk.preset]()
+    out: list[tuple[int, TrialRecord]] = []
+    for index, algorithm, seed in chunk.trials:
+        record = run_trial(
+            graph, algorithm, seed,
+            constants=constants, max_rounds=chunk.max_rounds,
+        )
+        out.append((index, record))
+    return out
+
+
+def _chunk_points(
+    spec: SweepSpec, pending: Sequence[SweepPoint], workers: int
+) -> list[_GraphChunk]:
+    """Group pending points by instance, preserving enumeration order.
+
+    With more than one worker, each instance's trials are further
+    split into batches sized to keep every worker busy — otherwise a
+    single-instance grid (one family, one n, many seeds: the most
+    common sweep shape) would collapse into one chunk and run
+    serially.  Sub-chunks rebuild the same graph, trading a little
+    generator time for load balance; chunking never affects results,
+    which are reassembled by grid index.
+    """
+    grouped: dict[tuple[str, int, str], list[SweepPoint]] = {}
+    for point in pending:
+        grouped.setdefault(point.graph_key(), []).append(point)
+    if workers > 1 and pending:
+        batch_size = max(1, -(-len(pending) // (workers * 4)))
+    else:
+        batch_size = max(1, len(pending))
+    chunks: list[_GraphChunk] = []
+    for (family, n, delta_spec), points in grouped.items():
+        for start in range(0, len(points), batch_size):
+            batch = points[start:start + batch_size]
+            chunks.append(_GraphChunk(
+                family=family,
+                n=n,
+                delta_spec=delta_spec,
+                preset=spec.preset,
+                max_rounds=spec.max_rounds,
+                trials=tuple((p.index, p.algorithm, p.seed) for p in batch),
+            ))
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# Worker-count policy
+# ----------------------------------------------------------------------
+
+_configured_workers: int | None = None
+
+
+def configure(workers: int | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default workers.
+
+    This is the programmatic twin of ``REPRO_PARALLEL_WORKERS``: once
+    set above 1 (or to 0 = one per core), every
+    :func:`repro.experiments.harness.repeat_trials` call fans out
+    without its callers changing.
+    """
+    global _configured_workers
+    _configured_workers = None if workers is None else int(workers)
+
+
+def ambient_workers() -> int:
+    """The opt-in default worker count (1 means stay serial).
+
+    Precedence: :func:`configure` > ``REPRO_PARALLEL_WORKERS`` > 1.
+    A value of 0 means one worker per core, as everywhere in the
+    engine; the serial default keeps library behaviour unchanged
+    unless a caller or the environment explicitly opts in.
+    """
+    if _configured_workers is not None:
+        return resolve_workers(_configured_workers)
+    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if env:
+        try:
+            return resolve_workers(int(env))
+        except ValueError:
+            raise ReproError(
+                f"{WORKERS_ENV_VAR}={env!r} is not an integer"
+            ) from None
+    return 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` argument (``None``/``0`` → all cores)."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ReproError(f"workers must be >= 0 (0 = one per core), got {workers}")
+    return int(workers)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (cheap, shares the loaded package) on Linux.
+
+    macOS offers ``fork`` too, but forking after system frameworks
+    load is documented as crash-prone there (CPython's own default
+    moved to ``spawn``) — so anywhere but Linux we spawn, which only
+    requires ``repro`` to be importable in the child.
+    """
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    resume: bool = True,
+    progress: Callable[[int, int], None] | None = None,
+) -> SweepResult:
+    """Run (or finish) a sweep and return its records in grid order.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers:
+        Process count; ``None`` or ``0`` use every core, ``1`` runs
+        inline (no pool).  The records are identical either way —
+        parallelism only changes the wall clock.
+    cache_dir:
+        When given, completed trials are streamed into a
+        content-addressed cache there and later runs of the same spec
+        reuse them (see :mod:`repro.experiments.cache`).
+    resume:
+        With a cache: load cached trials first and run only the rest.
+        ``False`` discards the cache file and recomputes everything.
+    progress:
+        Optional ``callback(done, total)`` fired after every completed
+        chunk — the CLI uses it for a stderr ticker.
+    """
+    points = spec.points()
+    total = len(points)
+    worker_count = resolve_workers(workers)
+
+    cache: ResultCache | None = None
+    done: dict[int, TrialRecord] = {}
+    started = time.perf_counter()
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir, spec.spec_hash(), spec_payload=spec.describe())
+        if resume:
+            cached_records = cache.load()
+            for point in points:
+                hit = cached_records.get(spec.point_key(point))
+                if hit is not None:
+                    done[point.index] = hit
+        else:
+            cache.reset()
+    cached_hits = len(done)
+
+    pending = [p for p in points if p.index not in done]
+    key_of = (
+        {p.index: spec.point_key(p) for p in pending} if cache is not None else {}
+    )
+    chunks = _chunk_points(spec, pending, worker_count)
+
+    def consume(results: Iterable[tuple[int, TrialRecord]]) -> None:
+        for index, record in results:
+            done[index] = record
+            if cache is not None:
+                cache.append(key_of[index], record)
+        if progress is not None:
+            progress(len(done), total)
+
+    try:
+        if worker_count <= 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                consume(_run_chunk(chunk))
+        else:
+            context = _pool_context()
+            pool_size = min(worker_count, len(chunks))
+            with ProcessPoolExecutor(pool_size, mp_context=context) as pool:
+                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        consume(future.result())
+    finally:
+        if cache is not None:
+            cache.close()
+
+    records = tuple(done[point.index] for point in points)
+    return SweepResult(
+        spec=spec,
+        records=records,
+        executed=total - cached_hits,
+        cached=cached_hits,
+        workers=worker_count,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Drop-in fan-out for the serial harness
+# ----------------------------------------------------------------------
+
+
+def _run_seed_batch(
+    payload: tuple[StaticGraph, str, list[int], dict[str, Any]]
+) -> list[TrialRecord]:
+    graph, algorithm, seeds, kwargs = payload
+    return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
+
+
+def map_trials(
+    graph: StaticGraph,
+    algorithm: str,
+    seeds: Sequence[int],
+    workers: int,
+    **kwargs: Any,
+) -> list[TrialRecord]:
+    """Parallel twin of the ``repeat_trials`` loop, same return value.
+
+    The seed list is dealt round-robin into one batch per worker
+    (each trial is independently seeded, so batch composition does
+    not change any record) and results are reassembled in seed
+    order.  Arguments that cannot cross a process boundary
+    (unpicklable graph or kwargs) fall back to the serial loop
+    rather than failing — checked up front, so errors raised by the
+    trials themselves propagate normally without discarding work.
+    """
+    seeds = [int(s) for s in seeds]
+    worker_count = min(resolve_workers(workers), len(seeds))
+    if worker_count > 1:
+        try:
+            pickle.dumps((graph, kwargs))
+        except (pickle.PicklingError, TypeError, AttributeError):
+            worker_count = 1
+    if worker_count <= 1:
+        return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
+    batches: list[list[int]] = [[] for _ in range(worker_count)]
+    for position in range(len(seeds)):
+        batches[position % worker_count].append(position)
+    with ProcessPoolExecutor(worker_count, mp_context=_pool_context()) as pool:
+        results = list(pool.map(
+            _run_seed_batch,
+            [
+                (graph, algorithm, [seeds[i] for i in batch], kwargs)
+                for batch in batches
+            ],
+        ))
+    by_position: dict[int, TrialRecord] = {}
+    for batch, records in zip(batches, results):
+        for position, record in zip(batch, records):
+            by_position[position] = record
+    return [by_position[position] for position in range(len(seeds))]

@@ -17,7 +17,13 @@ from typing import Any, Iterable
 
 from repro.experiments.harness import TrialRecord
 
-__all__ = ["write_records_jsonl", "read_records_jsonl", "write_records_csv"]
+__all__ = [
+    "record_to_jsonable",
+    "record_from_jsonable",
+    "write_records_jsonl",
+    "read_records_jsonl",
+    "write_records_csv",
+]
 
 _CSV_FIELDS = [
     "algorithm", "graph_name", "n", "id_space", "delta", "max_degree",
@@ -38,15 +44,25 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def record_to_jsonable(record: TrialRecord) -> dict[str, Any]:
+    """One record as a plain JSON-able dict (reports coerced)."""
+    payload = asdict(record)
+    payload["reports"] = _jsonable(payload["reports"])
+    return payload
+
+
+def record_from_jsonable(payload: dict[str, Any]) -> TrialRecord:
+    """Inverse of :func:`record_to_jsonable`."""
+    return TrialRecord(**payload)
+
+
 def write_records_jsonl(records: Iterable[TrialRecord], path: str | Path) -> Path:
     """Write records as one JSON object per line; returns the path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
         for record in records:
-            payload = asdict(record)
-            payload["reports"] = _jsonable(payload["reports"])
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.write(json.dumps(record_to_jsonable(record), sort_keys=True) + "\n")
     return target
 
 
@@ -58,8 +74,7 @@ def read_records_jsonl(path: str | Path) -> list[TrialRecord]:
             line = line.strip()
             if not line:
                 continue
-            payload = json.loads(line)
-            records.append(TrialRecord(**payload))
+            records.append(record_from_jsonable(json.loads(line)))
     return records
 
 

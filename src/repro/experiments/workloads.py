@@ -33,7 +33,9 @@ from repro.core.no_whiteboard import NoWhiteboardA, NoWhiteboardB
 from repro.extensions.multihop import multihop_programs
 from repro.runtime.multi import MultiAgentScheduler
 from repro.core.sample import sample_run
+from repro.errors import ReproError
 from repro.experiments.harness import repeat_trials, run_trial
+from repro.experiments.parallel import SweepSpec, resolve_delta, run_sweep
 from repro.experiments.report import Table
 from repro.graphs.generators import (
     complete_graph,
@@ -67,7 +69,8 @@ def _rng(tag: str) -> random.Random:
 
 
 def _delta_for(n: int, exponent: float = 0.75) -> int:
-    return max(8, round(n ** exponent))
+    # One δ convention for registry experiments and sweep specs alike.
+    return resolve_delta(f"n^{exponent}", n)
 
 
 def two_hop_oracle(
@@ -960,6 +963,35 @@ def run_ext_distance_two(quick: bool = True) -> list[Table]:
     return [table]
 
 
+def run_parallel_sweep(quick: bool = True) -> list[Table]:
+    """Infrastructure: the parallel sweep engine on a cross-family grid.
+
+    Runs one :class:`~repro.experiments.parallel.SweepSpec` twice —
+    inline (``workers=1``) and through the process pool — and asserts
+    the records are identical, which is the engine's core guarantee
+    (DESIGN.md §3): worker count changes the wall clock, never the
+    results.  The table reports the fanned-out run.
+    """
+    spec = SweepSpec(
+        name="registry-demo",
+        families=("er-min-degree", "complete"),
+        ns=(200, 400) if quick else (200, 400, 800),
+        deltas=("n^0.75",),
+        algorithms=("trivial", "explore"),
+        seeds=tuple(range(3 if quick else 5)),
+    )
+    serial = run_sweep(spec, workers=1)
+    fanned = run_sweep(spec, workers=2)
+    if serial.records != fanned.records:  # the guarantee must survive -O
+        raise ReproError("sweep engine determinism violated across worker counts")
+    table = fanned.summary_table()
+    table.add_note(
+        "records verified byte-identical between workers=1 and workers=2; "
+        "see benchmarks/bench_parallel_sweep.py for the speedup measurement"
+    )
+    return [table]
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -1049,6 +1081,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "EXT-DIST2", "distance-two trail-mark extension",
             "extension (Theorem 5 caveat applies)", run_ext_distance_two,
+        ),
+        ExperimentSpec(
+            "PAR-SWEEP", "Parallel sweep engine demonstration",
+            "infrastructure (DESIGN.md §3)", run_parallel_sweep,
         ),
         ExperimentSpec(
             "ABL-CONSTANTS", "Constants presets ablation",

@@ -8,7 +8,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.fitting import fit_power_law
-from repro.analysis.stats import success_rate, summarize, wilson_interval
+from repro.analysis.stats import (
+    PartialSummary,
+    merge_partial_summaries,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
 
 
 class TestFitPowerLaw:
@@ -103,3 +109,54 @@ class TestWilson:
     def test_success_rate_empty(self):
         with pytest.raises(ValueError):
             success_rate([])
+
+
+class TestPartialSummary:
+    def test_merge_matches_whole_data_summary(self):
+        chunks = [[1.0, 2.0, 3.0], [10.0], [4.0, 5.0, 6.0, 7.0], [0.5, 0.25]]
+        merged = merge_partial_summaries([PartialSummary.of(c) for c in chunks])
+        whole = summarize([v for chunk in chunks for v in chunk])
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.stdev == pytest.approx(whole.stdev)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        lo, hi = merged.confidence_interval()
+        assert lo == pytest.approx(whole.ci_low)
+        assert hi == pytest.approx(whole.ci_high)
+
+    def test_merge_is_order_insensitive(self):
+        parts = [PartialSummary.of(c) for c in ([1, 2], [30, 40, 50], [6])]
+        forward = merge_partial_summaries(parts)
+        backward = merge_partial_summaries(list(reversed(parts)))
+        assert forward.count == backward.count
+        assert forward.mean == pytest.approx(backward.mean)
+        assert forward.stdev == pytest.approx(backward.stdev)
+
+    def test_single_value_chunk(self):
+        part = PartialSummary.of([7])
+        assert part.stdev == 0.0
+        assert part.confidence_interval() == (7.0, 7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PartialSummary.of([])
+        with pytest.raises(ValueError):
+            merge_partial_summaries([])
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=20,
+            ),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=50)
+    def test_merge_matches_whole_data_property(self, chunks):
+        merged = merge_partial_summaries([PartialSummary.of(c) for c in chunks])
+        whole = summarize([v for chunk in chunks for v in chunk])
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
+        assert merged.stdev == pytest.approx(whole.stdev, rel=1e-9, abs=1e-6)

@@ -1,0 +1,71 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cache import ResultCache, content_hash
+from repro.experiments.harness import run_trial
+from repro.graphs.generators import complete_graph
+
+
+def one_record():
+    return run_trial(complete_graph(16), "trivial", seed=0)
+
+
+class TestContentHash:
+    def test_stable_across_key_order(self):
+        assert content_hash({"a": 1, "b": [2, 3]}) == content_hash({"b": [2, 3], "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+    def test_hex_digest(self):
+        digest = content_hash("x")
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        record = one_record()
+        with ResultCache(tmp_path, "abc123") as cache:
+            cache.append("k1", record)
+        loaded = ResultCache(tmp_path, "abc123").load()
+        assert loaded == {"k1": record}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultCache(tmp_path, "nothing").load() == {}
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        record = one_record()
+        cache = ResultCache(tmp_path, "abc123")
+        cache.append("k1", record)
+        cache.close()
+        with cache.path.open("a", encoding="utf-8") as handle:
+            handle.write("{truncated\n")
+            handle.write("\n")
+            handle.write(json.dumps({"no_key": 1}) + "\n")
+        assert ResultCache(tmp_path, "abc123").load() == {"k1": record}
+
+    def test_duplicate_keys_keep_last(self, tmp_path):
+        first = one_record()
+        second = run_trial(complete_graph(16), "trivial", seed=1)
+        with ResultCache(tmp_path, "abc123") as cache:
+            cache.append("k", first)
+            cache.append("k", second)
+        assert ResultCache(tmp_path, "abc123").load() == {"k": second}
+
+    def test_reset_discards(self, tmp_path):
+        cache = ResultCache(tmp_path, "abc123")
+        cache.append("k1", one_record())
+        cache.reset()
+        assert not cache.path.exists()
+        assert cache.load() == {}
+
+    def test_manifest_written_once(self, tmp_path):
+        cache = ResultCache(tmp_path, "abc123", spec_payload={"name": "demo"})
+        cache.append("k1", one_record())
+        cache.close()
+        manifest = json.loads(cache.manifest_path.read_text())
+        assert manifest == {"name": "demo"}

@@ -37,3 +37,52 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_help_epilog_lists_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for command in ("list", "describe", "run", "run-all", "sweep"):
+            assert command in out
+
+
+class TestSweepCommand:
+    _grid = [
+        "sweep", "--name", "cli-test", "--family", "complete", "--n", "32",
+        "--algorithm", "trivial", "--seeds", "3",
+    ]
+
+    def test_smoke_and_out_file(self, capsys, tmp_path):
+        out_file = tmp_path / "records.jsonl"
+        assert main([*self._grid, "--workers", "1", "--out", str(out_file)]) == 0
+        assert "cli-test" in capsys.readouterr().out
+        assert len(out_file.read_text().splitlines()) == 3
+
+    def test_workers_do_not_change_output(self, capsys, tmp_path):
+        serial_out = tmp_path / "serial.jsonl"
+        fanned_out = tmp_path / "fanned.jsonl"
+        assert main([*self._grid, "--workers", "1", "--out", str(serial_out)]) == 0
+        assert main([*self._grid, "--workers", "2", "--out", str(fanned_out)]) == 0
+        assert serial_out.read_bytes() == fanned_out.read_bytes()
+
+    def test_cache_dir_resume(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = [*self._grid, "--workers", "1", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "3 served from cache" in capsys.readouterr().out
+
+    def test_bad_spec_rejected(self, capsys):
+        assert main(["sweep", "--family", "nope"]) == 2
+        assert "bad sweep spec" in capsys.readouterr().err
+
+    def test_generator_rejection_is_a_clean_error(self, capsys):
+        # Valid spec syntax, but regular graphs need n * delta even —
+        # the run-time failure must not escape as a traceback.
+        args = [
+            "sweep", "--family", "regular", "--n", "21", "--delta", "9",
+            "--seeds", "1", "--workers", "1",
+        ]
+        assert main(args) == 1
+        assert "sweep failed" in capsys.readouterr().err

@@ -1,0 +1,228 @@
+"""Tests for the process-pool sweep engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.harness import aggregate_rounds, repeat_trials
+from repro.experiments.parallel import (
+    SweepSpec,
+    ambient_workers,
+    build_graph,
+    configure,
+    map_trials,
+    resolve_delta,
+    resolve_workers,
+    run_sweep,
+)
+from repro.experiments.results_io import write_records_jsonl
+
+
+def small_spec(**overrides) -> SweepSpec:
+    settings = dict(
+        name="test",
+        families=("complete", "er-min-degree"),
+        ns=(48,),
+        deltas=("n^0.75",),
+        algorithms=("trivial",),
+        seeds=tuple(range(4)),
+    )
+    settings.update(overrides)
+    return SweepSpec(**settings)
+
+
+class TestSweepSpec:
+    def test_points_enumeration_is_canonical(self):
+        spec = small_spec()
+        points = spec.points()
+        assert len(points) == 2 * 1 * 1 * 1 * 4
+        assert [p.index for p in points] == list(range(8))
+        assert points[0].family == "complete"
+        assert [p.seed for p in points[:4]] == [0, 1, 2, 3]
+        # Two enumerations are identical objects field-for-field.
+        assert points == spec.points()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            small_spec(families=("nope",))
+        with pytest.raises(ReproError):
+            small_spec(algorithms=("nope",))
+        with pytest.raises(ReproError):
+            small_spec(preset="nope")
+        with pytest.raises(ReproError):
+            small_spec(deltas=("sqrt(n)",))
+        with pytest.raises(ReproError):
+            small_spec(seeds=())
+
+    def test_resolve_delta(self):
+        assert resolve_delta("90", 400) == 90
+        assert resolve_delta("n^0.75", 400) == max(8, round(400 ** 0.75))
+        assert resolve_delta("n^0.5", 9) == 8  # floor of 8
+
+    def test_spec_hash_tracks_content(self):
+        spec = small_spec()
+        assert spec.spec_hash() == small_spec().spec_hash()
+        assert spec.spec_hash() != small_spec(seeds=(0, 1)).spec_hash()
+        assert spec.spec_hash() != small_spec(preset="paper").spec_hash()
+
+    def test_build_graph_is_deterministic(self):
+        first = build_graph("er-min-degree", 48, "n^0.75")
+        second = build_graph("er-min-degree", 48, "n^0.75")
+        assert first.n == second.n
+        assert all(
+            first.neighbors(v) == second.neighbors(v) for v in first.vertices
+        )
+
+
+class TestRunSweepDeterminism:
+    def test_workers_1_vs_4_byte_identical(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep(spec, workers=1)
+        fanned = run_sweep(spec, workers=4)
+        assert serial.records == fanned.records
+        serial_path = write_records_jsonl(serial.records, tmp_path / "serial.jsonl")
+        fanned_path = write_records_jsonl(fanned.records, tmp_path / "fanned.jsonl")
+        assert serial_path.read_bytes() == fanned_path.read_bytes()
+
+    def test_single_instance_grid_still_fans_out(self):
+        # One family × one n: the engine must split the instance's
+        # trials into sub-chunks rather than collapse to one worker.
+        spec = small_spec(families=("complete",), seeds=tuple(range(8)))
+        serial = run_sweep(spec, workers=1)
+        fanned = run_sweep(spec, workers=4)
+        assert fanned.records == serial.records
+        assert fanned.workers == 4
+
+    def test_matches_serial_repeat_trials(self):
+        spec = small_spec(families=("er-min-degree",))
+        result = run_sweep(spec, workers=2)
+        graph = build_graph("er-min-degree", 48, "n^0.75")
+        serial = repeat_trials(graph, "trivial", range(4))
+        assert list(result.records) == serial
+
+    def test_merged_summary_equals_serial_path(self):
+        spec = small_spec()
+        result = run_sweep(spec, workers=2)
+        for (family, n, delta_spec, algorithm), records in result.grouped().items():
+            graph = build_graph(family, n, delta_spec)
+            serial = repeat_trials(graph, algorithm, spec.seeds)
+            assert aggregate_rounds(records) == aggregate_rounds(serial)
+
+    def test_summary_table_shape(self):
+        result = run_sweep(small_spec(), workers=1)
+        table = result.summary_table()
+        assert len(table.rows) == 2  # one per (family, n, delta, algorithm)
+        assert result.executed == 8
+        assert result.cached == 0
+
+
+class TestSweepCache:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = small_spec()
+        first = run_sweep(spec, workers=2, cache_dir=tmp_path)
+        second = run_sweep(spec, workers=2, cache_dir=tmp_path)
+        assert (first.executed, first.cached) == (8, 0)
+        assert (second.executed, second.cached) == (0, 8)
+        assert first.records == second.records
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        spec = small_spec()
+        complete = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        cache_file = tmp_path / f"{spec.spec_hash()}.jsonl"
+        lines = cache_file.read_text().splitlines()
+        # Simulate an interrupt: drop the last 3 records and leave a
+        # torn partial line behind.
+        cache_file.write_text("\n".join(lines[:5]) + "\n" + lines[5][:20])
+        resumed = run_sweep(spec, workers=2, cache_dir=tmp_path)
+        assert resumed.cached == 5
+        assert resumed.executed == 3
+        assert resumed.records == complete.records
+
+    def test_no_resume_recomputes(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, workers=1, cache_dir=tmp_path)
+        fresh = run_sweep(spec, workers=1, cache_dir=tmp_path, resume=False)
+        assert (fresh.executed, fresh.cached) == (8, 0)
+
+    def test_manifest_written(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, workers=1, cache_dir=tmp_path)
+        manifest = tmp_path / f"{spec.spec_hash()}.spec.json"
+        payload = json.loads(manifest.read_text())
+        assert payload["name"] == "test"
+        assert payload["algorithms"] == ["trivial"]
+
+    def test_progress_callback_reaches_total(self, tmp_path):
+        seen = []
+        run_sweep(
+            small_spec(), workers=2,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (8, 8)
+
+
+class TestHarnessOptIn:
+    def test_repeat_trials_workers_param(self):
+        graph = build_graph("complete", 32, "n^0.75")
+        serial = repeat_trials(graph, "trivial", range(4))
+        fanned = repeat_trials(graph, "trivial", range(4), workers=3)
+        assert serial == fanned
+
+    def test_env_var_opt_in(self, monkeypatch):
+        graph = build_graph("complete", 32, "n^0.75")
+        serial = repeat_trials(graph, "trivial", range(4))
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+        assert ambient_workers() == 2
+        assert repeat_trials(graph, "trivial", range(4)) == serial
+
+    def test_env_var_zero_means_all_cores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "0")
+        assert ambient_workers() == (os.cpu_count() or 1)
+
+    def test_env_var_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "many")
+        with pytest.raises(ReproError):
+            ambient_workers()
+
+    def test_configure_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "7")
+        configure(3)
+        try:
+            assert ambient_workers() == 3
+        finally:
+            configure(None)
+        assert ambient_workers() == 7
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ReproError):
+            resolve_workers(-1)
+
+    def test_map_trials_preserves_order_and_duplicates(self):
+        graph = build_graph("complete", 32, "n^0.75")
+        seeds = [3, 1, 1, 2]
+        records = map_trials(graph, "trivial", seeds, workers=2)
+        assert [r.seed for r in records] == seeds
+
+    def test_map_trials_unpicklable_graph_falls_back(self):
+        import pickle
+
+        from repro.graphs.generators import complete_graph
+        from repro.graphs.graph import StaticGraph
+
+        class UnpicklableGraph(StaticGraph):
+            def __reduce__(self):
+                raise pickle.PicklingError("cannot cross process boundary")
+
+        base = complete_graph(24)
+        graph = UnpicklableGraph({v: base.neighbors(v) for v in base.vertices})
+        serial = repeat_trials(base, "trivial", range(3))
+        records = map_trials(graph, "trivial", [0, 1, 2], workers=2)
+        assert [r.rounds for r in records] == [r.rounds for r in serial]

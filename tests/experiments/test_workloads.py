@@ -25,7 +25,7 @@ class TestRegistryContract:
             "T1-SCALING", "T1-DELTA", "T2-PHASES", "T2-FULL", "CONSTRUCT",
             "SAMPLE-ACC", "MAIN-RDV", "ESTIMATION", "LB-MINDEG", "LB-KT0",
             "LB-DIST2", "LB-DET", "COMPLETE-AW", "SHOOTOUT",
-            "ORACLES", "EXT-GATHER", "EXT-DIST2",
+            "ORACLES", "EXT-GATHER", "EXT-DIST2", "PAR-SWEEP",
             "ABL-CONSTANTS", "ABL-THRESHOLD", "ABL-DWELL",
         }
         assert keys == expected
