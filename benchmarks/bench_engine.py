@@ -1,0 +1,216 @@
+"""Benchmark for the unified runtime engine: equivalence and speedup.
+
+Replays identical seeded workloads through the frozen seed schedulers
+(:mod:`repro.runtime.reference`) and the engine-backed façades, on the
+three instance shapes named by the engine issue — ring, clique, and
+random-regular — and checks the refactor's two promises:
+
+* every execution is **byte-identical** between the two paths
+  (full :class:`~repro.runtime.engine.ExecutionResult` equality,
+  asserted on every machine and every workload);
+* the engine's per-round throughput is **≥ 1.5×** the seed
+  scheduler's, aggregated over all workloads (the refactor's gate).
+
+Runs under pytest (``pytest benchmarks/bench_engine.py``) and as a
+script (``python benchmarks/bench_engine.py [--quick]``, used by the
+CI benchmark smoke job).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.random_walk import RandomWalker
+from repro.experiments.report import Table
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+)
+from repro.runtime.actions import Move
+from repro.runtime.agent import AgentProgram
+from repro.runtime.reference import ReferenceSyncScheduler
+from repro.runtime.scheduler import SyncScheduler
+
+SPEEDUP_GATE = 1.5
+
+
+class _Circler(AgentProgram):
+    """Deterministic non-meeting walker: always take the last port."""
+
+    def run(self, ctx):
+        view = ctx.view
+        while True:
+            yield Move(view.neighbors[-1])
+
+
+class _Shifter(AgentProgram):
+    """On a clique: move to ``(v + 1) mod n`` forever (distance-preserving)."""
+
+    def run(self, ctx):
+        view = ctx.view
+        n = ctx.id_space
+        while True:
+            yield Move((view.vertex + 1) % n)
+
+
+@dataclass(frozen=True)
+class _Workload:
+    """One (graph, programs, seeds, budget) replay unit."""
+
+    name: str
+    graph_factory: Callable[[], object]
+    program_factory: Callable[[], tuple[AgentProgram, AgentProgram]]
+    seeds: tuple[int, ...]
+    budget: int
+
+
+def _workloads(quick: bool) -> list[_Workload]:
+    scale = 1 if quick else 4
+    return [
+        # Ring: two deterministic circlers orbit in opposite directions
+        # and never co-locate (parity), so every run simulates the full
+        # budget — a pure per-round throughput probe.
+        _Workload(
+            name="ring-512/circlers",
+            graph_factory=lambda: cycle_graph(512),
+            program_factory=lambda: (_Circler(), _Circler()),
+            seeds=(0,),
+            budget=60_000 * scale,
+        ),
+        # Clique: both agents shift by +1 every round; their distance
+        # is invariant, so again no meeting within the budget.
+        _Workload(
+            name="clique-256/shifters",
+            graph_factory=lambda: complete_graph(256),
+            program_factory=lambda: (_Shifter(), _Shifter()),
+            seeds=(0,),
+            budget=60_000 * scale,
+        ),
+        # Random-regular: lazy random walkers; executions may meet, so
+        # several seeds accumulate rounds.  Both paths replay the exact
+        # same executions, so the comparison stays apples-to-apples.
+        _Workload(
+            name="rr-400x8/random-walks",
+            graph_factory=lambda: random_regular_graph(400, 8, random.Random("bench-engine")),
+            program_factory=lambda: (RandomWalker(), RandomWalker()),
+            seeds=tuple(range(4 * scale)),
+            budget=30_000,
+        ),
+    ]
+
+
+def _replay(scheduler_cls, workload: _Workload) -> tuple[list, float, int]:
+    """Run every seeded execution of ``workload``; return results, time, rounds."""
+    graph = workload.graph_factory()
+    start_a, start_b = graph.vertices[0], graph.vertices[1]
+    results = []
+    rounds = 0
+    elapsed = 0.0
+    for seed in workload.seeds:
+        program_a, program_b = workload.program_factory()
+        scheduler = scheduler_cls(
+            graph,
+            program_a,
+            program_b,
+            start_a,
+            start_b,
+            seed=seed,
+            whiteboards=False,
+            max_rounds=workload.budget,
+        )
+        began = time.perf_counter()
+        result = scheduler.run()
+        elapsed += time.perf_counter() - began
+        results.append(result)
+        rounds += result.rounds
+    return results, elapsed, rounds
+
+
+def run_benchmark(quick: bool = False, repetitions: int = 3) -> Table:
+    """Measure seed-vs-engine throughput; assert equivalence and the gate.
+
+    Each workload is replayed ``repetitions`` times per path and the
+    fastest time kept (best-of-N absorbs scheduler noise on loaded
+    machines); the ≥ 1.5× gate is asserted on the aggregate.
+    """
+    table = Table(
+        title=f"ENGINE — per-round throughput vs the seed schedulers "
+              f"({'quick' if quick else 'full'} parameters)",
+        headers=["workload", "rounds", "seed kr/s", "engine kr/s", "speedup", "identical"],
+    )
+    total_ref = total_new = 0.0
+    total_rounds = 0
+    for workload in _workloads(quick):
+        ref_time = new_time = float("inf")
+        ref_results = new_results = None
+        rounds = 0
+        for _ in range(repetitions):
+            ref_results, elapsed, rounds = _replay(ReferenceSyncScheduler, workload)
+            ref_time = min(ref_time, elapsed)
+            new_results, elapsed, engine_rounds = _replay(SyncScheduler, workload)
+            new_time = min(new_time, elapsed)
+            assert engine_rounds == rounds
+        assert ref_results == new_results, (
+            f"engine diverged from the seed scheduler on {workload.name}"
+        )
+        table.add_row(
+            workload.name,
+            rounds,
+            round(rounds / ref_time / 1000, 1),
+            round(rounds / new_time / 1000, 1),
+            f"{ref_time / new_time:.2f}x",
+            True,
+        )
+        total_ref += ref_time
+        total_new += new_time
+        total_rounds += rounds
+
+    speedup = total_ref / total_new
+    table.add_row(
+        "TOTAL",
+        total_rounds,
+        round(total_rounds / total_ref / 1000, 1),
+        round(total_rounds / total_new / 1000, 1),
+        f"{speedup:.2f}x",
+        True,
+    )
+    table.add_note(
+        f"gate: aggregate engine speedup must be >= {SPEEDUP_GATE}x "
+        "(ExecutionResult equality is asserted per workload)"
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"engine speedup {speedup:.2f}x is below the {SPEEDUP_GATE}x gate"
+    )
+    return table
+
+
+def test_engine_speedup(capsys):
+    """Pytest entry point: full parameters, table to the terminal."""
+    table = run_benchmark(quick=False)
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller budgets/seed counts (CI smoke; same assertions)",
+    )
+    args = parser.parse_args(argv)
+    table = run_benchmark(quick=args.quick)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

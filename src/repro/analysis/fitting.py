@@ -13,8 +13,6 @@ import math
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-import numpy as np
-
 __all__ = ["PowerLawFit", "fit_power_law"]
 
 
@@ -41,12 +39,25 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
     if len(pairs) < 2:
         raise ValueError("need at least two positive points to fit")
-    log_x = np.array([math.log(x) for x, _ in pairs])
-    log_y = np.array([math.log(y) for _, y in pairs])
-    slope, intercept = np.polyfit(log_x, log_y, 1)
-    predicted = slope * log_x + intercept
-    residual = float(np.sum((log_y - predicted) ** 2))
-    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    # Degree-1 least squares has a closed form, so the fit stays
+    # stdlib-only (fsum keeps the sums stable for long sweeps).
+    log_x = [math.log(x) for x, _ in pairs]
+    log_y = [math.log(y) for _, y in pairs]
+    n = len(pairs)
+    mean_x = math.fsum(log_x) / n
+    mean_y = math.fsum(log_y) / n
+    sxx = math.fsum((lx - mean_x) ** 2 for lx in log_x)
+    if sxx == 0:
+        raise ValueError("need at least two distinct x values to fit")
+    sxy = math.fsum(
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+    )
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    residual = math.fsum(
+        (ly - (slope * lx + intercept)) ** 2 for lx, ly in zip(log_x, log_y)
+    )
+    total = math.fsum((ly - mean_y) ** 2 for ly in log_y)
     r_squared = 1.0 if total == 0 else max(0.0, 1.0 - residual / total)
     return PowerLawFit(
         exponent=float(slope),

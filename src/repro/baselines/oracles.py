@@ -167,9 +167,10 @@ def run_with_distance_oracle(
     holder: dict[str, SyncScheduler] = {}
 
     def oracle() -> int:
-        scheduler = holder["scheduler"]
-        positions = [d.position for d in (scheduler._a, scheduler._b)]  # noqa: SLF001
-        return bfs_distance(graph, positions[0], positions[1])
+        # The façade exposes the engine's live agent slots; positions
+        # are current mid-round (writes precede movements).
+        slot_a, slot_b = holder["scheduler"].drivers
+        return bfs_distance(graph, slot_a.position, slot_b.position)
 
     scheduler = SyncScheduler(
         graph,

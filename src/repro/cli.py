@@ -19,7 +19,8 @@ Commands
     (the default) finishes interrupted runs instead of recomputing.
 
 Run ``python -m repro --help`` (or ``<command> --help``) for the full
-option reference.
+option reference; ``docs/cli.md`` documents every subcommand with
+copy-pasteable examples.
 """
 
 from __future__ import annotations
@@ -46,6 +47,8 @@ examples:
   python -m repro run T1-SCALING --save results/
   python -m repro sweep --family er-min-degree --n 200 --n 400 \\
       --algorithm trivial --seeds 10 --workers 0 --out sweep.jsonl
+
+full reference with copy-pasteable examples: docs/cli.md
 """
 
 

@@ -217,7 +217,10 @@ def rendezvous(
         Round budget; default from :func:`default_round_budget`.
     scheduler_kwargs:
         Extra :class:`~repro.runtime.scheduler.SyncScheduler` options
-        (port model, labeling, trace recording, ...).
+        (port model, labeling, trace recording, ...).  Execution runs
+        on the unified runtime engine
+        (:class:`repro.runtime.engine.Engine`); ``docs/runtime.md``
+        specifies the round semantics.
     """
     spec = _lookup(algorithm)
     constants = constants if constants is not None else Constants.tuned()

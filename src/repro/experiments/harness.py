@@ -1,4 +1,10 @@
-"""Seeded trial running and aggregation for the experiment registry."""
+"""Seeded trial running and aggregation for the experiment registry.
+
+Every trial executes on the unified runtime engine
+(:class:`repro.runtime.engine.Engine`, via
+:func:`repro.core.api.rendezvous`); ``docs/runtime.md`` documents the
+execution semantics a :class:`TrialRecord` summarizes.
+"""
 
 from __future__ import annotations
 

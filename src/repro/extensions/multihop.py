@@ -32,6 +32,10 @@ success rate and round counts on dense random graphs.
 The trail mechanism also subsumes the distance-one case (a trail of
 length one is the paper's plain mark), so the extension is a strict
 generalization of Algorithm 1's marking scheme.
+
+The write-then-move idiom the marker relies on (a whiteboard write
+lands at the *origin* vertex in the same round as the movement) is
+part of the runtime's round lifecycle — see ``docs/runtime.md``.
 """
 
 from __future__ import annotations

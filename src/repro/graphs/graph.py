@@ -13,6 +13,9 @@ This is the substrate of the whole reproduction.  The paper's model
 iteration order) plus frozensets (O(1) membership), and pre-computes the
 degree extremes.  Instances are immutable: algorithms never mutate the
 graph, only their own state and the whiteboards.
+
+Doctests in this module run under pytest via
+``tests/graphs/test_graph_doctests.py``.
 """
 
 from __future__ import annotations
@@ -50,6 +53,20 @@ class StaticGraph:
     ------
     GraphError
         If validation fails.
+
+    Examples
+    --------
+    >>> g = StaticGraph({0: [1], 1: [0, 2], 2: [1]})
+    >>> g.n, g.edge_count, g.min_degree, g.max_degree
+    (3, 2, 1, 2)
+    >>> g.neighbors(1)
+    (0, 2)
+    >>> g.closed_neighbors(0)
+    (0, 1)
+    >>> 2 in g, g.has_edge(0, 2)
+    (True, False)
+    >>> g.distance(0, 2)
+    2
     """
 
     __slots__ = (
@@ -154,6 +171,26 @@ class StaticGraph:
             f"delta={self.min_degree}, Delta={self.max_degree}, n'={self.id_space})"
         )
 
+    @property
+    def neighbor_map(self) -> Mapping[VertexId, tuple[VertexId, ...]]:
+        """The full adjacency table ``{v: N(v)}``, sorted per vertex.
+
+        This is the graph's internal table, returned without copying so
+        the runtime engine can bind it once per execution instead of
+        resolving neighborhoods round by round — treat it as
+        **read-only**; mutating it corrupts the graph.
+        """
+        return self._neighbors
+
+    @property
+    def neighbor_set_map(self) -> Mapping[VertexId, frozenset[VertexId]]:
+        """The membership table ``{v: frozenset(N(v))}`` (read-only).
+
+        Companion of :attr:`neighbor_map` for O(1) edge tests in the
+        runtime engine's movement resolution.
+        """
+        return self._neighbor_sets
+
     def degree(self, vertex: VertexId) -> int:
         """Degree of ``vertex``."""
         return len(self._neighbors[vertex])
@@ -205,7 +242,14 @@ class StaticGraph:
         id_space: int | None = None,
         name: str | None = None,
     ) -> "StaticGraph":
-        """Build a graph from an edge list (plus optional isolated vertices)."""
+        """Build a graph from an edge list (plus optional isolated vertices).
+
+        >>> triangle = StaticGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        >>> sorted(triangle.edges())
+        [(0, 1), (0, 2), (1, 2)]
+        >>> triangle.is_connected()
+        True
+        """
         adjacency: dict[VertexId, set[VertexId]] = {}
         if vertices is not None:
             for v in vertices:
@@ -282,6 +326,13 @@ def bfs_distance(graph: StaticGraph, source: VertexId, target: VertexId) -> int:
     Returns ``-1`` when ``target`` is unreachable.  This is an
     *analysis* helper (used by tests and instance validators); agents in
     the simulation never call it — they only see local neighborhoods.
+
+    >>> path = StaticGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+    >>> bfs_distance(path, 0, 3)
+    3
+    >>> forest = StaticGraph.from_edges([(0, 1)], vertices=[2])
+    >>> bfs_distance(forest, 0, 2)
+    -1
     """
     if source == target:
         return 0

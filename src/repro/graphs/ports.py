@@ -95,6 +95,17 @@ class PortLabeling:
 
     # -- hidden side (used only by the runtime) -------------------------
 
+    def port_table(self) -> Mapping[VertexId, tuple[VertexId, ...]]:
+        """The full hidden table ``{v: (P̂_v(0), P̂_v(1), ...)}``.
+
+        Returned without copying so the runtime engine can resolve KT0
+        movements with one dict lookup and one tuple index per round;
+        treat it as **read-only**.  Agents never see this table — they
+        navigate through :meth:`accessible_ports` /
+        :meth:`resolve_accessible`.
+        """
+        return self._port_to_neighbor
+
     def resolve(self, vertex: VertexId, port: int) -> VertexId:
         """``P̂_vertex(port)``: the neighbor behind a physical port."""
         order = self._port_to_neighbor[vertex]

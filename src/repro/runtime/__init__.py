@@ -14,16 +14,25 @@ The scheduler additionally *fast-forwards* stretches of rounds in which
 both agents merely wait — round counts are unaffected, wall-clock cost
 becomes O(1) — which makes the heavily phase-padded whiteboard-free
 algorithm (Section 4.2) simulable at realistic sizes.
+
+All three public schedulers (:func:`run_single_agent`,
+:class:`SyncScheduler`, :class:`~repro.runtime.multi.MultiAgentScheduler`)
+are façades over one implementation of these semantics,
+:class:`repro.runtime.engine.Engine`; ``docs/runtime.md`` is the prose
+specification and :mod:`repro.runtime.reference` keeps the frozen seed
+loops for differential testing.
 """
 
 from repro.runtime.actions import Action, Halt, Move, Stay, WaitUntil, KEEP
 from repro.runtime.whiteboard import BLANK, WhiteboardStore
 from repro.runtime.view import AgentView
 from repro.runtime.agent import AgentContext, AgentProgram, walk, walk_and_return
+from repro.runtime.engine import Engine
 from repro.runtime.scheduler import ExecutionResult, SyncScheduler, run_rendezvous
 from repro.runtime.single import SingleAgentRecorder, run_single_agent
 
 __all__ = [
+    "Engine",
     "Action",
     "Stay",
     "Move",

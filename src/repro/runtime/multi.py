@@ -18,78 +18,30 @@ termination modes:
 Views expose :attr:`MultiAgentView.co_located_agents` so protocols can
 react to partial meetings (the paper's mutual-awareness assumption,
 lifted to k agents).
+
+Since the engine refactor, :class:`MultiAgentScheduler` is a façade:
+it validates its inputs and delegates to the k-agent loop of
+:class:`repro.runtime.engine.Engine` (shared tables, slot reuse, same
+byte-identical semantics).  See ``docs/runtime.md``.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
 from typing import Any, Literal, Sequence
 
 from repro._typing import VertexId
-from repro.errors import ProtocolError, SchedulerError
+from repro.errors import SchedulerError
 from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling, PortModel
-from repro.runtime.actions import Action, Halt, KEEP, Move, Stay, WaitUntil
-from repro.runtime.agent import AgentContext, AgentProgram
-from repro.runtime.view import AgentView
-from repro.runtime.whiteboard import DisabledWhiteboards, WhiteboardStore
+from repro.runtime.agent import AgentProgram
+from repro.runtime.engine import (
+    AgentSlot,
+    Engine,
+    MultiAgentView,
+    MultiExecutionResult,
+)
 
 __all__ = ["MultiAgentView", "MultiExecutionResult", "MultiAgentScheduler"]
-
-
-class MultiAgentView(AgentView):
-    """An :class:`AgentView` extended with k-agent co-location info."""
-
-    __slots__ = ()
-
-    @property
-    def co_located_agents(self) -> tuple[str, ...]:
-        """Names of the *other* agents at the current vertex."""
-        me = self._driver
-        return tuple(
-            d.name for d in self._scheduler.drivers
-            if d is not me and d.position == me.position
-        )
-
-    @property
-    def other_agent_here(self) -> bool:
-        """Whether any other agent shares the current vertex."""
-        return bool(self.co_located_agents)
-
-
-@dataclass(frozen=True)
-class MultiExecutionResult:
-    """Outcome of one k-agent execution."""
-
-    #: Whether the termination condition was reached.
-    completed: bool
-    #: The completion round (or rounds executed on failure).
-    rounds: int
-    #: Vertex of the gathering / pairwise meeting (``None`` on failure).
-    meeting_vertex: VertexId | None
-    #: Final positions by agent name.
-    positions: dict[str, VertexId]
-    #: Edge traversals by agent name.
-    moves: dict[str, int]
-    whiteboard_reads: int
-    whiteboard_writes: int
-    failure_reason: str | None
-    reports: dict[str, dict[str, Any]] = field(default_factory=dict)
-
-
-class _Driver:
-    __slots__ = ("name", "program", "gen", "position", "wake_round", "halted", "moves", "ctx")
-
-    def __init__(self, name: str, program: AgentProgram, start: VertexId) -> None:
-        self.name = name
-        self.program = program
-        self.gen = None
-        self.position = start
-        self.wake_round = 0
-        self.halted = False
-        self.moves = 0
-        self.ctx: AgentContext | None = None
 
 
 class MultiAgentScheduler:
@@ -123,124 +75,41 @@ class MultiAgentScheduler:
         if termination not in ("all", "pair"):
             raise SchedulerError(f"unknown termination mode {termination!r}")
 
+        self._engine = Engine(
+            graph,
+            programs,
+            starts,
+            names=names,
+            seed=seed,
+            port_model=port_model,
+            labeling=labeling,
+            whiteboards=whiteboards,
+            max_rounds=max_rounds,
+            termination=termination,
+            multi_view=True,
+            params=params,
+        )
         self.graph = graph
-        self.labeling = labeling if labeling is not None else PortLabeling(graph)
+        self.labeling = self._engine.labeling
         self.port_model = port_model
-        self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
-        self.max_rounds = int(max_rounds)
-        self.current_round = 0
+        self.whiteboards = self._engine.whiteboards
+        self.max_rounds = self._engine.max_rounds
         self.termination = termination
 
-        agent_params = params if params is not None else [None] * len(programs)
-        self.drivers: list[_Driver] = []
-        for name, program, start, p in zip(names, programs, starts, agent_params):
-            driver = _Driver(name, program, start)
-            ctx = AgentContext(
-                name=name,  # type: ignore[arg-type]
-                start_vertex=start,
-                id_space=graph.id_space,
-                rng=random.Random(f"{seed}:{name}"),
-                port_model=port_model,
-                whiteboards_enabled=whiteboards,
-                params=dict(p or {}),
-            )
-            ctx.view = MultiAgentView(self, driver)
-            driver.ctx = ctx
-            self.drivers.append(driver)
+    # -- introspection used by views -----------------------------------
 
-    # -- termination ------------------------------------------------------
+    @property
+    def current_round(self) -> int:
+        """The engine's current round number ``t``."""
+        return self._engine.current_round
 
-    def _terminal_vertex(self) -> VertexId | None:
-        positions = [d.position for d in self.drivers]
-        if self.termination == "all":
-            if len(set(positions)) == 1:
-                return positions[0]
-            return None
-        seen: set[VertexId] = set()
-        for pos in positions:
-            if pos in seen:
-                return pos
-            seen.add(pos)
-        return None
+    @property
+    def drivers(self) -> list[AgentSlot]:
+        """The live agent slots, in construction order."""
+        return self._engine.drivers
 
-    # -- execution ---------------------------------------------------------
+    # -- execution ------------------------------------------------------
 
     def run(self) -> MultiExecutionResult:
         """Execute until the termination condition, mutual halt, or budget."""
-        for driver in self.drivers:
-            driver.gen = driver.program.run(driver.ctx)
-
-        failure: str | None = None
-        while True:
-            vertex = self._terminal_vertex()
-            if vertex is not None:
-                return self._result(True, vertex, None)
-            if self.current_round >= self.max_rounds:
-                failure = "round budget exhausted"
-                break
-
-            active = [
-                d for d in self.drivers
-                if not d.halted and d.wake_round <= self.current_round
-            ]
-            if not active:
-                wakes = [d.wake_round for d in self.drivers if not d.halted]
-                if not wakes:
-                    failure = "all agents halted without completing"
-                    break
-                self.current_round = min(min(wakes), self.max_rounds)
-                continue
-
-            actions = [(d, self._next_action(d)) for d in active]
-            for driver, action in actions:
-                if isinstance(action, (Stay, Move)) and action.write is not KEEP:
-                    self.whiteboards.write(driver.position, action.write)
-            for driver, action in actions:
-                self._apply(driver, action)
-            self.current_round += 1
-
-        return self._result(False, None, failure)
-
-    def _next_action(self, driver: _Driver) -> Action | None:
-        try:
-            action = next(driver.gen)
-        except StopIteration:
-            driver.halted = True
-            return None
-        if not isinstance(action, Action):
-            raise ProtocolError(
-                f"agent {driver.name} yielded {action!r}, which is not an Action"
-            )
-        return action
-
-    def _apply(self, driver: _Driver, action: Action | None) -> None:
-        if action is None or isinstance(action, Stay):
-            return
-        if isinstance(action, Move):
-            if self.port_model is PortModel.KT1 and action.target == driver.position:
-                return
-            driver.position = self.labeling.resolve_accessible(
-                driver.position, action.target, self.port_model
-            )
-            driver.moves += 1
-        elif isinstance(action, WaitUntil):
-            driver.wake_round = max(action.round, self.current_round + 1)
-        elif isinstance(action, Halt):
-            driver.halted = True
-        else:  # pragma: no cover - defensive
-            raise ProtocolError(f"unknown action {action!r}")
-
-    def _result(
-        self, completed: bool, vertex: VertexId | None, failure: str | None
-    ) -> MultiExecutionResult:
-        return MultiExecutionResult(
-            completed=completed,
-            rounds=self.current_round,
-            meeting_vertex=vertex,
-            positions={d.name: d.position for d in self.drivers},
-            moves={d.name: d.moves for d in self.drivers},
-            whiteboard_reads=self.whiteboards.reads,
-            whiteboard_writes=self.whiteboards.writes,
-            failure_reason=failure,
-            reports={d.name: d.program.report() for d in self.drivers},
-        )
+        return self._engine.run_many()

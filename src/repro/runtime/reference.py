@@ -1,0 +1,504 @@
+"""Frozen seed schedulers — the differential-testing oracles.
+
+These are verbatim copies of the pre-engine round loops (the "seed"
+implementations of :class:`SyncScheduler`, :class:`MultiAgentScheduler`
+and :func:`run_single_agent` before they became façades over
+:mod:`repro.runtime.engine`).  They exist for two purposes only:
+
+* **equivalence testing** — ``tests/integration/test_scheduler_equivalence.py``
+  runs every registered algorithm through both paths and asserts
+  *identical* :class:`~repro.runtime.engine.ExecutionResult`\\ s,
+  including full position traces, under both port models;
+* **benchmarking** — ``benchmarks/bench_engine.py`` measures the
+  engine's per-round throughput against this baseline and gates on the
+  ≥1.5x speedup the engine refactor promised.
+
+Do not "fix" or optimize this module: its value is that it stays
+byte-for-byte faithful to the seed semantics.  It is not part of the
+public API and nothing in the library imports it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Literal, Sequence
+
+from repro._typing import VertexId
+from repro.errors import ProtocolError, SchedulerError
+from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling, PortModel
+from repro.runtime.actions import Action, Halt, KEEP, Move, Stay, WaitUntil
+from repro.runtime.agent import AgentContext, AgentProgram
+from repro.runtime.engine import (
+    ExecutionResult,
+    MultiExecutionResult,
+    SingleAgentRecorder,
+)
+from repro.runtime.view import AgentView
+from repro.runtime.whiteboard import DisabledWhiteboards, WhiteboardStore
+
+__all__ = [
+    "ReferenceSyncScheduler",
+    "ReferenceMultiAgentScheduler",
+    "reference_run_single_agent",
+]
+
+
+class _Driver:
+    """Scheduler-internal per-agent state (seed copy)."""
+
+    __slots__ = ("name", "program", "gen", "position", "wake_round", "halted", "moves", "ctx")
+
+    def __init__(self, name: str, program: AgentProgram, start: VertexId) -> None:
+        self.name = name
+        self.program = program
+        self.gen = None
+        self.position = start
+        self.wake_round = 0
+        self.halted = False
+        self.moves = 0
+        self.ctx: AgentContext | None = None
+
+
+class ReferenceSyncScheduler:
+    """The seed two-agent scheduler, kept as an oracle.
+
+    Same constructor and semantics as the seed ``SyncScheduler``; see
+    :class:`repro.runtime.scheduler.SyncScheduler` for the documented
+    (and fast) public equivalent.
+    """
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        program_a: AgentProgram,
+        program_b: AgentProgram,
+        start_a: VertexId,
+        start_b: VertexId,
+        seed: int = 0,
+        port_model: PortModel = PortModel.KT1,
+        labeling: PortLabeling | None = None,
+        whiteboards: bool = True,
+        max_rounds: int = 1_000_000,
+        record_trace: bool = False,
+        trace_limit: int = 100_000,
+        params_a: dict[str, Any] | None = None,
+        params_b: dict[str, Any] | None = None,
+    ) -> None:
+        if start_a not in graph or start_b not in graph:
+            raise SchedulerError("start vertices must belong to the graph")
+        if start_a == start_b:
+            raise SchedulerError("agents must start at two different vertices")
+        self.graph = graph
+        self.labeling = labeling if labeling is not None else PortLabeling(graph)
+        if self.labeling.graph is not graph:
+            raise SchedulerError("labeling belongs to a different graph")
+        self.port_model = port_model
+        self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
+        self.max_rounds = int(max_rounds)
+        self.current_round = 0
+        self._record_trace = record_trace
+        self._trace_limit = trace_limit
+        self._trace: list[tuple[int, VertexId, VertexId]] = []
+
+        self._a = _Driver("a", program_a, start_a)
+        self._b = _Driver("b", program_b, start_b)
+        for driver, params in ((self._a, params_a), (self._b, params_b)):
+            ctx = AgentContext(
+                name=driver.name,  # type: ignore[arg-type]
+                start_vertex=driver.position,
+                id_space=graph.id_space,
+                rng=random.Random(f"{seed}:{driver.name}"),
+                port_model=port_model,
+                whiteboards_enabled=whiteboards,
+                params=dict(params or {}),
+            )
+            ctx.view = AgentView(self, driver)
+            driver.ctx = ctx
+
+    def other_driver(self, driver: _Driver) -> _Driver:
+        """The driver of the other agent."""
+        return self._b if driver is self._a else self._a
+
+    def run(self) -> ExecutionResult:
+        """Execute until rendezvous, mutual halt, or the round budget."""
+        a, b = self._a, self._b
+        a.gen = a.program.run(a.ctx)
+        b.gen = b.program.run(b.ctx)
+
+        failure: str | None = None
+        while True:
+            if a.position == b.position:
+                return self._result(met=True, failure=None)
+            if self.current_round >= self.max_rounds:
+                failure = "round budget exhausted"
+                break
+
+            a_active = (not a.halted) and a.wake_round <= self.current_round
+            b_active = (not b.halted) and b.wake_round <= self.current_round
+
+            if not a_active and not b_active:
+                wakes = [d.wake_round for d in (a, b) if not d.halted]
+                if not wakes:
+                    failure = "both agents halted without meeting"
+                    break
+                self.current_round = min(min(wakes), self.max_rounds)
+                continue
+
+            action_a = self._next_action(a) if a_active else None
+            action_b = self._next_action(b) if b_active else None
+
+            for driver, action in ((a, action_a), (b, action_b)):
+                if isinstance(action, (Stay, Move)) and action.write is not KEEP:
+                    self.whiteboards.write(driver.position, action.write)
+
+            for driver, action in ((a, action_a), (b, action_b)):
+                self._apply_movement(driver, action)
+
+            if self._record_trace and len(self._trace) < self._trace_limit:
+                self._trace.append((self.current_round, a.position, b.position))
+            self.current_round += 1
+
+        return self._result(met=False, failure=failure)
+
+    def _next_action(self, driver: _Driver) -> Action | None:
+        try:
+            action = next(driver.gen)
+        except StopIteration:
+            driver.halted = True
+            return None
+        if not isinstance(action, Action):
+            raise ProtocolError(
+                f"agent {driver.name} yielded {action!r}, which is not an Action"
+            )
+        return action
+
+    def _apply_movement(self, driver: _Driver, action: Action | None) -> None:
+        if action is None or isinstance(action, Stay):
+            return
+        if isinstance(action, Move):
+            if self.port_model is PortModel.KT1 and action.target == driver.position:
+                return
+            destination = self.labeling.resolve_accessible(
+                driver.position, action.target, self.port_model
+            )
+            driver.position = destination
+            driver.moves += 1
+        elif isinstance(action, WaitUntil):
+            driver.wake_round = max(action.round, self.current_round + 1)
+        elif isinstance(action, Halt):
+            driver.halted = True
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown action {action!r}")
+
+    def _result(self, met: bool, failure: str | None) -> ExecutionResult:
+        a, b = self._a, self._b
+        return ExecutionResult(
+            met=met,
+            rounds=self.current_round,
+            meeting_vertex=a.position if met else None,
+            moves={"a": a.moves, "b": b.moves},
+            whiteboard_reads=self.whiteboards.reads,
+            whiteboard_writes=self.whiteboards.writes,
+            halted={"a": a.halted, "b": b.halted},
+            failure_reason=failure,
+            reports={"a": a.program.report(), "b": b.program.report()},
+            trace=tuple(self._trace) if self._record_trace else None,
+        )
+
+
+class _ReferenceMultiView(AgentView):
+    """Seed copy of the k-agent view (co-location introspection)."""
+
+    __slots__ = ()
+
+    @property
+    def co_located_agents(self) -> tuple[str, ...]:
+        me = self._driver
+        return tuple(
+            d.name for d in self._scheduler.drivers
+            if d is not me and d.position == me.position
+        )
+
+    @property
+    def other_agent_here(self) -> bool:
+        return bool(self.co_located_agents)
+
+
+class ReferenceMultiAgentScheduler:
+    """The seed k-agent scheduler, kept as an oracle."""
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        programs: Sequence[AgentProgram],
+        starts: Sequence[VertexId],
+        names: Sequence[str] | None = None,
+        seed: int = 0,
+        port_model: PortModel = PortModel.KT1,
+        labeling: PortLabeling | None = None,
+        whiteboards: bool = True,
+        max_rounds: int = 1_000_000,
+        termination: Literal["all", "pair"] = "all",
+        params: Sequence[dict[str, Any] | None] | None = None,
+    ) -> None:
+        if len(programs) != len(starts):
+            raise SchedulerError("one start vertex per program is required")
+        if len(programs) < 2:
+            raise SchedulerError("a multi-agent execution needs at least two agents")
+        for start in starts:
+            if start not in graph:
+                raise SchedulerError(f"start vertex {start} not in the graph")
+        if names is None:
+            names = [f"agent{i}" for i in range(len(programs))]
+        if len(set(names)) != len(names):
+            raise SchedulerError("agent names must be distinct")
+        if termination not in ("all", "pair"):
+            raise SchedulerError(f"unknown termination mode {termination!r}")
+
+        self.graph = graph
+        self.labeling = labeling if labeling is not None else PortLabeling(graph)
+        self.port_model = port_model
+        self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
+        self.max_rounds = int(max_rounds)
+        self.current_round = 0
+        self.termination = termination
+
+        agent_params = params if params is not None else [None] * len(programs)
+        self.drivers: list[_Driver] = []
+        for name, program, start, p in zip(names, programs, starts, agent_params):
+            driver = _Driver(name, program, start)
+            ctx = AgentContext(
+                name=name,  # type: ignore[arg-type]
+                start_vertex=start,
+                id_space=graph.id_space,
+                rng=random.Random(f"{seed}:{name}"),
+                port_model=port_model,
+                whiteboards_enabled=whiteboards,
+                params=dict(p or {}),
+            )
+            ctx.view = _ReferenceMultiView(self, driver)
+            driver.ctx = ctx
+            self.drivers.append(driver)
+
+    def _terminal_vertex(self) -> VertexId | None:
+        positions = [d.position for d in self.drivers]
+        if self.termination == "all":
+            if len(set(positions)) == 1:
+                return positions[0]
+            return None
+        seen: set[VertexId] = set()
+        for pos in positions:
+            if pos in seen:
+                return pos
+            seen.add(pos)
+        return None
+
+    def run(self) -> MultiExecutionResult:
+        """Execute until the termination condition, mutual halt, or budget."""
+        for driver in self.drivers:
+            driver.gen = driver.program.run(driver.ctx)
+
+        failure: str | None = None
+        while True:
+            vertex = self._terminal_vertex()
+            if vertex is not None:
+                return self._result(True, vertex, None)
+            if self.current_round >= self.max_rounds:
+                failure = "round budget exhausted"
+                break
+
+            active = [
+                d for d in self.drivers
+                if not d.halted and d.wake_round <= self.current_round
+            ]
+            if not active:
+                wakes = [d.wake_round for d in self.drivers if not d.halted]
+                if not wakes:
+                    failure = "all agents halted without completing"
+                    break
+                self.current_round = min(min(wakes), self.max_rounds)
+                continue
+
+            actions = [(d, self._next_action(d)) for d in active]
+            for driver, action in actions:
+                if isinstance(action, (Stay, Move)) and action.write is not KEEP:
+                    self.whiteboards.write(driver.position, action.write)
+            for driver, action in actions:
+                self._apply(driver, action)
+            self.current_round += 1
+
+        return self._result(False, None, failure)
+
+    def _next_action(self, driver: _Driver) -> Action | None:
+        try:
+            action = next(driver.gen)
+        except StopIteration:
+            driver.halted = True
+            return None
+        if not isinstance(action, Action):
+            raise ProtocolError(
+                f"agent {driver.name} yielded {action!r}, which is not an Action"
+            )
+        return action
+
+    def _apply(self, driver: _Driver, action: Action | None) -> None:
+        if action is None or isinstance(action, Stay):
+            return
+        if isinstance(action, Move):
+            if self.port_model is PortModel.KT1 and action.target == driver.position:
+                return
+            driver.position = self.labeling.resolve_accessible(
+                driver.position, action.target, self.port_model
+            )
+            driver.moves += 1
+        elif isinstance(action, WaitUntil):
+            driver.wake_round = max(action.round, self.current_round + 1)
+        elif isinstance(action, Halt):
+            driver.halted = True
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown action {action!r}")
+
+    def _result(
+        self, completed: bool, vertex: VertexId | None, failure: str | None
+    ) -> MultiExecutionResult:
+        return MultiExecutionResult(
+            completed=completed,
+            rounds=self.current_round,
+            meeting_vertex=vertex,
+            positions={d.name: d.position for d in self.drivers},
+            moves={d.name: d.moves for d in self.drivers},
+            whiteboard_reads=self.whiteboards.reads,
+            whiteboard_writes=self.whiteboards.writes,
+            failure_reason=failure,
+            reports={d.name: d.program.report() for d in self.drivers},
+        )
+
+
+class _SoloView:
+    """Seed copy of the restricted KT1 single-agent view."""
+
+    __slots__ = ("_run",)
+
+    def __init__(self, run: "_SoloRun") -> None:
+        self._run = run
+
+    @property
+    def round(self) -> int:
+        return self._run.round
+
+    @property
+    def vertex(self) -> VertexId:
+        return self._run.position
+
+    @property
+    def neighbors(self) -> tuple[VertexId, ...]:
+        return self._run.source.neighbors(self._run.position)
+
+    @property
+    def closed_neighbors(self) -> frozenset[VertexId]:
+        return frozenset(self.neighbors) | {self._run.position}
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def ports(self) -> tuple[VertexId, ...]:
+        return self.neighbors
+
+    @property
+    def whiteboard(self) -> Any:
+        raise ProtocolError("single-agent runs provide no whiteboards")
+
+    @property
+    def other_agent_here(self) -> bool:
+        return False
+
+
+class _SoloRun:
+    __slots__ = ("source", "position", "round")
+
+    def __init__(self, source: Any, position: VertexId) -> None:
+        self.source = source
+        self.position = position
+        self.round = 0
+
+
+def reference_run_single_agent(
+    program: AgentProgram,
+    source: Any,
+    start: VertexId,
+    rounds: int,
+    seed: int = 0,
+    name: str = "a",
+    id_space: int | None = None,
+    params: dict[str, Any] | None = None,
+) -> SingleAgentRecorder:
+    """The seed single-agent driver, kept as an oracle."""
+    run = _SoloRun(source=source, position=start)
+    ctx = AgentContext(
+        name=name,  # type: ignore[arg-type]
+        start_vertex=start,
+        id_space=id_space if id_space is not None else _guess_id_space(source, start),
+        rng=random.Random(f"{seed}:{name}"),
+        port_model=PortModel.KT1,
+        whiteboards_enabled=False,
+        params=dict(params or {}),
+    )
+    ctx.view = _SoloView(run)  # type: ignore[assignment]
+
+    on_arrival = getattr(source, "on_arrival", None)
+    if on_arrival is not None:
+        on_arrival(start, 0)
+
+    positions: list[VertexId] = [start]
+    visited: list[VertexId] = [start]
+    visited_set = {start}
+    halted = False
+
+    gen = program.run(ctx)
+    while run.round < rounds:
+        try:
+            action = next(gen)
+        except StopIteration:
+            halted = True
+            break
+        if isinstance(action, Stay):
+            run.round += 1
+        elif isinstance(action, WaitUntil):
+            run.round = max(run.round + 1, min(action.round, rounds))
+        elif isinstance(action, Halt):
+            halted = True
+            break
+        elif isinstance(action, Move):
+            if action.target != run.position:
+                if action.target not in source.neighbors(run.position):
+                    raise ProtocolError(
+                        f"agent at {run.position} tried to move to non-neighbor "
+                        f"{action.target}"
+                    )
+                run.position = action.target
+                if action.target not in visited_set:
+                    visited_set.add(action.target)
+                    visited.append(action.target)
+                if on_arrival is not None:
+                    on_arrival(action.target, run.round + 1)
+            run.round += 1
+        else:
+            raise ProtocolError(f"unknown action {action!r}")
+        positions.append(run.position)
+
+    return SingleAgentRecorder(
+        positions=tuple(positions),
+        visited=tuple(visited),
+        rounds=run.round,
+        halted=halted,
+        report=program.report(),
+    )
+
+
+def _guess_id_space(source: Any, start: VertexId) -> int:
+    neighbors = source.neighbors(start)
+    top = max([start, *neighbors]) if neighbors else start
+    return top + 1

@@ -14,72 +14,29 @@ The scheduler fast-forwards stretches where both agents are inactive
 This makes phase-padded algorithms (Section 4.2's ``t'`` barrier and
 ``⌈4c₂ ln n⌉²``-round phases) cheap to simulate without altering any
 observable round count.
+
+Since the engine refactor, :class:`SyncScheduler` is a thin façade: it
+validates its inputs and delegates execution to
+:class:`repro.runtime.engine.Engine`'s specialized two-agent loop,
+which precomputes per-vertex neighbor/port tables once per execution
+and reuses mutable per-agent slots across rounds.  Results are
+byte-identical to the seed implementation (kept as
+:mod:`repro.runtime.reference` and differentially tested).  The full
+prose specification lives in ``docs/runtime.md``.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro._typing import AgentName, VertexId
-from repro.errors import ProtocolError, SchedulerError
+from repro._typing import VertexId
+from repro.errors import SchedulerError
 from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling, PortModel
-from repro.runtime.actions import Action, Halt, KEEP, Move, Stay, WaitUntil
-from repro.runtime.agent import AgentContext, AgentProgram
-from repro.runtime.view import AgentView
-from repro.runtime.whiteboard import DisabledWhiteboards, WhiteboardStore
+from repro.runtime.agent import AgentProgram
+from repro.runtime.engine import AgentSlot, Engine, ExecutionResult
 
 __all__ = ["ExecutionResult", "SyncScheduler", "run_rendezvous"]
-
-
-@dataclass(frozen=True)
-class ExecutionResult:
-    """Outcome and metrics of one two-agent execution."""
-
-    #: Whether the agents met within the round budget.
-    met: bool
-    #: The rendezvous round (paper convention: first round at whose
-    #: beginning the agents are co-located), or the number of rounds
-    #: executed when ``met`` is false.
-    rounds: int
-    #: Vertex where the agents met (``None`` on failure).
-    meeting_vertex: VertexId | None
-    #: Number of edge traversals per agent.
-    moves: dict[AgentName, int]
-    #: Whiteboard counters (zero in the whiteboard-free model).
-    whiteboard_reads: int
-    whiteboard_writes: int
-    #: Whether each agent had halted by the end.
-    halted: dict[AgentName, bool]
-    #: Why the execution ended without a meeting (``None`` if met).
-    failure_reason: str | None
-    #: Per-agent algorithm statistics from ``AgentProgram.report()``.
-    reports: dict[AgentName, dict[str, Any]] = field(default_factory=dict)
-    #: Optional (round, pos_a, pos_b) trace of simulated rounds.
-    trace: tuple[tuple[int, VertexId, VertexId], ...] | None = None
-
-    @property
-    def total_moves(self) -> int:
-        """Edge traversals summed over both agents (the "cost" metric)."""
-        return self.moves["a"] + self.moves["b"]
-
-
-class _Driver:
-    """Scheduler-internal per-agent state."""
-
-    __slots__ = ("name", "program", "gen", "position", "wake_round", "halted", "moves", "ctx")
-
-    def __init__(self, name: AgentName, program: AgentProgram, start: VertexId) -> None:
-        self.name = name
-        self.program = program
-        self.gen = None
-        self.position = start
-        self.wake_round = 0
-        self.halted = False
-        self.moves = 0
-        self.ctx: AgentContext | None = None
 
 
 class SyncScheduler:
@@ -110,7 +67,8 @@ class SyncScheduler:
     max_rounds:
         Round budget; executions exceeding it return a failed result.
     record_trace:
-        Record per-round positions (capped at ``trace_limit`` entries).
+        Record per-round positions (capped at ``trace_limit`` entries);
+        see :attr:`ExecutionResult.trace` for the exact shape.
     params_a, params_b:
         Algorithm-specific inputs passed through the agent contexts.
     """
@@ -136,129 +94,54 @@ class SyncScheduler:
             raise SchedulerError("start vertices must belong to the graph")
         if start_a == start_b:
             raise SchedulerError("agents must start at two different vertices")
-        self.graph = graph
-        self.labeling = labeling if labeling is not None else PortLabeling(graph)
-        if self.labeling.graph is not graph:
+        labeling = labeling if labeling is not None else PortLabeling(graph)
+        if labeling.graph is not graph:
             raise SchedulerError("labeling belongs to a different graph")
+
+        self._engine = Engine(
+            graph,
+            (program_a, program_b),
+            (start_a, start_b),
+            names=("a", "b"),
+            seed=seed,
+            port_model=port_model,
+            labeling=labeling,
+            whiteboards=whiteboards,
+            max_rounds=max_rounds,
+            termination="pair",
+            record_trace=record_trace,
+            trace_limit=trace_limit,
+            params=(params_a, params_b),
+            multi_view=False,
+        )
+        self.graph = graph
+        self.labeling = labeling
         self.port_model = port_model
-        self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
-        self.max_rounds = int(max_rounds)
-        self.current_round = 0
-        self._record_trace = record_trace
-        self._trace_limit = trace_limit
-        self._trace: list[tuple[int, VertexId, VertexId]] = []
+        self.whiteboards = self._engine.whiteboards
+        self.max_rounds = self._engine.max_rounds
+        self._a, self._b = self._engine.drivers
 
-        self._a = _Driver("a", program_a, start_a)
-        self._b = _Driver("b", program_b, start_b)
-        for driver, params in ((self._a, params_a), (self._b, params_b)):
-            ctx = AgentContext(
-                name=driver.name,
-                start_vertex=driver.position,
-                id_space=graph.id_space,
-                rng=random.Random(f"{seed}:{driver.name}"),
-                port_model=port_model,
-                whiteboards_enabled=whiteboards,
-                params=dict(params or {}),
-            )
-            ctx.view = AgentView(self, driver)
-            driver.ctx = ctx
+    # -- introspection used by views and oracles -----------------------
 
-    # -- introspection used by views -----------------------------------
+    @property
+    def current_round(self) -> int:
+        """The engine's current round number ``t``."""
+        return self._engine.current_round
 
-    def other_driver(self, driver: _Driver) -> _Driver:
-        """The driver of the other agent."""
+    @property
+    def drivers(self) -> list[AgentSlot]:
+        """The two live agent slots ``[a, b]`` (read-only introspection)."""
+        return self._engine.drivers
+
+    def other_driver(self, driver: AgentSlot) -> AgentSlot:
+        """The slot of the other agent."""
         return self._b if driver is self._a else self._a
 
     # -- execution ------------------------------------------------------
 
     def run(self) -> ExecutionResult:
         """Execute until rendezvous, mutual halt, or the round budget."""
-        a, b = self._a, self._b
-        a.gen = a.program.run(a.ctx)
-        b.gen = b.program.run(b.ctx)
-
-        failure: str | None = None
-        while True:
-            if a.position == b.position:
-                return self._result(met=True, failure=None)
-            if self.current_round >= self.max_rounds:
-                failure = "round budget exhausted"
-                break
-
-            a_active = (not a.halted) and a.wake_round <= self.current_round
-            b_active = (not b.halted) and b.wake_round <= self.current_round
-
-            if not a_active and not b_active:
-                wakes = [d.wake_round for d in (a, b) if not d.halted]
-                if not wakes:
-                    failure = "both agents halted without meeting"
-                    break
-                self.current_round = min(min(wakes), self.max_rounds)
-                continue
-
-            action_a = self._next_action(a) if a_active else None
-            action_b = self._next_action(b) if b_active else None
-
-            # Writes happen at the (pre-move) current vertices.  The two
-            # agents are at different vertices here (co-location would
-            # have terminated above), so write order is irrelevant.
-            for driver, action in ((a, action_a), (b, action_b)):
-                if isinstance(action, (Stay, Move)) and action.write is not KEEP:
-                    self.whiteboards.write(driver.position, action.write)
-
-            for driver, action in ((a, action_a), (b, action_b)):
-                self._apply_movement(driver, action)
-
-            if self._record_trace and len(self._trace) < self._trace_limit:
-                self._trace.append((self.current_round, a.position, b.position))
-            self.current_round += 1
-
-        return self._result(met=False, failure=failure)
-
-    def _next_action(self, driver: _Driver) -> Action | None:
-        try:
-            action = next(driver.gen)
-        except StopIteration:
-            driver.halted = True
-            return None
-        if not isinstance(action, Action):
-            raise ProtocolError(
-                f"agent {driver.name} yielded {action!r}, which is not an Action"
-            )
-        return action
-
-    def _apply_movement(self, driver: _Driver, action: Action | None) -> None:
-        if action is None or isinstance(action, Stay):
-            return
-        if isinstance(action, Move):
-            if self.port_model is PortModel.KT1 and action.target == driver.position:
-                return  # moving "to itself" is a stay (N⁺ movement sets)
-            destination = self.labeling.resolve_accessible(
-                driver.position, action.target, self.port_model
-            )
-            driver.position = destination
-            driver.moves += 1
-        elif isinstance(action, WaitUntil):
-            driver.wake_round = max(action.round, self.current_round + 1)
-        elif isinstance(action, Halt):
-            driver.halted = True
-        else:  # pragma: no cover - defensive
-            raise ProtocolError(f"unknown action {action!r}")
-
-    def _result(self, met: bool, failure: str | None) -> ExecutionResult:
-        a, b = self._a, self._b
-        return ExecutionResult(
-            met=met,
-            rounds=self.current_round,
-            meeting_vertex=a.position if met else None,
-            moves={"a": a.moves, "b": b.moves},
-            whiteboard_reads=self.whiteboards.reads,
-            whiteboard_writes=self.whiteboards.writes,
-            halted={"a": a.halted, "b": b.halted},
-            failure_reason=failure,
-            reports={"a": a.program.report(), "b": b.program.report()},
-            trace=tuple(self._trace) if self._record_trace else None,
-        )
+        return self._engine.run_pair()
 
 
 def run_rendezvous(

@@ -15,19 +15,20 @@ A neighborhood source is any object with:
 ``on_arrival(v, round) -> None`` (optional)
     Hook called after the agent arrives at ``v`` and before it next
     observes — the adversary's chance to extend the graph.
+
+Since the engine refactor this module is a façade: the loop itself
+(and the :class:`SingleAgentRecorder` result record) lives in
+:mod:`repro.runtime.engine` next to the pair and k-agent loops, so all
+execution semantics are implemented once.  See ``docs/runtime.md``.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 from repro._typing import VertexId
-from repro.errors import ProtocolError
-from repro.graphs.ports import PortModel
-from repro.runtime.actions import Halt, Move, Stay, WaitUntil
-from repro.runtime.agent import AgentContext, AgentProgram
+from repro.runtime.agent import AgentProgram
+from repro.runtime.engine import SingleAgentRecorder, run_solo
 
 __all__ = ["NeighborhoodSource", "SingleAgentRecorder", "run_single_agent"]
 
@@ -37,87 +38,6 @@ class NeighborhoodSource(Protocol):
 
     def neighbors(self, vertex: VertexId) -> tuple[VertexId, ...]:  # pragma: no cover
         ...
-
-
-class _SoloView:
-    """A restricted KT1 view for single-agent runs (no whiteboards)."""
-
-    __slots__ = ("_run",)
-
-    def __init__(self, run: "_SoloRun") -> None:
-        self._run = run
-
-    @property
-    def round(self) -> int:
-        return self._run.round
-
-    @property
-    def vertex(self) -> VertexId:
-        return self._run.position
-
-    @property
-    def neighbors(self) -> tuple[VertexId, ...]:
-        return self._run.source.neighbors(self._run.position)
-
-    @property
-    def closed_neighbors(self) -> frozenset[VertexId]:
-        return frozenset(self.neighbors) | {self._run.position}
-
-    @property
-    def degree(self) -> int:
-        return len(self.neighbors)
-
-    @property
-    def ports(self) -> tuple[VertexId, ...]:
-        return self.neighbors
-
-    @property
-    def whiteboard(self) -> Any:
-        raise ProtocolError("single-agent runs provide no whiteboards")
-
-    @property
-    def other_agent_here(self) -> bool:
-        return False
-
-
-@dataclass
-class _SoloRun:
-    source: NeighborhoodSource
-    position: VertexId
-    round: int = 0
-
-
-@dataclass(frozen=True)
-class SingleAgentRecorder:
-    """Everything observed during a solo run.
-
-    Attributes
-    ----------
-    positions:
-        Position at the beginning of each round, starting with round 0;
-        ``positions[t]`` is the paper's ``v_t``.
-    visited:
-        The visit sequence ``S_t = (v_0, v_1, ..., v_t)`` with
-        duplicates removed in first-visit order (``Q_t`` as an ordered
-        tuple).
-    rounds:
-        Number of rounds executed.
-    halted:
-        Whether the program halted before the budget ran out.
-    report:
-        The program's :meth:`~repro.runtime.agent.AgentProgram.report`.
-    """
-
-    positions: tuple[VertexId, ...]
-    visited: tuple[VertexId, ...]
-    rounds: int
-    halted: bool
-    report: dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def visited_set(self) -> frozenset[VertexId]:
-        """The paper's ``Q_t`` — distinct vertices visited."""
-        return frozenset(self.visited)
 
 
 def run_single_agent(
@@ -136,70 +56,13 @@ def run_single_agent(
     are honored (the clock jumps); ``Halt`` or generator exhaustion
     ends the run early.
     """
-    run = _SoloRun(source=source, position=start)
-    ctx = AgentContext(
-        name=name,  # type: ignore[arg-type]
-        start_vertex=start,
-        id_space=id_space if id_space is not None else _guess_id_space(source, start),
-        rng=random.Random(f"{seed}:{name}"),
-        port_model=PortModel.KT1,
-        whiteboards_enabled=False,
-        params=dict(params or {}),
+    return run_solo(
+        program,
+        source,
+        start,
+        rounds,
+        seed=seed,
+        name=name,
+        id_space=id_space,
+        params=params,
     )
-    ctx.view = _SoloView(run)  # type: ignore[assignment]
-
-    on_arrival = getattr(source, "on_arrival", None)
-    if on_arrival is not None:
-        on_arrival(start, 0)
-
-    positions: list[VertexId] = [start]
-    visited: list[VertexId] = [start]
-    visited_set = {start}
-    halted = False
-
-    gen = program.run(ctx)
-    while run.round < rounds:
-        try:
-            action = next(gen)
-        except StopIteration:
-            halted = True
-            break
-        if isinstance(action, Stay):
-            run.round += 1
-        elif isinstance(action, WaitUntil):
-            run.round = max(run.round + 1, min(action.round, rounds))
-        elif isinstance(action, Halt):
-            halted = True
-            break
-        elif isinstance(action, Move):
-            if action.target != run.position:
-                if action.target not in source.neighbors(run.position):
-                    raise ProtocolError(
-                        f"agent at {run.position} tried to move to non-neighbor "
-                        f"{action.target}"
-                    )
-                run.position = action.target
-                if action.target not in visited_set:
-                    visited_set.add(action.target)
-                    visited.append(action.target)
-                if on_arrival is not None:
-                    on_arrival(action.target, run.round + 1)
-            run.round += 1
-        else:
-            raise ProtocolError(f"unknown action {action!r}")
-        positions.append(run.position)
-
-    return SingleAgentRecorder(
-        positions=tuple(positions),
-        visited=tuple(visited),
-        rounds=run.round,
-        halted=halted,
-        report=program.report(),
-    )
-
-
-def _guess_id_space(source: NeighborhoodSource, start: VertexId) -> int:
-    """Fallback ID-space bound when the caller does not provide one."""
-    neighbors = source.neighbors(start)
-    top = max([start, *neighbors]) if neighbors else start
-    return top + 1

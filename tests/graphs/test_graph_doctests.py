@@ -1,0 +1,18 @@
+"""Run the :mod:`repro.graphs.graph` doctests under pytest.
+
+The ``StaticGraph`` examples double as API documentation (and are
+referenced from ``docs/runtime.md``); this keeps them honest without
+turning on ``--doctest-modules`` for the whole tree.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import repro.graphs.graph
+
+
+def test_graph_module_doctests():
+    results = doctest.testmod(repro.graphs.graph, verbose=False)
+    assert results.attempted > 0, "expected StaticGraph doctests to exist"
+    assert results.failed == 0

@@ -1,9 +1,16 @@
-"""Cross-validation: the k-agent scheduler generalizes the 2-agent one.
+"""Cross-validation of every execution path against its siblings.
 
-With the same programs, starts, and seed, ``MultiAgentScheduler`` in
-pairwise-termination mode must reproduce ``SyncScheduler``'s outcome
-exactly (same meeting round, vertex, and move counts).  Agent names
-``a``/``b`` are passed explicitly so the private random tapes match.
+Two families of checks:
+
+* the k-agent scheduler generalizes the 2-agent one — with the same
+  programs, starts, and seed, ``MultiAgentScheduler`` in pairwise-
+  termination mode must reproduce ``SyncScheduler``'s outcome exactly
+  (same meeting round, vertex, and move counts); agent names ``a``/``b``
+  are passed explicitly so the private random tapes match;
+* the engine-backed façades reproduce the frozen seed schedulers
+  (:mod:`repro.runtime.reference`) **byte-identically** — full
+  ``ExecutionResult`` equality including position traces — for every
+  registered algorithm and under both port models.
 """
 
 from __future__ import annotations
@@ -15,11 +22,24 @@ from hypothesis import given, settings, strategies as st
 
 from repro.baselines.random_walk import RandomWalker
 from repro.baselines.trivial import TrivialProbeA, WaitingB
+from repro.core.api import ALGORITHMS
+from repro.core.constants import Constants
 from repro.core.main_rendezvous import MainRendezvousA, MarkerB
 from repro.experiments.workloads import two_hop_oracle
-from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_graph_with_min_degree,
+)
+from repro.graphs.ports import PortLabeling, PortModel
 from repro.runtime.multi import MultiAgentScheduler
+from repro.runtime.reference import (
+    ReferenceMultiAgentScheduler,
+    ReferenceSyncScheduler,
+    reference_run_single_agent,
+)
 from repro.runtime.scheduler import SyncScheduler
+from repro.runtime.single import run_single_agent
 
 
 def both_schedulers(graph, make_programs, start_a, start_b, seed, max_rounds):
@@ -75,3 +95,105 @@ class TestEquivalence:
         assert two.rounds == multi.rounds
         assert two.meeting_vertex == multi.meeting_vertex
         assert two.whiteboard_writes == multi.whiteboard_writes
+
+
+def _seed_vs_engine(graph, make_programs, start_a, start_b, seed, *,
+                    whiteboards=True, max_rounds=500_000, port_model=PortModel.KT1,
+                    make_labeling=None):
+    """Run one execution through both paths; full traces recorded."""
+    kwargs = dict(
+        seed=seed,
+        whiteboards=whiteboards,
+        max_rounds=max_rounds,
+        port_model=port_model,
+        record_trace=True,
+    )
+    prog_a, prog_b = make_programs()
+    old = ReferenceSyncScheduler(
+        graph, prog_a, prog_b, start_a, start_b,
+        labeling=make_labeling(graph) if make_labeling else None, **kwargs,
+    ).run()
+    prog_a, prog_b = make_programs()
+    new = SyncScheduler(
+        graph, prog_a, prog_b, start_a, start_b,
+        labeling=make_labeling(graph) if make_labeling else None, **kwargs,
+    ).run()
+    return old, new
+
+
+class TestEngineMatchesSeedSchedulers:
+    """The engine-backed façades are byte-identical to the seed loops."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_registered_algorithms_identical(self, algorithm):
+        """Every registry entry: identical results, traces included."""
+        spec = ALGORITHMS[algorithm]
+        graph = random_graph_with_min_degree(150, 40, random.Random("eq-engine"))
+        start_a = graph.vertices[0]
+        start_b = graph.neighbors(start_a)[0]
+        constants = Constants.testing()
+        delta = graph.min_degree if spec.uses_delta else None
+
+        for seed in (0, 11):
+            old, new = _seed_vs_engine(
+                graph,
+                lambda: spec.factory(delta, constants),
+                start_a, start_b, seed,
+                whiteboards=spec.uses_whiteboards,
+                max_rounds=spec.budget(graph, constants),
+            )
+            assert old == new, f"{algorithm} diverged at seed {seed}"
+            assert old.trace == new.trace
+
+    @pytest.mark.parametrize("port_model", [PortModel.KT1, PortModel.KT0])
+    def test_port_models_identical(self, port_model):
+        """Port-agnostic walkers under both models, shuffled KT0 ports."""
+        graph = cycle_graph(64)
+
+        def shuffled(g):
+            return PortLabeling(g, rng=random.Random("eq-ports"))
+
+        for seed in range(5):
+            old, new = _seed_vs_engine(
+                graph,
+                lambda: (RandomWalker(), RandomWalker()),
+                0, 5, seed,
+                whiteboards=False,
+                max_rounds=50_000,
+                port_model=port_model,
+                make_labeling=shuffled,
+            )
+            assert old == new, f"port model {port_model} diverged at seed {seed}"
+
+    def test_multi_agent_identical(self):
+        """k-agent engine loop vs the seed k-agent loop, both modes."""
+        graph = complete_graph(24)
+        for termination in ("all", "pair"):
+            for seed in range(4):
+                old = ReferenceMultiAgentScheduler(
+                    graph,
+                    [RandomWalker(), RandomWalker(), RandomWalker()],
+                    [0, 1, 2],
+                    seed=seed, termination=termination, max_rounds=100_000,
+                ).run()
+                new = MultiAgentScheduler(
+                    graph,
+                    [RandomWalker(), RandomWalker(), RandomWalker()],
+                    [0, 1, 2],
+                    seed=seed, termination=termination, max_rounds=100_000,
+                ).run()
+                assert old == new, (
+                    f"multi-agent {termination!r} diverged at seed {seed}"
+                )
+
+    def test_single_agent_identical(self):
+        """Solo engine loop vs the seed solo loop over a static source."""
+        graph = random_graph_with_min_degree(80, 10, random.Random("eq-solo"))
+        for seed in range(4):
+            old = reference_run_single_agent(
+                RandomWalker(), graph, graph.vertices[0], 5_000, seed=seed
+            )
+            new = run_single_agent(
+                RandomWalker(), graph, graph.vertices[0], 5_000, seed=seed
+            )
+            assert old == new, f"solo run diverged at seed {seed}"

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Documentation cross-link checker (stdlib only; CI docs job).
+
+Scans every markdown file at the repository root and under ``docs/``
+for inline links ``[text](target)`` and fails (exit 1) when a
+relative target does not exist, or when a ``#fragment`` pointing into
+a markdown file names a heading that is not there (GitHub-style
+anchor slugs).  External ``http(s)://`` and ``mailto:`` targets are
+ignored — CI must not depend on the network.
+
+Usage: ``python tools/check_docs.py`` from anywhere inside the repo.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def repo_root() -> Path:
+    here = Path(__file__).resolve().parent
+    for candidate in (here, *here.parents):
+        if (candidate / ".git").exists() or (candidate / "ROADMAP.md").exists():
+            return candidate
+    return here.parent
+
+
+def anchor_slug(heading: str) -> str:
+    """GitHub's markdown anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set[str]:
+    content = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {anchor_slug(m.group(1)) for m in HEADING.finditer(content)}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    content = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(content):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if base and not resolved.exists():
+            problems.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_in(resolved):
+                problems.append(f"{path}: broken anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    root = repo_root()
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
