@@ -1,0 +1,101 @@
+"""Shared machine-readable benchmark emission for ``benchmarks/``.
+
+Every ``bench_*.py`` prints human tables; this module gives them one
+way to also record a **benchmark trajectory** across PRs: a
+``results/BENCH_<name>.json`` file per benchmark with median/p90
+timings per workload, the quick/full mode, and interpreter info, so
+successive runs (and the CI artifacts job) can be diffed mechanically.
+
+Usable from both execution modes of a benchmark:
+
+* as a pytest module (``pytest benchmarks/bench_engine.py``) — the
+  ``benchmarks/conftest.py`` fixture re-exports :func:`write_bench_json`;
+* as a script (``python benchmarks/bench_engine.py``) — plain
+  ``import _bench_json`` (the script's directory is on ``sys.path``).
+
+Schema of the emitted file::
+
+    {
+      "bench": "<name>",
+      "mode": "quick" | "full",
+      "interpreter": {"implementation", "version", "platform"},
+      "workloads": {"<workload>": {"median_s", "p90_s", "min_s",
+                                    "max_s", "samples", ...}},
+      "metrics": {...}          # benchmark-specific scalars (gates,
+    }                           # speedups, trial counts)
+
+``docs/performance.md`` documents how to run the benchmarks and read
+these files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import statistics
+from pathlib import Path
+from typing import Any, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+__all__ = ["RESULTS_DIR", "interpreter_info", "summarize_samples", "write_bench_json"]
+
+
+def interpreter_info() -> dict[str, str]:
+    """The interpreter fingerprint stamped into every benchmark file."""
+    return {
+        "implementation": platform.python_implementation(),
+        "version": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize_samples(samples: Sequence[float]) -> dict[str, float | int]:
+    """Median/p90/min/max summary of raw timing samples (seconds)."""
+    if not samples:
+        raise ValueError("no samples to summarize")
+    ordered = sorted(samples)
+    return {
+        "median_s": statistics.median(ordered),
+        "p90_s": _percentile(ordered, 0.90),
+        "min_s": ordered[0],
+        "max_s": ordered[-1],
+        "samples": len(ordered),
+    }
+
+
+def write_bench_json(
+    name: str,
+    *,
+    quick: bool,
+    workloads: dict[str, dict[str, Any]],
+    metrics: dict[str, Any] | None = None,
+) -> Path:
+    """Write ``results/BENCH_<name>.json`` and return its path.
+
+    ``workloads`` maps workload name to a JSON-able stats dict —
+    typically built around :func:`summarize_samples` — and ``metrics``
+    carries benchmark-level scalars (aggregate speedups, gate values,
+    trial counts).
+    """
+    payload: dict[str, Any] = {
+        "bench": name,
+        "mode": "quick" if quick else "full",
+        "interpreter": interpreter_info(),
+        "workloads": workloads,
+    }
+    if metrics:
+        payload["metrics"] = metrics
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -13,7 +13,9 @@ random-regular — and checks the refactor's two promises:
 
 Runs under pytest (``pytest benchmarks/bench_engine.py``) and as a
 script (``python benchmarks/bench_engine.py [--quick]``, used by the
-CI benchmark smoke job).
+CI benchmark smoke job).  Emits ``results/BENCH_engine.json`` via
+:mod:`_bench_json` so the per-round throughput trajectory is
+machine-diffable across PRs.
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ import sys
 import time
 from dataclasses import dataclass
 from typing import Callable
+
+import _bench_json
 
 from repro.baselines.random_walk import RandomWalker
 from repro.experiments.report import Table
@@ -145,19 +149,22 @@ def run_benchmark(quick: bool = False, repetitions: int = 3) -> Table:
     )
     total_ref = total_new = 0.0
     total_rounds = 0
+    workload_stats: dict[str, dict] = {}
     for workload in _workloads(quick):
-        ref_time = new_time = float("inf")
+        ref_samples: list[float] = []
+        new_samples: list[float] = []
         ref_results = new_results = None
         rounds = 0
         for _ in range(repetitions):
             ref_results, elapsed, rounds = _replay(ReferenceSyncScheduler, workload)
-            ref_time = min(ref_time, elapsed)
+            ref_samples.append(elapsed)
             new_results, elapsed, engine_rounds = _replay(SyncScheduler, workload)
-            new_time = min(new_time, elapsed)
+            new_samples.append(elapsed)
             assert engine_rounds == rounds
         assert ref_results == new_results, (
             f"engine diverged from the seed scheduler on {workload.name}"
         )
+        ref_time, new_time = min(ref_samples), min(new_samples)
         table.add_row(
             workload.name,
             rounds,
@@ -166,6 +173,12 @@ def run_benchmark(quick: bool = False, repetitions: int = 3) -> Table:
             f"{ref_time / new_time:.2f}x",
             True,
         )
+        workload_stats[workload.name] = {
+            "rounds": rounds,
+            "seed": _bench_json.summarize_samples(ref_samples),
+            "engine": _bench_json.summarize_samples(new_samples),
+            "speedup": ref_time / new_time,
+        }
         total_ref += ref_time
         total_new += new_time
         total_rounds += rounds
@@ -182,6 +195,18 @@ def run_benchmark(quick: bool = False, repetitions: int = 3) -> Table:
     table.add_note(
         f"gate: aggregate engine speedup must be >= {SPEEDUP_GATE}x "
         "(ExecutionResult equality is asserted per workload)"
+    )
+    _bench_json.write_bench_json(
+        "engine",
+        quick=quick,
+        workloads=workload_stats,
+        metrics={
+            "aggregate_speedup": speedup,
+            "speedup_gate": SPEEDUP_GATE,
+            "rounds_total": total_rounds,
+            "seed_rounds_per_s": total_rounds / total_ref,
+            "engine_rounds_per_s": total_rounds / total_new,
+        },
     )
     assert speedup >= SPEEDUP_GATE, (
         f"engine speedup {speedup:.2f}x is below the {SPEEDUP_GATE}x gate"

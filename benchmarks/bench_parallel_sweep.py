@@ -37,7 +37,7 @@ def _record_bytes(result) -> bytes:
     return ("\n".join(lines) + "\n").encode("utf-8")
 
 
-def test_parallel_sweep_speedup(capsys):
+def test_parallel_sweep_speedup(capsys, bench_json):
     """Serial vs pooled sweep: identical bytes, near-linear speedup."""
     cores = os.cpu_count() or 1
     # At least 2 so the pool path (not the inline fast path) is what
@@ -66,6 +66,20 @@ def test_parallel_sweep_speedup(capsys):
         print()
         print(table.render())
         print()
+
+    bench_json(
+        "parallel_sweep",
+        quick=True,
+        workloads={
+            "grid": {
+                "trials": len(SPEC.points()),
+                "serial": {"median_s": serial.elapsed, "samples": 1},
+                "fanned": {"median_s": fanned.elapsed, "samples": 1},
+                "speedup": speedup,
+            },
+        },
+        metrics={"workers": workers, "cores": cores, "byte_identical": True},
+    )
 
     if cores >= 4:
         assert speedup >= 2.0, (

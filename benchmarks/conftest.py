@@ -5,17 +5,34 @@ prints its tables to the terminal (bypassing capture so
 ``pytest benchmarks/ --benchmark-only`` shows them), saves markdown
 copies under ``results/``, and asserts loose shape invariants — the
 reproduction's analogue of "the table in the paper looks like this".
+
+Benchmarks that track a performance trajectory additionally emit a
+machine-readable ``results/BENCH_<name>.json`` through
+:mod:`_bench_json` (median/p90 per workload, quick/full mode,
+interpreter info); the :func:`bench_json` fixture exposes the writer
+to pytest entry points, and script-mode entry points import
+``_bench_json`` directly.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.experiments.workloads import run_experiment
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_json import write_bench_json  # noqa: E402
+from repro.experiments.workloads import run_experiment  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def bench_json():
+    """The ``BENCH_<name>.json`` writer (see ``_bench_json``)."""
+    return write_bench_json
 
 
 @pytest.fixture

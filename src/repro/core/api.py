@@ -35,9 +35,17 @@ from repro.core.whiteboard_algorithm import theorem1_programs
 from repro.errors import ReproError
 from repro.graphs.graph import StaticGraph
 from repro.runtime.agent import AgentProgram
+from repro.runtime.plan import ExecutionPlan
 from repro.runtime.scheduler import ExecutionResult, SyncScheduler
 
-__all__ = ["AlgorithmSpec", "ALGORITHMS", "rendezvous", "default_round_budget", "pick_adjacent_starts"]
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "rendezvous",
+    "prepare_rendezvous",
+    "default_round_budget",
+    "pick_adjacent_starts",
+]
 
 
 @dataclass(frozen=True)
@@ -181,46 +189,26 @@ def _lookup(algorithm: str) -> AlgorithmSpec:
         raise ReproError(f"unknown algorithm {algorithm!r}; known: {known}") from None
 
 
-def rendezvous(
+def prepare_rendezvous(
     graph: StaticGraph,
-    algorithm: str = "theorem1",
+    algorithm: str,
     start_a: VertexId | None = None,
     start_b: VertexId | None = None,
     seed: int = 0,
     delta: int | str | None = None,
     constants: Constants | None = None,
     max_rounds: int | None = None,
-    **scheduler_kwargs: Any,
-) -> ExecutionResult:
-    """Run one rendezvous execution and return its result.
+) -> tuple[AlgorithmSpec, AgentProgram, AgentProgram, VertexId, VertexId, int]:
+    """Resolve one execution's inputs exactly as :func:`rendezvous` does.
 
-    Parameters
-    ----------
-    graph:
-        The instance graph.
-    algorithm:
-        A key of :data:`ALGORITHMS`.
-    start_a, start_b:
-        Initial vertices.  When omitted, a uniformly random *adjacent*
-        pair is chosen (seeded) — the neighborhood-rendezvous setting.
-    seed:
-        Drives start selection and both agents' random tapes.
-    delta:
-        Minimum-degree knowledge for algorithms that use it:
-        ``None`` (default) passes the true ``graph.min_degree``
-        (δ known, as the theorems assume); ``"estimate"`` activates the
-        Section 4.1 doubling estimation (Theorem 1 algorithm only); an
-        integer passes that value verbatim.
-    constants:
-        Constants preset (default: :meth:`Constants.tuned`).
-    max_rounds:
-        Round budget; default from :func:`default_round_budget`.
-    scheduler_kwargs:
-        Extra :class:`~repro.runtime.scheduler.SyncScheduler` options
-        (port model, labeling, trace recording, ...).  Execution runs
-        on the unified runtime engine
-        (:class:`repro.runtime.engine.Engine`); ``docs/runtime.md``
-        specifies the round semantics.
+    Returns ``(spec, program_a, program_b, start_a, start_b, budget)``
+    — the algorithm spec, freshly built programs, the (possibly
+    seed-chosen) start vertices, and the round budget.  This is the
+    shared front half of :func:`rendezvous` and the batched executor
+    :func:`repro.experiments.harness.run_trials`; the resolution order
+    (registry lookup, start selection, δ handling, program factory,
+    budget) matches the seed implementation so error behavior and the
+    seeded start draw are identical on both paths.
     """
     spec = _lookup(algorithm)
     constants = constants if constants is not None else Constants.tuned()
@@ -246,6 +234,70 @@ def rendezvous(
 
     program_a, program_b = spec.factory(delta_value, constants)
     budget = max_rounds if max_rounds is not None else spec.budget(graph, constants)
+    return spec, program_a, program_b, start_a, start_b, budget
+
+
+def rendezvous(
+    graph: StaticGraph,
+    algorithm: str = "theorem1",
+    start_a: VertexId | None = None,
+    start_b: VertexId | None = None,
+    seed: int = 0,
+    delta: int | str | None = None,
+    constants: Constants | None = None,
+    max_rounds: int | None = None,
+    plan: ExecutionPlan | None = None,
+    **scheduler_kwargs: Any,
+) -> ExecutionResult:
+    """Run one rendezvous execution and return its result.
+
+    Parameters
+    ----------
+    graph:
+        The instance graph.
+    algorithm:
+        A key of :data:`ALGORITHMS`.
+    start_a, start_b:
+        Initial vertices.  When omitted, a uniformly random *adjacent*
+        pair is chosen (seeded) — the neighborhood-rendezvous setting.
+    seed:
+        Drives start selection and both agents' random tapes.
+    delta:
+        Minimum-degree knowledge for algorithms that use it:
+        ``None`` (default) passes the true ``graph.min_degree``
+        (δ known, as the theorems assume); ``"estimate"`` activates the
+        Section 4.1 doubling estimation (Theorem 1 algorithm only); an
+        integer passes that value verbatim.
+    constants:
+        Constants preset (default: :meth:`Constants.tuned`).
+    max_rounds:
+        Round budget; default from :func:`default_round_budget`.
+    plan:
+        Optional pre-compiled
+        :class:`~repro.runtime.plan.ExecutionPlan` for this graph —
+        the fast path when many trials share one instance (see
+        ``docs/performance.md``).  The plan's port labeling governs
+        the run when no explicit ``labeling`` is passed, so a plan
+        compiled with the default labeling (the only kind the library
+        caches) yields results byte-identical to the plan-less call;
+        mismatched graphs, port models, or labelings raise.
+    scheduler_kwargs:
+        Extra :class:`~repro.runtime.scheduler.SyncScheduler` options
+        (port model, labeling, trace recording, ...).  Execution runs
+        on the unified runtime engine
+        (:class:`repro.runtime.engine.Engine`); ``docs/runtime.md``
+        specifies the round semantics.
+    """
+    spec, program_a, program_b, start_a, start_b, budget = prepare_rendezvous(
+        graph,
+        algorithm,
+        start_a=start_a,
+        start_b=start_b,
+        seed=seed,
+        delta=delta,
+        constants=constants,
+        max_rounds=max_rounds,
+    )
 
     scheduler = SyncScheduler(
         graph,
@@ -256,6 +308,7 @@ def rendezvous(
         seed=seed,
         whiteboards=spec.uses_whiteboards,
         max_rounds=budget,
+        plan=plan,
         **scheduler_kwargs,
     )
     return scheduler.run()

@@ -4,6 +4,21 @@ Every trial executes on the unified runtime engine
 (:class:`repro.runtime.engine.Engine`, via
 :func:`repro.core.api.rendezvous`); ``docs/runtime.md`` documents the
 execution semantics a :class:`TrialRecord` summarizes.
+
+Two execution shapes:
+
+* :func:`run_trial` — one seeded trial, full setup each call;
+* :func:`run_trials` — the batched executor: compile one
+  :class:`~repro.runtime.plan.ExecutionPlan` for the instance, then
+  run every seed against it with a single reused engine
+  (:meth:`~repro.runtime.engine.Engine.reset` between trials).  The
+  records are byte-identical to per-seed :func:`run_trial` calls —
+  ``tests/integration/test_scheduler_equivalence.py`` asserts it for
+  every registered algorithm — while skipping all per-trial table
+  building (``docs/performance.md`` quantifies the difference).
+
+:func:`repeat_trials` keeps its historical signature and routes to the
+batched executor automatically whenever its keyword arguments allow.
 """
 
 from __future__ import annotations
@@ -14,13 +29,38 @@ from typing import Any
 
 from repro._typing import VertexId
 from repro.analysis.stats import Summary, summarize
-from repro.core.api import rendezvous
+from repro.core.api import prepare_rendezvous, rendezvous
 from repro.core.verification import verify_result
 from repro.core.constants import Constants
+from repro.errors import SchedulerError
 from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling, PortModel
 from repro.graphs.validation import require_neighborhood_instance
+from repro.runtime.engine import Engine, ExecutionResult
+from repro.runtime.plan import ExecutionPlan
+from repro.runtime.scheduler import SyncScheduler
 
-__all__ = ["TrialRecord", "run_trial", "repeat_trials", "aggregate_rounds"]
+__all__ = [
+    "TrialRecord",
+    "run_trial",
+    "run_trials",
+    "repeat_trials",
+    "aggregate_rounds",
+]
+
+#: Keyword arguments :func:`run_trials` understands; ``repeat_trials``
+#: (and the sweep engine's per-worker batches) take the batched path
+#: only when every forwarded kwarg is in this set, falling back to
+#: per-seed :func:`run_trial` calls otherwise (e.g. ``record_trace``).
+_BATCHABLE_KWARGS = frozenset({
+    "plan", "constants", "delta", "start_a", "start_b",
+    "max_rounds", "check_instance", "port_model", "labeling",
+})
+
+
+def batchable_kwargs(kwargs: dict[str, Any]) -> bool:
+    """Whether ``kwargs`` can be served by :func:`run_trials`."""
+    return set(kwargs) <= _BATCHABLE_KWARGS
 
 
 @dataclass(frozen=True)
@@ -44,6 +84,26 @@ class TrialRecord:
     def rounds_per_n(self) -> float:
         """Rounds normalized by instance size (Ω(n) checks)."""
         return self.rounds / self.n
+
+
+def _trial_record(
+    graph: StaticGraph, algorithm: str, seed: int, result: ExecutionResult
+) -> TrialRecord:
+    """Fold one execution result into the harness's record shape."""
+    return TrialRecord(
+        algorithm=algorithm,
+        graph_name=graph.name,
+        n=graph.n,
+        id_space=graph.id_space,
+        delta=graph.min_degree,
+        max_degree=graph.max_degree,
+        seed=seed,
+        met=result.met,
+        rounds=result.rounds,
+        total_moves=result.total_moves,
+        whiteboard_writes=result.whiteboard_writes,
+        reports=result.reports,
+    )
 
 
 def run_trial(
@@ -80,20 +140,80 @@ def run_trial(
         **scheduler_kwargs,
     )
     verify_result(graph, result, start_a=start_a, start_b=start_b)
-    return TrialRecord(
-        algorithm=algorithm,
-        graph_name=graph.name,
-        n=graph.n,
-        id_space=graph.id_space,
-        delta=graph.min_degree,
-        max_degree=graph.max_degree,
-        seed=seed,
-        met=result.met,
-        rounds=result.rounds,
-        total_moves=result.total_moves,
-        whiteboard_writes=result.whiteboard_writes,
-        reports=result.reports,
-    )
+    return _trial_record(graph, algorithm, seed, result)
+
+
+def run_trials(
+    graph: StaticGraph,
+    algorithm: str,
+    seeds: range | list[int],
+    *,
+    plan: ExecutionPlan | None = None,
+    constants: Constants | None = None,
+    delta: int | str | None = None,
+    start_a: VertexId | None = None,
+    start_b: VertexId | None = None,
+    max_rounds: int | None = None,
+    check_instance: bool = True,
+    port_model: PortModel = PortModel.KT1,
+    labeling: PortLabeling | None = None,
+) -> list[TrialRecord]:
+    """Run one trial per seed against a single compiled plan.
+
+    The batched twin of per-seed :func:`run_trial` calls: the first
+    seed goes through the full :class:`SyncScheduler` façade (its
+    validations and engine construction, with ``plan=`` bound or
+    compiled there — no duplicated setup logic to drift), and every
+    further seed re-arms that same engine in place
+    (:meth:`~repro.runtime.engine.Engine.reset` — reused agent slots
+    and views, fresh programs, tapes, and whiteboards).  Per-trial
+    validation, start selection, and result verification match
+    :func:`run_trial` exactly, so the returned records are
+    byte-identical to the serial path for any seed list.
+    """
+    seed_list = list(seeds)
+    if check_instance and start_a is not None and start_b is not None:
+        require_neighborhood_instance(graph, start_a, start_b)
+
+    engine: Engine | None = None
+    records: list[TrialRecord] = []
+    for seed in seed_list:
+        spec, program_a, program_b, sa, sb, budget = prepare_rendezvous(
+            graph,
+            algorithm,
+            start_a=start_a,
+            start_b=start_b,
+            seed=seed,
+            delta=delta,
+            constants=constants,
+            max_rounds=max_rounds,
+        )
+        if engine is None:
+            scheduler = SyncScheduler(
+                graph,
+                program_a,
+                program_b,
+                sa,
+                sb,
+                seed=seed,
+                port_model=port_model,
+                labeling=labeling,
+                whiteboards=spec.uses_whiteboards,
+                max_rounds=budget,
+                plan=plan,
+            )
+            engine = scheduler.engine
+            result = scheduler.run()
+        else:
+            if sa == sb:  # SyncScheduler's pair invariant, re-checked per seed
+                raise SchedulerError("agents must start at two different vertices")
+            engine.reset(
+                (program_a, program_b), (sa, sb), seed=seed, max_rounds=budget
+            )
+            result = engine.run_pair()
+        verify_result(graph, result, start_a=start_a, start_b=start_b)
+        records.append(_trial_record(graph, algorithm, seed, result))
+    return records
 
 
 def repeat_trials(
@@ -111,8 +231,11 @@ def repeat_trials(
     of ``None`` consults the ambient configuration (the
     ``REPRO_PARALLEL_WORKERS`` environment variable or
     :func:`repro.experiments.parallel.configure`), so existing callers
-    opt in without code changes.  Every trial is independently seeded,
-    so the returned records are identical either way.
+    opt in without code changes.  Serial runs take the batched
+    :func:`run_trials` path (one compiled plan for the whole seed
+    list) whenever the keyword arguments allow.  Every trial is
+    independently seeded, so the returned records are identical
+    across all of these routes.
     """
     seed_list = list(seeds)
     # Imported lazily: parallel imports run_trial from this module.
@@ -125,6 +248,8 @@ def repeat_trials(
     )
     if count > 1 and len(seed_list) > 1:
         return parallel.map_trials(graph, algorithm, seed_list, count, **kwargs)
+    if batchable_kwargs(kwargs) and len(seed_list) > 1:
+        return run_trials(graph, algorithm, seed_list, **kwargs)
     return [run_trial(graph, algorithm, seed, **kwargs) for seed in seed_list]
 
 
@@ -134,4 +259,3 @@ def aggregate_rounds(records: list[TrialRecord]) -> Summary:
     if not rounds:
         raise ValueError("no successful trials to aggregate")
     return summarize(rounds)
-

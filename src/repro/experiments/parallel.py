@@ -29,6 +29,7 @@ import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
@@ -40,7 +41,12 @@ from repro.core.constants import Constants
 from repro.core.api import ALGORITHMS
 from repro.errors import ReproError
 from repro.experiments.cache import CACHE_FORMAT_VERSION, ResultCache, content_hash
-from repro.experiments.harness import TrialRecord, run_trial
+from repro.experiments.harness import (
+    TrialRecord,
+    batchable_kwargs,
+    run_trial,
+    run_trials,
+)
 from repro.experiments.report import Table
 from repro.experiments.results_io import write_records_jsonl
 from repro.graphs.generators import (
@@ -51,6 +57,7 @@ from repro.graphs.generators import (
     random_regular_graph,
 )
 from repro.graphs.graph import StaticGraph
+from repro.runtime.plan import ExecutionPlan
 
 __all__ = [
     "GRAPH_FAMILIES",
@@ -59,6 +66,8 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "build_graph",
+    "plan_for_instance",
+    "clear_instance_cache",
     "resolve_delta",
     "run_sweep",
     "map_trials",
@@ -110,12 +119,18 @@ def resolve_delta(delta_spec: str, n: int) -> int:
         ) from None
 
 
-def build_graph(family: str, n: int, delta_spec: str) -> StaticGraph:
-    """Deterministically build one sweep instance.
+@lru_cache(maxsize=8)
+def _instance_for(family: str, n: int, delta_spec: str) -> tuple[StaticGraph, ExecutionPlan]:
+    """Per-process memo of one sweep instance and its compiled plan.
 
-    The generator RNG is seeded from the ``(family, n, delta)`` tag
-    alone, so every worker process — and every re-run — reconstructs
-    the identical graph without any pickling.
+    Keyed by the generator tag alone — the same key that seeds the
+    generator RNG — so every chunk a worker handles for the same
+    instance reuses one graph object and one
+    :class:`~repro.runtime.plan.ExecutionPlan` instead of regenerating
+    both.  The cache is bounded (a worker rarely touches more than a
+    couple of instances at a time) and holds graph and plan together:
+    a plan is only valid for the exact graph object it was compiled
+    from, so they must be evicted as one.
     """
     try:
         builder = GRAPH_FAMILIES[family]
@@ -124,7 +139,30 @@ def build_graph(family: str, n: int, delta_spec: str) -> StaticGraph:
         raise ReproError(f"unknown graph family {family!r}; known: {known}") from None
     delta = resolve_delta(delta_spec, n)
     rng = random.Random(f"sweep-graph:{family}:{n}:{delta_spec}")
-    return builder(n, delta, rng)
+    graph = builder(n, delta, rng)
+    return graph, ExecutionPlan.compile(graph)
+
+
+def build_graph(family: str, n: int, delta_spec: str) -> StaticGraph:
+    """Deterministically build one sweep instance (memoized per process).
+
+    The generator RNG is seeded from the ``(family, n, delta)`` tag
+    alone, so every worker process — and every re-run — reconstructs
+    the identical graph without any pickling.  Repeated calls with the
+    same tag return the same object from a bounded per-process cache;
+    graphs are immutable, so sharing is safe.
+    """
+    return _instance_for(family, n, delta_spec)[0]
+
+
+def plan_for_instance(family: str, n: int, delta_spec: str) -> ExecutionPlan:
+    """The memoized KT1 execution plan of one sweep instance."""
+    return _instance_for(family, n, delta_spec)[1]
+
+
+def clear_instance_cache() -> None:
+    """Drop the per-process graph/plan memo (tests, long-lived daemons)."""
+    _instance_for.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -325,14 +363,21 @@ class _GraphChunk:
 
 
 def _run_chunk(chunk: _GraphChunk) -> list[tuple[int, TrialRecord]]:
-    """Build the chunk's graph once and run every trial in it."""
-    graph = build_graph(chunk.family, chunk.n, chunk.delta_spec)
+    """Run every trial of one instance chunk against the memoized plan.
+
+    Both the graph and its compiled execution plan come from the
+    per-process instance cache, so consecutive chunks of the same
+    instance handled by one worker pay neither generator time nor
+    plan compilation — only the trials themselves.
+    """
+    graph, plan = _instance_for(chunk.family, chunk.n, chunk.delta_spec)
     constants = CONSTANTS_PRESETS[chunk.preset]()
     out: list[tuple[int, TrialRecord]] = []
     for index, algorithm, seed in chunk.trials:
         record = run_trial(
             graph, algorithm, seed,
             constants=constants, max_rounds=chunk.max_rounds,
+            plan=plan,
         )
         out.append((index, record))
     return out
@@ -539,6 +584,9 @@ def _run_seed_batch(
     payload: tuple[StaticGraph, str, list[int], dict[str, Any]]
 ) -> list[TrialRecord]:
     graph, algorithm, seeds, kwargs = payload
+    if batchable_kwargs(kwargs) and len(seeds) > 1:
+        # One plan compilation per worker batch instead of per trial.
+        return run_trials(graph, algorithm, seeds, **kwargs)
     return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
 
 
@@ -558,8 +606,13 @@ def map_trials(
     (unpicklable graph or kwargs) fall back to the serial loop
     rather than failing — checked up front, so errors raised by the
     trials themselves propagate normally without discarding work.
+    A caller-supplied ``plan`` never crosses the boundary: plans are
+    identity-bound to the parent's graph object, so each worker batch
+    recompiles its own (the records are identical either way).
     """
     seeds = [int(s) for s in seeds]
+    kwargs = dict(kwargs)
+    caller_plan = kwargs.pop("plan", None)
     worker_count = min(resolve_workers(workers), len(seeds))
     if worker_count > 1:
         try:
@@ -567,6 +620,10 @@ def map_trials(
         except (pickle.PicklingError, TypeError, AttributeError):
             worker_count = 1
     if worker_count <= 1:
+        if batchable_kwargs(kwargs) and len(seeds) > 1:
+            return run_trials(graph, algorithm, seeds, plan=caller_plan, **kwargs)
+        if caller_plan is not None:
+            kwargs["plan"] = caller_plan
         return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
     batches: list[list[int]] = [[] for _ in range(worker_count)]
     for position in range(len(seeds)):

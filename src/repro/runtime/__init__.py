@@ -28,11 +28,13 @@ from repro.runtime.whiteboard import BLANK, WhiteboardStore
 from repro.runtime.view import AgentView
 from repro.runtime.agent import AgentContext, AgentProgram, walk, walk_and_return
 from repro.runtime.engine import Engine
+from repro.runtime.plan import ExecutionPlan
 from repro.runtime.scheduler import ExecutionResult, SyncScheduler, run_rendezvous
 from repro.runtime.single import SingleAgentRecorder, run_single_agent
 
 __all__ = [
     "Engine",
+    "ExecutionPlan",
     "Action",
     "Stay",
     "Move",

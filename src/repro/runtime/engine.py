@@ -14,31 +14,38 @@ modes, port-model glossary).
 
 What makes it fast — without changing one observable bit:
 
-* **Per-execution tables.**  On construction the engine binds the
-  graph's adjacency dictionaries once (`StaticGraph.neighbor_map` /
-  `neighbor_set_map`) and, under KT0, materializes the hidden port
-  table (`PortLabeling.port_table`) plus the accessible
-  ``(0..deg-1)`` tuples per vertex.  A KT1 move then costs one dict
-  lookup and one frozenset membership test; a KT0 move one dict lookup
-  and one tuple index — no method-call chain.
+* **Compiled execution plans.**  The engine runs on an
+  :class:`~repro.runtime.plan.ExecutionPlan`: the graph and port
+  labeling compiled once into CSR arrays over dense vertex indices
+  ``0..n-1``.  Agent positions are dense indices throughout the loop;
+  a KT1 move is one per-vertex dict lookup (public target identifier →
+  dense index), a KT0 move one list index and one tuple index.  Public
+  identifiers reappear only at the observation boundary (views,
+  whiteboard keys, traces, results), so every
+  :class:`ExecutionResult` is byte-identical to the seed schedulers'.
+  Passing a pre-compiled ``plan`` removes *all* per-execution table
+  building — the basis of the batched trial executor
+  (:func:`repro.experiments.harness.run_trials`).
 * **Mutable agent slots.**  Each agent's scheduler-side state lives in
   one ``__slots__`` record (:class:`AgentSlot`) reused across all
-  rounds; the per-round loop allocates nothing but the actions the
+  rounds — and, via :meth:`Engine.reset`, across all trials of a
+  batch; the per-round loop allocates nothing but the actions the
   programs themselves yield.
 * **Monomorphic dispatch.**  Actions are dispatched on
   ``action.__class__`` identity for the four concrete action types,
   with an ``isinstance`` fallback preserving the exact historical
   behavior (and error messages) for exotic ``Action`` subclasses.
 * **Table-backed views.**  :class:`EngineView` overrides every hot
-  :class:`~repro.runtime.view.AgentView` property with a direct table
+  :class:`~repro.runtime.view.AgentView` property with a direct plan
   lookup while keeping the model enforcement (KT0 hides neighbor IDs,
   disabled whiteboards raise).
 
 Semantics are byte-identical to the seed schedulers — the frozen
 copies in :mod:`repro.runtime.reference` exist precisely so the
 equivalence suite (``tests/integration/test_scheduler_equivalence.py``)
-and the throughput gate (``benchmarks/bench_engine.py``) can prove it
-on every registered algorithm.
+and the throughput gates (``benchmarks/bench_engine.py``,
+``benchmarks/bench_sweep_throughput.py``) can prove it on every
+registered algorithm.
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling, PortModel
 from repro.runtime.actions import Action, Halt, KEEP, Move, Stay, WaitUntil
 from repro.runtime.agent import AgentContext, AgentProgram
+from repro.runtime.plan import ExecutionPlan
 from repro.runtime.view import AgentView
 from repro.runtime.whiteboard import DisabledWhiteboards, WhiteboardStore
 
@@ -61,6 +69,7 @@ __all__ = [
     "Engine",
     "EngineView",
     "MultiAgentView",
+    "ExecutionPlan",
     "ExecutionResult",
     "MultiExecutionResult",
     "SingleAgentRecorder",
@@ -185,39 +194,55 @@ class SingleAgentRecorder:
 
 
 class AgentSlot:
-    """Engine-internal per-agent state, reused across every round."""
+    """Engine-internal per-agent state, reused across every round.
 
-    __slots__ = ("name", "program", "gen", "position", "wake_round", "halted", "moves", "ctx")
+    The hot loops track the agent's location as the *dense index* of
+    its vertex in the engine's :class:`ExecutionPlan`; façade
+    consumers (oracles, tests) read the public identifier through the
+    :attr:`position` property.
+    """
 
-    def __init__(self, name: str, program: AgentProgram, start: VertexId) -> None:
+    __slots__ = ("name", "program", "gen", "index", "wake_round", "halted", "moves", "ctx", "_ids")
+
+    def __init__(self, name: str, program: AgentProgram, start_index: int,
+                 ids: tuple[VertexId, ...]) -> None:
         self.name = name
         self.program = program
         self.gen = None
-        self.position = start
+        self.index = start_index
         self.wake_round = 0
         self.halted = False
         self.moves = 0
         self.ctx: AgentContext | None = None
+        self._ids = ids
+
+    @property
+    def position(self) -> VertexId:
+        """Public identifier of the agent's current vertex."""
+        return self._ids[self.index]
 
 
 class EngineView(AgentView):
-    """A table-backed :class:`AgentView` bound to an :class:`Engine`.
+    """A plan-backed :class:`AgentView` bound to an :class:`Engine`.
 
-    Every hot property resolves through per-execution tables captured
-    at construction instead of the ``scheduler → graph`` attribute
-    chain; the model boundaries (KT0 hides neighbor identifiers,
-    disabled whiteboards raise) are enforced identically.
+    Every hot property resolves through the compiled plan's tables
+    captured at construction instead of the ``scheduler → graph``
+    attribute chain; the model boundaries (KT0 hides neighbor
+    identifiers, disabled whiteboards raise) are enforced identically.
     """
 
-    __slots__ = ("_kt1", "_nbrs", "_nbsets", "_wb", "_kt0_ports")
+    __slots__ = ("_kt1", "_plan", "_ids", "_nbr_ids", "_degrees", "_kt0_ports", "_wb")
 
     def __init__(self, engine: "Engine", slot: AgentSlot) -> None:
         super().__init__(engine, slot)
+        plan = engine.plan
         self._kt1 = engine.port_model is PortModel.KT1
-        self._nbrs = engine._nbrs
-        self._nbsets = engine._nbsets
+        self._plan = plan
+        self._ids = plan.ids
+        self._nbr_ids = plan.nbr_ids
+        self._degrees = plan.degrees
+        self._kt0_ports = plan.kt0_ports
         self._wb = engine.whiteboards
-        self._kt0_ports = engine._kt0_ports
 
     @property
     def round(self) -> int:
@@ -227,47 +252,46 @@ class EngineView(AgentView):
     @property
     def vertex(self) -> VertexId:
         """Identifier of the current vertex (vertices carry unique IDs)."""
-        return self._driver.position
+        return self._ids[self._driver.index]
 
     @property
     def degree(self) -> int:
         """Degree of the current vertex (``|N(v)| = `` number of ports)."""
-        return len(self._nbrs[self._driver.position])
+        return self._degrees[self._driver.index]
 
     @property
     def ports(self) -> tuple:
         """Accessible port keys: neighbor IDs (KT1) or ``0..deg-1`` (KT0)."""
         if self._kt1:
-            return self._nbrs[self._driver.position]
-        return self._kt0_ports[self._driver.position]
+            return self._nbr_ids[self._driver.index]
+        return self._kt0_ports[self._driver.index]
 
     @property
     def neighbors(self) -> tuple[VertexId, ...]:
         """Identifiers of the neighbors of the current vertex (KT1 only)."""
         if not self._kt1:
             raise ProtocolError("neighbor identifiers are not accessible under KT0")
-        return self._nbrs[self._driver.position]
+        return self._nbr_ids[self._driver.index]
 
     @property
     def closed_neighbors(self) -> frozenset[VertexId]:
         """``N⁺(v)`` of the current vertex as a frozenset (KT1 only)."""
         if not self._kt1:
             raise ProtocolError("neighbor identifiers are not accessible under KT0")
-        position = self._driver.position
-        return self._nbsets[position] | {position}
+        return self._plan.closed_set(self._driver.index)
 
     @property
     def whiteboard(self) -> Any:
         """Contents of the whiteboard at the current vertex."""
-        return self._wb.read(self._driver.position)
+        return self._wb.read(self._ids[self._driver.index])
 
     @property
     def other_agent_here(self) -> bool:
         """Whether any other agent currently occupies the same vertex."""
         me = self._driver
-        position = me.position
+        index = me.index
         for slot in self._scheduler.drivers:
-            if slot is not me and slot.position == position:
+            if slot is not me and slot.index == index:
                 return True
         return False
 
@@ -281,10 +305,10 @@ class MultiAgentView(EngineView):
     def co_located_agents(self) -> tuple[str, ...]:
         """Names of the *other* agents at the current vertex."""
         me = self._driver
-        position = me.position
+        index = me.index
         return tuple(
             slot.name for slot in self._scheduler.drivers
-            if slot is not me and slot.position == position
+            if slot is not me and slot.index == index
         )
 
     @property
@@ -309,9 +333,11 @@ class Engine:
     k-agent loop with ``"all"``/``"pair"`` termination.
 
     Parameters mirror the façade constructors; ``params`` is one
-    optional per-agent parameter dict per program, and ``multi_view``
+    optional per-agent parameter dict per program, ``multi_view``
     selects :class:`MultiAgentView` (exposing ``co_located_agents``)
-    over the plain pair view.
+    over the plain pair view, and ``plan`` binds a pre-compiled
+    :class:`ExecutionPlan` (compiled on the spot when omitted) so
+    batched trials skip all per-execution table building.
     """
 
     def __init__(
@@ -330,10 +356,16 @@ class Engine:
         trace_limit: int = 100_000,
         params: Sequence[dict[str, Any] | None] | None = None,
         multi_view: bool | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> None:
+        if plan is None:
+            plan = ExecutionPlan.compile(graph, labeling=labeling, port_model=port_model)
+        else:
+            plan.ensure_matches(graph, labeling, port_model)
+        self.plan = plan
         self.graph = graph
-        self.labeling = labeling if labeling is not None else PortLabeling(graph)
         self.port_model = port_model
+        self._wb_enabled = whiteboards
         self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
         self.max_rounds = int(max_rounds)
         self.current_round = 0
@@ -342,26 +374,16 @@ class Engine:
         self._trace_limit = trace_limit
         self._trace: list[tuple[int, VertexId, VertexId]] = []
 
-        # Per-execution tables: bound once, used by the loops and views.
-        self._nbrs = graph.neighbor_map
-        self._nbsets = graph.neighbor_set_map
-        if port_model is PortModel.KT1:
-            self._kt0_table = None
-            self._kt0_ports = None
-        else:
-            self._kt0_table = self.labeling.port_table()
-            self._kt0_ports = {
-                v: tuple(range(len(adj))) for v, adj in self._nbrs.items()
-            }
-
         if multi_view is None:
             multi_view = len(programs) != 2
         view_cls = MultiAgentView if multi_view else EngineView
 
+        ids = plan.ids
+        index_of = plan.index_of
         agent_params = params if params is not None else [None] * len(programs)
         self.drivers: list[AgentSlot] = []
         for name, program, start, p in zip(names, programs, starts, agent_params):
-            slot = AgentSlot(name, program, start)
+            slot = AgentSlot(name, program, index_of[start], ids)
             ctx = AgentContext(
                 name=name,  # type: ignore[arg-type]
                 start_vertex=start,
@@ -377,10 +399,70 @@ class Engine:
 
     # -- introspection used by views and façades -----------------------
 
+    @property
+    def labeling(self) -> PortLabeling:
+        """The execution's port labeling (lazy for default-KT1 plans)."""
+        return self.plan.labeling
+
     def other_driver(self, slot: AgentSlot) -> AgentSlot:
         """The slot of the other agent (two-agent engines only)."""
         a, b = self.drivers
         return b if slot is a else a
+
+    # -- batched-trial reuse -------------------------------------------
+
+    def reset(
+        self,
+        programs: Sequence[AgentProgram],
+        starts: Sequence[VertexId],
+        seed: int = 0,
+        params: Sequence[dict[str, Any] | None] | None = None,
+        max_rounds: int | None = None,
+    ) -> None:
+        """Re-arm the engine for a fresh execution on the same plan.
+
+        Slots, views, and the compiled plan are reused; everything
+        per-execution — programs, positions, random tapes, whiteboard
+        store, round clock, trace buffer — is replaced, so the run
+        that follows is indistinguishable from one on a brand-new
+        engine.  This is the batched trial executor's inner step
+        (:func:`repro.experiments.harness.run_trials`).
+        """
+        if len(programs) != len(self.drivers) or len(starts) != len(self.drivers):
+            raise SchedulerError("reset requires one program and start per slot")
+        if max_rounds is not None:
+            self.max_rounds = int(max_rounds)
+        self.whiteboards = (
+            WhiteboardStore() if self._wb_enabled else DisabledWhiteboards()
+        )
+        self.current_round = 0
+        self._trace.clear()
+        index_of = self.plan.index_of
+        agent_params = params if params is not None else [None] * len(programs)
+        for slot, program, start, p in zip(self.drivers, programs, starts, agent_params):
+            try:
+                start_index = index_of[start]
+            except KeyError:
+                raise SchedulerError(f"start vertex {start} not in the graph") from None
+            slot.program = program
+            slot.gen = None
+            slot.index = start_index
+            slot.wake_round = 0
+            slot.halted = False
+            slot.moves = 0
+            view = slot.ctx.view
+            view._wb = self.whiteboards  # the one view field bound per execution
+            ctx = AgentContext(
+                name=slot.name,  # type: ignore[arg-type]
+                start_vertex=start,
+                id_space=self.graph.id_space,
+                rng=random.Random(f"{seed}:{slot.name}"),
+                port_model=self.port_model,
+                whiteboards_enabled=self._wb_enabled,
+                params=dict(p or {}),
+            )
+            ctx.view = view
+            slot.ctx = ctx
 
     # -- the two-agent hot loop ----------------------------------------
 
@@ -389,7 +471,10 @@ class Engine:
 
         The loop preserves the seed scheduler's semantics exactly —
         compute both actions, apply both writes, then both movements —
-        including the order in which protocol errors surface.
+        including the order in which protocol errors surface.  Agent
+        positions are dense plan indices; ``ids`` translates back to
+        public identifiers at every observation (whiteboard keys,
+        trace entries, error messages).
         """
         if len(self.drivers) != 2:
             raise SchedulerError("run_pair requires exactly two agents")
@@ -399,8 +484,10 @@ class Engine:
 
         _MOVE, _STAY, _WAIT, _HALT, _KEEP = Move, Stay, WaitUntil, Halt, KEEP
         kt1 = self.port_model is PortModel.KT1
-        nbsets = self._nbsets
-        kt0_table = self._kt0_table
+        plan = self.plan
+        ids = plan.ids
+        nbr_index = plan.nbr_index
+        kt0_rows = plan.kt0_rows
         wb_write = self.whiteboards.write
         max_rounds = self.max_rounds
         record = self._record_trace
@@ -412,9 +499,9 @@ class Engine:
         rnd = self.current_round
         failure: str | None = None
         while True:
-            pos_a = a.position
-            pos_b = b.position
-            if pos_a == pos_b:
+            idx_a = a.index
+            idx_b = b.index
+            if idx_a == idx_b:
                 return self._pair_result(met=True, failure=None)
             if rnd >= max_rounds:
                 failure = "round budget exhausted"
@@ -479,19 +566,19 @@ class Engine:
                 if cls is _MOVE or cls is _STAY:
                     w = act_a.write
                     if w is not _KEEP:
-                        wb_write(pos_a, w)
+                        wb_write(ids[idx_a], w)
                 elif cls is not _WAIT and cls is not _HALT:
                     if isinstance(act_a, (_STAY, _MOVE)) and act_a.write is not _KEEP:
-                        wb_write(pos_a, act_a.write)
+                        wb_write(ids[idx_a], act_a.write)
             if act_b is not None:
                 cls = act_b.__class__
                 if cls is _MOVE or cls is _STAY:
                     w = act_b.write
                     if w is not _KEEP:
-                        wb_write(pos_b, w)
+                        wb_write(ids[idx_b], w)
                 elif cls is not _WAIT and cls is not _HALT:
                     if isinstance(act_b, (_STAY, _MOVE)) and act_b.write is not _KEEP:
-                        wb_write(pos_b, act_b.write)
+                        wb_write(ids[idx_b], act_b.write)
 
             # -- movements: agent a first, then b (seed order) ---------
             if act_a is not None:
@@ -499,23 +586,23 @@ class Engine:
                 if cls is _MOVE:
                     target = act_a.target
                     if kt1:
-                        if target != pos_a:
-                            if target in nbsets[pos_a]:
-                                a.position = target
-                                a.moves += 1
-                            else:
-                                raise ProtocolError(
-                                    f"agent at {pos_a} tried to move to "
-                                    f"non-neighbor {target}"
-                                )
+                        dest = nbr_index[idx_a].get(target)
+                        if dest is not None:
+                            a.index = dest
+                            a.moves += 1
+                        elif target != ids[idx_a]:
+                            raise ProtocolError(
+                                f"agent at {ids[idx_a]} tried to move to "
+                                f"non-neighbor {target}"
+                            )
                     else:
-                        row = kt0_table[pos_a]
+                        row = kt0_rows[idx_a]
                         if 0 <= target < len(row):
-                            a.position = row[target]
+                            a.index = row[target]
                             a.moves += 1
                         else:
                             raise ProtocolError(
-                                f"port {target} out of range at vertex {pos_a}"
+                                f"port {target} out of range at vertex {ids[idx_a]}"
                             )
                 elif cls is _STAY:
                     pass
@@ -532,23 +619,23 @@ class Engine:
                 if cls is _MOVE:
                     target = act_b.target
                     if kt1:
-                        if target != pos_b:
-                            if target in nbsets[pos_b]:
-                                b.position = target
-                                b.moves += 1
-                            else:
-                                raise ProtocolError(
-                                    f"agent at {pos_b} tried to move to "
-                                    f"non-neighbor {target}"
-                                )
+                        dest = nbr_index[idx_b].get(target)
+                        if dest is not None:
+                            b.index = dest
+                            b.moves += 1
+                        elif target != ids[idx_b]:
+                            raise ProtocolError(
+                                f"agent at {ids[idx_b]} tried to move to "
+                                f"non-neighbor {target}"
+                            )
                     else:
-                        row = kt0_table[pos_b]
+                        row = kt0_rows[idx_b]
                         if 0 <= target < len(row):
-                            b.position = row[target]
+                            b.index = row[target]
                             b.moves += 1
                         else:
                             raise ProtocolError(
-                                f"port {target} out of range at vertex {pos_b}"
+                                f"port {target} out of range at vertex {ids[idx_b]}"
                             )
                 elif cls is _STAY:
                     pass
@@ -562,7 +649,7 @@ class Engine:
                     self._apply_slow(b, act_b, rnd)
 
             if record and len(trace) < trace_limit:
-                trace_append((rnd, a.position, b.position))
+                trace_append((rnd, ids[a.index], ids[b.index]))
             rnd += 1
             self.current_round = rnd
 
@@ -578,8 +665,10 @@ class Engine:
 
         _MOVE, _STAY, _WAIT, _HALT, _KEEP = Move, Stay, WaitUntil, Halt, KEEP
         kt1 = self.port_model is PortModel.KT1
-        nbsets = self._nbsets
-        kt0_table = self._kt0_table
+        plan = self.plan
+        ids = plan.ids
+        nbr_index = plan.nbr_index
+        kt0_rows = plan.kt0_rows
         wb_write = self.whiteboards.write
         max_rounds = self.max_rounds
         pair_mode = self.termination == "pair"
@@ -588,24 +677,24 @@ class Engine:
         failure: str | None = None
         while True:
             # -- termination check (beginning of round) ----------------
-            vertex: VertexId | None
+            meeting_index: int | None
             if pair_mode:
-                vertex = None
-                seen: set[VertexId] = set()
+                meeting_index = None
+                seen: set[int] = set()
                 for slot in drivers:
-                    position = slot.position
-                    if position in seen:
-                        vertex = position
+                    index = slot.index
+                    if index in seen:
+                        meeting_index = index
                         break
-                    seen.add(position)
+                    seen.add(index)
             else:
-                vertex = drivers[0].position
+                meeting_index = drivers[0].index
                 for slot in drivers:
-                    if slot.position != vertex:
-                        vertex = None
+                    if slot.index != meeting_index:
+                        meeting_index = None
                         break
-            if vertex is not None:
-                return self._multi_result(True, vertex, None)
+            if meeting_index is not None:
+                return self._multi_result(True, ids[meeting_index], None)
             if rnd >= max_rounds:
                 failure = "round budget exhausted"
                 break
@@ -650,35 +739,35 @@ class Engine:
                     if cls is _MOVE or cls is _STAY:
                         w = act.write
                         if w is not _KEEP:
-                            wb_write(slot.position, w)
+                            wb_write(ids[slot.index], w)
                     elif cls is not _WAIT and cls is not _HALT:
                         if isinstance(act, (_STAY, _MOVE)) and act.write is not _KEEP:
-                            wb_write(slot.position, act.write)
+                            wb_write(ids[slot.index], act.write)
             for slot, act in actions:
                 if act is None:
                     continue
                 cls = act.__class__
                 if cls is _MOVE:
-                    position = slot.position
+                    index = slot.index
                     target = act.target
                     if kt1:
-                        if target != position:
-                            if target in nbsets[position]:
-                                slot.position = target
-                                slot.moves += 1
-                            else:
-                                raise ProtocolError(
-                                    f"agent at {position} tried to move to "
-                                    f"non-neighbor {target}"
-                                )
+                        dest = nbr_index[index].get(target)
+                        if dest is not None:
+                            slot.index = dest
+                            slot.moves += 1
+                        elif target != ids[index]:
+                            raise ProtocolError(
+                                f"agent at {ids[index]} tried to move to "
+                                f"non-neighbor {target}"
+                            )
                     else:
-                        row = kt0_table[position]
+                        row = kt0_rows[index]
                         if 0 <= target < len(row):
-                            slot.position = row[target]
+                            slot.index = row[target]
                             slot.moves += 1
                         else:
                             raise ProtocolError(
-                                f"port {target} out of range at vertex {position}"
+                                f"port {target} out of range at vertex {ids[index]}"
                             )
                 elif cls is _STAY:
                     pass
@@ -704,15 +793,20 @@ class Engine:
         Mirrors the seed scheduler's ``isinstance`` chain exactly so
         subclasses of the concrete actions keep their historical
         treatment, and anything else raises the historical error.
+        Resolution happens in public-identifier space through the
+        labeling (the slow boundary crossing), then translates back.
         """
         if isinstance(action, Stay):
             return
         if isinstance(action, Move):
-            if self.port_model is PortModel.KT1 and action.target == slot.position:
+            plan = self.plan
+            position = plan.ids[slot.index]
+            if self.port_model is PortModel.KT1 and action.target == position:
                 return  # moving "to itself" is a stay (N⁺ movement sets)
-            slot.position = self.labeling.resolve_accessible(
-                slot.position, action.target, self.port_model
+            destination = self.labeling.resolve_accessible(
+                position, action.target, self.port_model
             )
+            slot.index = plan.index_of[destination]
             slot.moves += 1
         elif isinstance(action, WaitUntil):
             slot.wake_round = max(action.round, rnd + 1)
@@ -726,7 +820,7 @@ class Engine:
         return ExecutionResult(
             met=met,
             rounds=self.current_round,
-            meeting_vertex=a.position if met else None,
+            meeting_vertex=self.plan.ids[a.index] if met else None,
             moves={"a": a.moves, "b": b.moves},
             whiteboard_reads=self.whiteboards.reads,
             whiteboard_writes=self.whiteboards.writes,
@@ -739,11 +833,12 @@ class Engine:
     def _multi_result(
         self, completed: bool, vertex: VertexId | None, failure: str | None
     ) -> MultiExecutionResult:
+        ids = self.plan.ids
         return MultiExecutionResult(
             completed=completed,
             rounds=self.current_round,
             meeting_vertex=vertex,
-            positions={slot.name: slot.position for slot in self.drivers},
+            positions={slot.name: ids[slot.index] for slot in self.drivers},
             moves={slot.name: slot.moves for slot in self.drivers},
             whiteboard_reads=self.whiteboards.reads,
             whiteboard_writes=self.whiteboards.writes,

@@ -40,6 +40,7 @@ from repro.runtime.engine import (
     MultiAgentView,
     MultiExecutionResult,
 )
+from repro.runtime.plan import ExecutionPlan
 
 __all__ = ["MultiAgentView", "MultiExecutionResult", "MultiAgentScheduler"]
 
@@ -60,6 +61,7 @@ class MultiAgentScheduler:
         max_rounds: int = 1_000_000,
         termination: Literal["all", "pair"] = "all",
         params: Sequence[dict[str, Any] | None] | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> None:
         if len(programs) != len(starts):
             raise SchedulerError("one start vertex per program is required")
@@ -88,15 +90,20 @@ class MultiAgentScheduler:
             termination=termination,
             multi_view=True,
             params=params,
+            plan=plan,
         )
         self.graph = graph
-        self.labeling = self._engine.labeling
         self.port_model = port_model
         self.whiteboards = self._engine.whiteboards
         self.max_rounds = self._engine.max_rounds
         self.termination = termination
 
     # -- introspection used by views -----------------------------------
+
+    @property
+    def labeling(self) -> PortLabeling:
+        """The hidden port labeling (built lazily for default KT1 runs)."""
+        return self._engine.labeling
 
     @property
     def current_round(self) -> int:

@@ -1,0 +1,304 @@
+"""Compiled execution plans: the array-backed core of the trial hot path.
+
+A statistical experiment runs *thousands* of seeded trials against the
+same ``(StaticGraph, PortLabeling)`` pair.  Before this layer existed,
+every trial paid the full setup again: the scheduler re-bound adjacency
+dictionaries, (under KT0) re-materialized the O(m) hidden port table,
+and re-resolved every movement through per-vertex dict and frozenset
+lookups keyed by arbitrary public vertex identifiers.
+
+:class:`ExecutionPlan` compiles that pair **once** into flat arrays
+over dense vertex indices ``0 .. n-1``:
+
+* ``ids`` / ``index_of`` — the bijection between dense indices and the
+  public (possibly non-contiguous) vertex identifiers;
+* ``neighbor_indices`` / ``neighbor_offsets`` — the adjacency in CSR
+  form: one ``array('q')`` of concatenated neighbor index lists plus
+  the ``n + 1`` offsets delimiting each vertex's slice;
+* ``degrees`` — per-vertex degree, one ``array('q')`` lookup;
+* ``port_targets`` (KT0 plans) — the hidden port table flattened the
+  same way: entry ``neighbor_offsets[i] + p`` is the dense index
+  behind port ``p`` of vertex ``i``.
+
+The per-vertex rows the interpreter hot loop actually touches are
+compiled eagerly, and only for the model that reads them
+(``nbr_index`` maps a public target identifier straight to its dense
+index for KT1 movement resolution; ``kt0_rows`` are the port rows as
+tuples for KT0), so an engine bound to a plan does **no**
+per-execution table building at all.  The flat CSR pair and
+``port_targets`` are derived views of those rows, materialized once
+on first access — they serve tests, analyses, and export, not the
+round loop, and one-off executions never pay for them.
+
+The identifier/index translation boundary is strict: everything inside
+:class:`~repro.runtime.engine.Engine` runs on dense indices, and public
+identifiers reappear only at the *observation boundary* — agent views,
+whiteboard keys, traces, and the fields of an
+:class:`~repro.runtime.engine.ExecutionResult` — which is why results
+stay byte-identical to the pre-plan schedulers (the frozen oracles in
+:mod:`repro.runtime.reference` prove it on every registered
+algorithm).  ``docs/performance.md`` documents the layer, the cache
+lifetimes, and the benchmarks gating its speedups.
+
+Plans are immutable once compiled (the lazy per-vertex closed-set
+cache aside) and may be shared freely across engines, trials, and
+threads of one process; they are keyed by *object identity* of their
+graph, so always compile from the same :class:`StaticGraph` instance
+the trials run on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING
+
+from repro._typing import PortKey, VertexId
+from repro.errors import SchedulerError
+from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling, PortModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Mapping
+
+__all__ = ["ExecutionPlan"]
+
+
+class ExecutionPlan:
+    """A ``(graph, labeling, port model)`` triple compiled to flat arrays.
+
+    Build one with :meth:`compile`; the constructor is internal.  The
+    attributes are documented in the module docstring; treat every one
+    of them as **read-only** — engines bind them directly.
+    """
+
+    __slots__ = (
+        "graph",
+        "port_model",
+        "n",
+        "ids",
+        "index_of",
+        "degrees",
+        "nbr_ids",
+        "nbr_index",
+        "kt0_rows",
+        "kt0_ports",
+        "_labeling",
+        "_closed_sets",
+        "_csr",
+        "_port_targets",
+    )
+
+    def __init__(
+        self,
+        graph: StaticGraph,
+        port_model: PortModel,
+        labeling: PortLabeling | None,
+    ) -> None:
+        self.graph = graph
+        self.port_model = port_model
+        self._labeling = labeling
+
+        ids = graph.vertices
+        index_of = {v: i for i, v in enumerate(ids)}
+        nbr_map = graph.neighbor_map
+        nbr_ids = [nbr_map[v] for v in ids]
+
+        n = len(ids)
+        # The KT1 movement-resolution rows; KT0 loops move through
+        # kt0_rows instead and never consult these, so KT0 plans skip
+        # the O(m) dict construction entirely.
+        nbr_index: list[dict[VertexId, int]] | None = (
+            [{u: index_of[u] for u in adj} for adj in nbr_ids]
+            if port_model is PortModel.KT1
+            else None
+        )
+
+        self.n = n
+        self.ids = ids
+        self.index_of = index_of
+        self.degrees = array("q", map(len, nbr_ids))
+        self.nbr_ids = nbr_ids
+        self.nbr_index = nbr_index
+        self._closed_sets: list[frozenset[VertexId] | None] = [None] * n
+        self._csr: tuple[array, array] | None = None
+        self._port_targets: array | None = None
+
+        if port_model is PortModel.KT0:
+            table = labeling.port_table()  # type: ignore[union-attr]
+            kt0_rows = [tuple(index_of[u] for u in table[v]) for v in ids]
+            ports_by_degree: dict[int, tuple[int, ...]] = {}
+            self.kt0_rows: list[tuple[int, ...]] | None = kt0_rows
+            self.kt0_ports: list[tuple[int, ...]] | None = [
+                ports_by_degree.setdefault(d, tuple(range(d))) for d in self.degrees
+            ]
+        else:
+            self.kt0_rows = None
+            self.kt0_ports = None
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        graph: StaticGraph,
+        labeling: PortLabeling | None = None,
+        port_model: PortModel = PortModel.KT1,
+    ) -> "ExecutionPlan":
+        """Compile ``graph`` (and its port labeling) for ``port_model``.
+
+        ``labeling`` defaults to the ascending-ID labeling — lazily
+        constructed for KT1 plans, which never consult the hidden
+        bijection on the fast path, and eagerly for KT0 plans, whose
+        flat port table is derived from it.
+        """
+        if labeling is not None and labeling.graph is not graph:
+            raise SchedulerError("labeling belongs to a different graph")
+        if port_model is PortModel.KT0 and labeling is None:
+            labeling = PortLabeling(graph)
+        return cls(graph, port_model, labeling)
+
+    def ensure_matches(
+        self,
+        graph: StaticGraph | None,
+        labeling: PortLabeling | None,
+        port_model: PortModel,
+    ) -> None:
+        """Raise :class:`SchedulerError` unless this plan fits the run.
+
+        The graph check is by identity: a plan binds the internal
+        tables of one specific :class:`StaticGraph` instance, so an
+        equal-but-distinct graph is still a mismatch.  An explicitly
+        passed labeling is accepted when its hidden port table equals
+        the plan's (same object or same content — execution is
+        identical either way); when the caller passes no labeling, the
+        plan's own labeling governs the run.
+        """
+        if graph is not None and graph is not self.graph:
+            raise SchedulerError(
+                "execution plan was compiled for a different graph"
+            )
+        if port_model is not self.port_model:
+            raise SchedulerError(
+                f"execution plan was compiled for {self.port_model.value}, "
+                f"not {port_model.value}"
+            )
+        if (
+            labeling is not None
+            and labeling is not self._labeling
+            and labeling.port_table() != self.labeling.port_table()
+        ):
+            raise SchedulerError(
+                "execution plan was compiled for a different port labeling"
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors (views, tests, and the translation boundary)
+    # ------------------------------------------------------------------
+
+    @property
+    def labeling(self) -> PortLabeling:
+        """The plan's port labeling (ascending-ID default, built lazily)."""
+        if self._labeling is None:
+            self._labeling = PortLabeling(self.graph)
+        return self._labeling
+
+    @property
+    def neighbor_offsets(self) -> array:
+        """CSR offsets: vertex ``i``'s neighbors span ``[off[i], off[i+1])``.
+
+        The flat CSR pair is the plan's canonical export surface
+        (differential tests, analyses, serialization); the engine hot
+        loops run on the per-vertex rows instead, so the arrays are
+        materialized once on first access rather than at compile time
+        — one-off executions never pay for them.
+        """
+        return self._csr_arrays()[0]
+
+    @property
+    def neighbor_indices(self) -> array:
+        """One ``array('q')`` of concatenated dense neighbor lists."""
+        return self._csr_arrays()[1]
+
+    @property
+    def port_targets(self) -> array | None:
+        """The hidden port table flattened CSR-style (KT0 plans only).
+
+        Entry ``neighbor_offsets[i] + p`` is the dense index behind
+        port ``p`` of vertex ``i``; ``None`` for KT1 plans.  Like the
+        CSR pair, materialized on first access.
+        """
+        rows = self.kt0_rows
+        if rows is None:
+            return None
+        flat = self._port_targets
+        if flat is None:
+            flat = array("q")
+            for row in rows:
+                flat.extend(row)
+            self._port_targets = flat
+        return flat
+
+    def _csr_arrays(self) -> tuple[array, array]:
+        csr = self._csr
+        if csr is None:
+            index_of = self.index_of
+            offsets = array("q", bytes(8 * (self.n + 1)))
+            flat = array("q")
+            total = 0
+            for i, adj in enumerate(self.nbr_ids):
+                flat.extend(index_of[u] for u in adj)
+                total += len(adj)
+                offsets[i + 1] = total
+            csr = (offsets, flat)
+            self._csr = csr
+        return csr
+
+    def index(self, vertex: VertexId) -> int:
+        """Dense index of public identifier ``vertex``."""
+        return self.index_of[vertex]
+
+    def vertex_id(self, index: int) -> VertexId:
+        """Public identifier behind dense ``index``."""
+        return self.ids[index]
+
+    def degree_of(self, index: int) -> int:
+        """Degree of the vertex at dense ``index``."""
+        return self.degrees[index]
+
+    def neighbor_slice(self, index: int) -> array:
+        """CSR slice of dense neighbor indices for ``index``."""
+        offsets = self.neighbor_offsets
+        return self.neighbor_indices[offsets[index]:offsets[index + 1]]
+
+    def neighbor_ids_of(self, index: int) -> tuple[VertexId, ...]:
+        """Public neighbor identifiers of ``index``, ascending."""
+        return self.nbr_ids[index]
+
+    def port_row(self, index: int) -> tuple[int, ...]:
+        """Dense targets behind ports ``0, 1, ...`` of ``index`` (KT0)."""
+        if self.kt0_rows is None:
+            raise SchedulerError("KT1 plans compile no hidden port table")
+        return self.kt0_rows[index]
+
+    def accessible_ports_of(self, index: int) -> tuple[PortKey, ...]:
+        """Accessible port keys at ``index`` under the plan's model."""
+        if self.port_model is PortModel.KT1:
+            return self.nbr_ids[index]
+        return self.kt0_ports[index]  # type: ignore[index]
+
+    def closed_set(self, index: int) -> frozenset[VertexId]:
+        """``N⁺`` of ``index`` as public identifiers, cached per vertex."""
+        cached = self._closed_sets[index]
+        if cached is None:
+            vertex = self.ids[index]
+            cached = self.graph.neighbor_set(vertex) | {vertex}
+            self._closed_sets[index] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionPlan(graph={self.graph.name!r}, n={self.n}, "
+            f"model={self.port_model.value})"
+        )

@@ -35,6 +35,7 @@ from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling, PortModel
 from repro.runtime.agent import AgentProgram
 from repro.runtime.engine import AgentSlot, Engine, ExecutionResult
+from repro.runtime.plan import ExecutionPlan
 
 __all__ = ["ExecutionResult", "SyncScheduler", "run_rendezvous"]
 
@@ -71,6 +72,14 @@ class SyncScheduler:
         see :attr:`ExecutionResult.trace` for the exact shape.
     params_a, params_b:
         Algorithm-specific inputs passed through the agent contexts.
+    plan:
+        A pre-compiled :class:`~repro.runtime.plan.ExecutionPlan` for
+        ``(graph, labeling, port_model)``.  When given, the engine
+        binds it directly and skips all per-execution table building —
+        the fast path of batched trials
+        (:func:`repro.experiments.harness.run_trials`).  Must have
+        been compiled from this exact graph (and labeling, when one is
+        passed); mismatches raise :class:`SchedulerError`.
     """
 
     def __init__(
@@ -89,13 +98,13 @@ class SyncScheduler:
         trace_limit: int = 100_000,
         params_a: dict[str, Any] | None = None,
         params_b: dict[str, Any] | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> None:
         if start_a not in graph or start_b not in graph:
             raise SchedulerError("start vertices must belong to the graph")
         if start_a == start_b:
             raise SchedulerError("agents must start at two different vertices")
-        labeling = labeling if labeling is not None else PortLabeling(graph)
-        if labeling.graph is not graph:
+        if labeling is not None and labeling.graph is not graph:
             raise SchedulerError("labeling belongs to a different graph")
 
         self._engine = Engine(
@@ -113,15 +122,31 @@ class SyncScheduler:
             trace_limit=trace_limit,
             params=(params_a, params_b),
             multi_view=False,
+            plan=plan,
         )
         self.graph = graph
-        self.labeling = labeling
         self.port_model = port_model
         self.whiteboards = self._engine.whiteboards
         self.max_rounds = self._engine.max_rounds
         self._a, self._b = self._engine.drivers
 
     # -- introspection used by views and oracles -----------------------
+
+    @property
+    def labeling(self) -> PortLabeling:
+        """The hidden port labeling (built lazily for default KT1 runs)."""
+        return self._engine.labeling
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The compiled execution plan this scheduler runs on."""
+        return self._engine.plan
+
+    @property
+    def engine(self) -> Engine:
+        """The underlying engine (batched executors re-arm it via
+        :meth:`~repro.runtime.engine.Engine.reset`)."""
+        return self._engine
 
     @property
     def current_round(self) -> int:

@@ -3,22 +3,30 @@
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
 from repro.errors import ReproError
-from repro.experiments.harness import aggregate_rounds, repeat_trials
+from repro.experiments.harness import aggregate_rounds, repeat_trials, run_trial
 from repro.experiments.parallel import (
+    CONSTANTS_PRESETS,
+    GRAPH_FAMILIES,
     SweepSpec,
+    _GraphChunk,
+    _run_chunk,
     ambient_workers,
     build_graph,
+    clear_instance_cache,
     configure,
     map_trials,
+    plan_for_instance,
     resolve_delta,
     resolve_workers,
     run_sweep,
 )
 from repro.experiments.results_io import write_records_jsonl
+from repro.graphs.generators import complete_graph
 
 
 def small_spec(**overrides) -> SweepSpec:
@@ -75,6 +83,80 @@ class TestSweepSpec:
         assert all(
             first.neighbors(v) == second.neighbors(v) for v in first.vertices
         )
+
+
+@pytest.fixture
+def counting_family():
+    """A temporary graph family whose generator counts its calls."""
+    calls: list[tuple[int, int]] = []
+
+    def builder(n, delta, rng):
+        calls.append((n, delta))
+        return complete_graph(n)
+
+    GRAPH_FAMILIES["counting-test"] = builder
+    clear_instance_cache()
+    try:
+        yield calls
+    finally:
+        del GRAPH_FAMILIES["counting-test"]
+        clear_instance_cache()
+
+
+class TestInstanceMemoization:
+    def test_build_graph_memoized_per_process(self, counting_family):
+        first = build_graph("counting-test", 20, "8")
+        second = build_graph("counting-test", 20, "8")
+        assert first is second
+        assert counting_family == [(20, 8)]
+        # A different tag is a different instance (and a new call).
+        build_graph("counting-test", 24, "8")
+        assert counting_family == [(20, 8), (24, 8)]
+
+    def test_one_generator_call_per_worker_per_instance(self, counting_family):
+        """Two chunks of one instance in one process: one generator call."""
+        chunk = _GraphChunk(
+            family="counting-test", n=20, delta_spec="8",
+            preset="tuned", max_rounds=None,
+            trials=((0, "trivial", 0), (1, "trivial", 1)),
+        )
+        again = _GraphChunk(
+            family="counting-test", n=20, delta_spec="8",
+            preset="tuned", max_rounds=None,
+            trials=((2, "trivial", 2),),
+        )
+        records = dict(_run_chunk(chunk) + _run_chunk(again))
+        assert sorted(records) == [0, 1, 2]
+        assert counting_family == [(20, 8)], (
+            "the worker regenerated a graph it had already built"
+        )
+
+    def test_plan_cache_shares_the_memoized_graph(self, counting_family):
+        plan = plan_for_instance("counting-test", 20, "8")
+        assert plan.graph is build_graph("counting-test", 20, "8")
+        assert plan_for_instance("counting-test", 20, "8") is plan
+        assert counting_family == [(20, 8)]
+
+    def test_sweep_identical_with_and_without_plan_cache(self):
+        """Acceptance: cached-plan sweep == fresh per-trial execution."""
+        spec = small_spec()
+        clear_instance_cache()
+        swept = run_sweep(spec, workers=2)
+        fresh = []
+        for point in spec.points():
+            # Rebuild the instance outside every cache and run the trial
+            # without any plan — the pre-plan execution path.
+            delta = resolve_delta(point.delta_spec, point.n)
+            rng = random.Random(
+                f"sweep-graph:{point.family}:{point.n}:{point.delta_spec}"
+            )
+            graph = GRAPH_FAMILIES[point.family](point.n, delta, rng)
+            fresh.append(run_trial(
+                graph, point.algorithm, point.seed,
+                constants=CONSTANTS_PRESETS[spec.preset](),
+                max_rounds=spec.max_rounds,
+            ))
+        assert list(swept.records) == fresh
 
 
 class TestRunSweepDeterminism:

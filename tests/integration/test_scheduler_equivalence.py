@@ -10,7 +10,12 @@ Two families of checks:
 * the engine-backed façades reproduce the frozen seed schedulers
   (:mod:`repro.runtime.reference`) **byte-identically** — full
   ``ExecutionResult`` equality including position traces — for every
-  registered algorithm and under both port models.
+  registered algorithm and under both port models;
+* the batched trial executor (:func:`repro.experiments.harness.run_trials`
+  — one compiled :class:`~repro.runtime.plan.ExecutionPlan`, one reused
+  engine) records exactly the per-seed
+  :func:`~repro.experiments.harness.run_trial` records for every
+  registered algorithm.
 """
 
 from __future__ import annotations
@@ -197,3 +202,56 @@ class TestEngineMatchesSeedSchedulers:
                 RandomWalker(), graph, graph.vertices[0], 5_000, seed=seed
             )
             assert old == new, f"solo run diverged at seed {seed}"
+
+
+class TestBatchedTrialsMatchSerial:
+    """run_trials (shared plan, reused engine) == per-seed run_trial."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_registered_algorithms_identical(self, algorithm):
+        from repro.experiments.harness import run_trial, run_trials
+
+        graph = random_graph_with_min_degree(120, 35, random.Random("eq-batch"))
+        constants = Constants.testing()
+        seeds = [0, 7, 19]
+        serial = [
+            run_trial(graph, algorithm, seed, constants=constants)
+            for seed in seeds
+        ]
+        batched = run_trials(graph, algorithm, seeds, constants=constants)
+        assert batched == serial, f"{algorithm} batched records diverged"
+
+    def test_kt0_and_explicit_plan_identical(self):
+        from repro.experiments.harness import run_trial, run_trials
+        from repro.runtime.plan import ExecutionPlan
+
+        graph = cycle_graph(48)
+        plan = ExecutionPlan.compile(graph, port_model=PortModel.KT0)
+        seeds = list(range(6))
+        serial = [
+            run_trial(graph, "random-walk", seed,
+                      port_model=PortModel.KT0, max_rounds=5_000)
+            for seed in seeds
+        ]
+        batched = run_trials(
+            graph, "random-walk", seeds,
+            plan=plan, port_model=PortModel.KT0, max_rounds=5_000,
+        )
+        assert batched == serial
+
+    def test_explicit_starts_and_delta_identical(self):
+        from repro.experiments.harness import run_trial, run_trials
+
+        graph = random_graph_with_min_degree(90, 25, random.Random("eq-starts"))
+        start_a = graph.vertices[0]
+        start_b = graph.neighbors(start_a)[0]
+        constants = Constants.testing()
+        kwargs = dict(
+            constants=constants, delta=20, start_a=start_a, start_b=start_b
+        )
+        seeds = [1, 2]
+        serial = [
+            run_trial(graph, "theorem1", seed, **kwargs) for seed in seeds
+        ]
+        batched = run_trials(graph, "theorem1", seeds, **kwargs)
+        assert batched == serial

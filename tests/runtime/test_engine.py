@@ -58,12 +58,15 @@ class TestPrecomputedTables:
     def test_kt0_tables_built_only_under_kt0(self):
         g = path_graph(3)
         kt1 = Engine(g, (Idle(), Idle()), (0, 2), names=("a", "b"))
-        assert kt1._kt0_table is None and kt1._kt0_ports is None
+        assert kt1.plan.kt0_rows is None and kt1.plan.kt0_ports is None
         kt0 = Engine(
             g, (Idle(), Idle()), (0, 2), names=("a", "b"),
             port_model=PortModel.KT0,
         )
-        assert kt0._kt0_ports[1] == (0, 1)
+        assert kt0.plan.kt0_ports[1] == (0, 1)
+        assert kt0.plan.port_row(1) == tuple(
+            kt0.plan.index_of[u] for u in kt0.labeling.port_table()[1]
+        )
 
 
 class TestEngineViews:

@@ -1,0 +1,153 @@
+"""Differential property tests for compiled execution plans.
+
+An :class:`~repro.runtime.plan.ExecutionPlan` is only a *re-encoding*
+of a ``(StaticGraph, PortLabeling)`` pair: every array accessor must
+agree with the dict/frozenset accessors of the objects it was compiled
+from — on every registered sweep family, under both port models, with
+shuffled hidden labelings.  These tests pin that agreement (plus the
+compile-time compatibility checks and the dense-index translation
+boundary) so the engine's hot loop can trust the arrays blindly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulerError
+from repro.experiments.parallel import GRAPH_FAMILIES, build_graph
+from repro.graphs.generators import dilate_id_space, random_graph_with_min_degree
+from repro.graphs.ports import PortLabeling, PortModel
+from repro.runtime.plan import ExecutionPlan
+
+
+def assert_plan_matches(graph, labeling, plan):
+    """Every plan accessor vs the graph/labeling dict accessors."""
+    assert plan.n == graph.n
+    assert plan.ids == graph.vertices
+    assert len(plan.neighbor_offsets) == plan.n + 1
+    assert plan.neighbor_offsets[-1] == len(plan.neighbor_indices) == 2 * graph.edge_count
+    for index, vertex in enumerate(graph.vertices):
+        assert plan.index(vertex) == index
+        assert plan.vertex_id(index) == vertex
+        assert plan.degree_of(index) == graph.degree(vertex)
+        # CSR slice, translated back to identifiers, is N(v) in order.
+        csr_ids = tuple(plan.ids[i] for i in plan.neighbor_slice(index))
+        assert csr_ids == graph.neighbors(vertex)
+        assert plan.neighbor_ids_of(index) == graph.neighbors(vertex)
+        if plan.port_model is PortModel.KT1:
+            # The KT1 movement-resolution row agrees with the membership set.
+            assert set(plan.nbr_index[index]) == set(graph.neighbor_set(vertex))
+            for u, dense in plan.nbr_index[index].items():
+                assert plan.ids[dense] == u
+        else:
+            assert plan.nbr_index is None  # never read by KT0 loops
+        assert plan.closed_set(index) == graph.closed_neighbor_set(vertex)
+        assert plan.accessible_ports_of(index) == labeling.accessible_ports(
+            vertex, plan.port_model
+        )
+        if plan.port_model is PortModel.KT0:
+            # The flat port table row is the hidden bijection P̂_v.
+            row = plan.port_row(index)
+            hidden = labeling.port_table()[vertex]
+            assert tuple(plan.ids[i] for i in row) == hidden
+            offset = plan.neighbor_offsets[index]
+            flat = tuple(
+                plan.port_targets[offset + p] for p in range(len(row))
+            )
+            assert flat == row
+            for port, neighbor in enumerate(hidden):
+                assert labeling.resolve(vertex, port) == neighbor
+
+
+@pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+@pytest.mark.parametrize("port_model", [PortModel.KT1, PortModel.KT0])
+def test_every_registered_family(family, port_model):
+    """Array accessors agree with dict accessors on every sweep family."""
+    graph = build_graph(family, 36, "8")
+    labeling = PortLabeling(graph, rng=random.Random(f"plan:{family}"))
+    plan = ExecutionPlan.compile(graph, labeling=labeling, port_model=port_model)
+    assert_plan_matches(graph, labeling, plan)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), kt0=st.booleans())
+def test_randomized_er_graphs(seed, kt0):
+    """Hypothesis sweep: random instances, shuffled hidden labelings."""
+    rng = random.Random(seed)
+    graph = random_graph_with_min_degree(30, 6, rng)
+    labeling = PortLabeling(graph, rng=rng)
+    model = PortModel.KT0 if kt0 else PortModel.KT1
+    plan = ExecutionPlan.compile(graph, labeling=labeling, port_model=model)
+    assert_plan_matches(graph, labeling, plan)
+
+
+def test_non_contiguous_identifiers():
+    """Dilated ID spaces: dense indices differ from public identifiers."""
+    base = random_graph_with_min_degree(24, 6, random.Random("dilate"))
+    graph = dilate_id_space(base, 4, random.Random("dilate-map"))
+    assert graph.vertices != tuple(range(graph.n))  # the premise
+    labeling = PortLabeling(graph, rng=random.Random("dilate-ports"))
+    for model in (PortModel.KT1, PortModel.KT0):
+        plan = ExecutionPlan.compile(graph, labeling=labeling, port_model=model)
+        assert_plan_matches(graph, labeling, plan)
+
+
+class TestCompileContracts:
+    def test_kt1_plans_skip_port_tables(self):
+        graph = build_graph("complete", 16, "8")
+        plan = ExecutionPlan.compile(graph)
+        assert plan.kt0_rows is None and plan.kt0_ports is None
+        with pytest.raises(SchedulerError):
+            plan.port_row(0)
+
+    def test_kt1_default_labeling_is_lazy(self):
+        graph = build_graph("complete", 16, "8")
+        plan = ExecutionPlan.compile(graph)
+        assert plan._labeling is None
+        assert plan.labeling.graph is graph  # built on first access
+        assert plan._labeling is plan.labeling
+
+    def test_foreign_labeling_rejected(self):
+        graph = build_graph("complete", 16, "8")
+        other = build_graph("regular", 16, "8")
+        with pytest.raises(SchedulerError, match="different graph"):
+            ExecutionPlan.compile(graph, labeling=PortLabeling(other))
+
+    def test_ensure_matches(self):
+        graph = build_graph("regular", 16, "4")
+        twin = graph.relabeled({v: v for v in graph.vertices})
+        plan = ExecutionPlan.compile(graph)
+        plan.ensure_matches(graph, None, PortModel.KT1)
+        # A content-equal labeling is the same execution — accepted.
+        plan.ensure_matches(graph, PortLabeling(graph), PortModel.KT1)
+        with pytest.raises(SchedulerError, match="different graph"):
+            plan.ensure_matches(twin, None, PortModel.KT1)
+        with pytest.raises(SchedulerError, match="KT1, not KT0"):
+            plan.ensure_matches(graph, None, PortModel.KT0)
+        shuffled = PortLabeling(graph, rng=random.Random(99))
+        with pytest.raises(SchedulerError, match="different port labeling"):
+            plan.ensure_matches(graph, shuffled, PortModel.KT1)
+
+    def test_plan_with_custom_labeling_governs_the_run(self):
+        """A KT0 plan carries its labeling; the plan-less twin must pass
+        the same labeling explicitly to reproduce the records."""
+        from repro.experiments.harness import run_trial, run_trials
+
+        graph = build_graph("regular", 24, "4")
+        shuffled = PortLabeling(graph, rng=random.Random(5))
+        plan = ExecutionPlan.compile(
+            graph, labeling=shuffled, port_model=PortModel.KT0
+        )
+        batched = run_trials(
+            graph, "random-walk", range(3),
+            plan=plan, port_model=PortModel.KT0, max_rounds=2_000,
+        )
+        serial = [
+            run_trial(graph, "random-walk", seed, labeling=shuffled,
+                      port_model=PortModel.KT0, max_rounds=2_000)
+            for seed in range(3)
+        ]
+        assert batched == serial
