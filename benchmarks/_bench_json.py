@@ -21,8 +21,12 @@ Schema of the emitted file::
       "interpreter": {"implementation", "version", "platform"},
       "workloads": {"<workload>": {"median_s", "p90_s", "min_s",
                                     "max_s", "samples", ...}},
-      "metrics": {...}          # benchmark-specific scalars (gates,
-    }                           # speedups, trial counts)
+      "metrics": {..., "peak_rss_self_bytes", "peak_rss_children_bytes"}
+    }                           # benchmark-specific scalars (gates,
+                                # speedups, trial counts) — peak RSS of
+                                # this process and of reaped children is
+                                # stamped in automatically where the
+                                # platform exposes it
 
 ``docs/performance.md`` documents how to run the benchmarks and read
 these files.
@@ -34,12 +38,19 @@ import json
 import math
 import platform
 import statistics
+import sys
 from pathlib import Path
 from typing import Any, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-__all__ = ["RESULTS_DIR", "interpreter_info", "summarize_samples", "write_bench_json"]
+__all__ = [
+    "RESULTS_DIR",
+    "interpreter_info",
+    "peak_rss",
+    "summarize_samples",
+    "write_bench_json",
+]
 
 
 def interpreter_info() -> dict[str, str]:
@@ -48,6 +59,29 @@ def interpreter_info() -> dict[str, str]:
         "implementation": platform.python_implementation(),
         "version": platform.python_version(),
         "platform": platform.platform(),
+    }
+
+
+def peak_rss() -> dict[str, int]:
+    """Peak resident set sizes in bytes: this process and reaped children.
+
+    Read from ``resource.getrusage`` (``ru_maxrss`` is KiB on Linux,
+    bytes on macOS); empty on platforms without the :mod:`resource`
+    module (Windows), so callers can merge the result into metrics
+    unconditionally.  The children number only covers *already reaped*
+    worker processes — benchmarks that use the persistent fabric
+    should shut it down before the final reading.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return {}
+    unit = 1024 if not sys.platform.startswith("darwin") else 1
+    return {
+        "peak_rss_self_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit,
+        "peak_rss_children_bytes": (
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit
+        ),
     }
 
 
@@ -83,7 +117,9 @@ def write_bench_json(
     ``workloads`` maps workload name to a JSON-able stats dict —
     typically built around :func:`summarize_samples` — and ``metrics``
     carries benchmark-level scalars (aggregate speedups, gate values,
-    trial counts).
+    trial counts).  Peak-RSS readings (:func:`peak_rss`) are merged
+    into the metrics automatically unless the caller already provided
+    them.
     """
     payload: dict[str, Any] = {
         "bench": name,
@@ -91,8 +127,11 @@ def write_bench_json(
         "interpreter": interpreter_info(),
         "workloads": workloads,
     }
-    if metrics:
-        payload["metrics"] = metrics
+    merged_metrics = dict(metrics or {})
+    for key, value in peak_rss().items():
+        merged_metrics.setdefault(key, value)
+    if merged_metrics:
+        payload["metrics"] = merged_metrics
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(

@@ -18,6 +18,7 @@ __all__ = [
     "wilson_interval",
     "success_rate",
     "PartialSummary",
+    "RunningSummary",
     "merge_partial_summaries",
 ]
 
@@ -124,6 +125,56 @@ class PartialSummary:
             return (self.mean, self.mean)
         half_width = _Z95 * self.stdev / math.sqrt(self.count)
         return (self.mean - half_width, self.mean + half_width)
+
+
+class RunningSummary:
+    """Mutable O(1)-memory accumulator behind a :class:`PartialSummary`.
+
+    The streaming twin of :meth:`PartialSummary.of`: values arrive one
+    at a time (Welford's online update, numerically stable) and the
+    sketch can be snapshotted at any point with :meth:`to_partial` —
+    so a consumer folding an unbounded record stream (the sweep
+    fabric's ``stream=True`` mode, ``repro report``) never holds the
+    values themselves.
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def push(self, value: float) -> None:
+        """Fold one value into the running moments."""
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Fold a whole chunk of values, one push at a time."""
+        for value in values:
+            self.push(value)
+
+    def to_partial(self) -> PartialSummary:
+        """Snapshot the moments as an immutable, mergeable sketch."""
+        if self.count == 0:
+            raise ValueError("cannot snapshot an empty running summary")
+        return PartialSummary(
+            count=self.count,
+            mean=self.mean,
+            m2=self.m2,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
 
 
 def merge_partial_summaries(parts: Sequence[PartialSummary]) -> PartialSummary:

@@ -11,12 +11,18 @@ Commands
     tables; ``--save`` also writes markdown into a directory.
 ``run-all [--full] [--save DIR]``
     Run the entire registry in order.
-``sweep [grid options] [--workers N] [--resume] [--out FILE]``
-    Fan a (family × n × δ × algorithm × seeds) trial grid out over a
-    process pool (:mod:`repro.experiments.parallel`).  Results are
-    byte-identical for every worker count; with ``--cache-dir`` the
-    sweep streams into a content-addressed cache and ``--resume``
-    (the default) finishes interrupted runs instead of recomputing.
+``sweep [grid options] [--workers N] [--resume] [--out FILE] [--stream]``
+    Fan a (family × n × δ × algorithm × seeds) trial grid out over
+    the persistent worker fabric (:mod:`repro.experiments.parallel`).
+    Results are byte-identical for every worker count; with
+    ``--cache-dir`` the sweep streams into a content-addressed cache
+    and ``--resume`` (the default) finishes interrupted runs instead
+    of recomputing.  ``--stream`` folds records into summaries as
+    they arrive (O(batch) memory, grids too large to hold);
+    ``--no-fabric`` forces the pre-fabric execution path.
+``report FILE [FILE ...]``
+    Summarize exported record files (JSON lines) as grouped tables,
+    streaming — arbitrarily large files are folded record by record.
 
 Run ``python -m repro --help`` (or ``<command> --help``) for the full
 option reference; ``docs/cli.md`` documents every subcommand with
@@ -39,14 +45,16 @@ commands (run `<command> --help` for its options):
   describe KEY [...]    print what an experiment measures and how
   run KEY [...]         run experiments and print their tables
   run-all               run the whole registry in order
-  sweep                 fan a trial grid out over a process pool, with
-                        an optional resumable result cache
+  sweep                 fan a trial grid out over the worker fabric,
+                        with an optional resumable result cache
+  report FILE [...]     summarize exported record files (streaming)
 
 examples:
   python -m repro list
   python -m repro run T1-SCALING --save results/
   python -m repro sweep --family er-min-degree --n 200 --n 400 \\
       --algorithm trivial --seeds 10 --workers 0 --out sweep.jsonl
+  python -m repro report sweep.jsonl
 
 full reference with copy-pasteable examples: docs/cli.md
 """
@@ -92,10 +100,33 @@ def _cmd_run(keys: list[str], full: bool, save: str | None) -> int:
     return 0
 
 
+def _cmd_report(paths: list[str]) -> int:
+    from repro.experiments.report import summarize_jsonl
+
+    for path in paths:
+        try:
+            table = summarize_jsonl(path)
+        except (OSError, ValueError, TypeError, KeyError) as error:
+            # OSError: unreadable file; the rest: malformed JSON lines
+            # or lines that are not TrialRecord payloads.
+            print(f"cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        print(table.render())
+        print()
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.experiments.parallel import SweepSpec, run_sweep
 
+    if args.stream and args.out:
+        print(
+            "sweep: --stream keeps only O(batch) records, so --out has "
+            "nothing to write; use --cache-dir to persist raw records",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = SweepSpec(
             name=args.name,
@@ -124,6 +155,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             resume=args.resume,
             progress=progress,
+            stream=args.stream,
+            fabric=args.fabric,
         )
     except ReproError as error:
         # e.g. a family/parameter combination the generator rejects
@@ -133,7 +166,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 1
     print(file=sys.stderr)
     print(result.summary_table().render())
-    if args.out:
+    if args.out and not args.stream:
         target = result.write_jsonl(args.out)
         print(f"[{len(result.records)} records written to {target}]")
     return 0
@@ -207,6 +240,23 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument(
         "--out", default=None, help="write raw records as JSON lines to this file"
     )
+    sweep_parser.add_argument(
+        "--stream", action="store_true",
+        help="fold records into summaries as they arrive (O(batch) memory); "
+             "incompatible with --out, pair with --cache-dir for raw records",
+    )
+    sweep_parser.add_argument(
+        "--fabric", action=argparse.BooleanOptionalAction, default=None,
+        help="--no-fabric forces the pre-fabric pool (per-call workers, "
+             "object-pickled records); default: fabric when --workers > 1",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="summarize exported record files (streaming)"
+    )
+    report_parser.add_argument(
+        "files", nargs="+", help="JSON-lines record files (`sweep --out`)"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -217,6 +267,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args.keys, args.full, args.save)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args.files)
     return _cmd_run(list(EXPERIMENTS), args.full, args.save)
 
 

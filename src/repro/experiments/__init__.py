@@ -13,38 +13,57 @@ line is the front door.
 
 from repro.experiments.harness import (
     TrialRecord,
+    StreamSummary,
     run_trial,
     repeat_trials,
     aggregate_rounds,
 )
 from repro.experiments.cache import ResultCache, content_hash
-from repro.experiments.parallel import SweepPoint, SweepResult, SweepSpec, run_sweep
-from repro.experiments.report import Table
+from repro.experiments.parallel import (
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    SweepStreamResult,
+    run_sweep,
+    shutdown_fabric,
+)
+from repro.experiments.report import Table, summarize_jsonl, summarize_records
 from repro.experiments.results_io import (
     record_from_jsonable,
     record_to_jsonable,
     write_records_jsonl,
     read_records_jsonl,
+    iter_records_jsonl,
+    pack_record_batch,
+    unpack_record_batch,
     write_records_csv,
 )
 from repro.experiments.workloads import EXPERIMENTS, ExperimentSpec, run_experiment
 
 __all__ = [
     "TrialRecord",
+    "StreamSummary",
     "run_trial",
     "repeat_trials",
     "aggregate_rounds",
     "Table",
+    "summarize_records",
+    "summarize_jsonl",
     "SweepSpec",
     "SweepPoint",
     "SweepResult",
+    "SweepStreamResult",
     "run_sweep",
+    "shutdown_fabric",
     "ResultCache",
     "content_hash",
     "record_to_jsonable",
     "record_from_jsonable",
     "write_records_jsonl",
     "read_records_jsonl",
+    "iter_records_jsonl",
+    "pack_record_batch",
+    "unpack_record_batch",
     "write_records_csv",
     "EXPERIMENTS",
     "ExperimentSpec",

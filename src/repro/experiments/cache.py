@@ -8,13 +8,23 @@ re-run of the same :class:`~repro.experiments.parallel.SweepSpec`
 never recomputes a trial it already has on disk.
 
 Storage is one JSON-lines file per spec (``<dir>/<spec_hash>.jsonl``,
-one ``{"key": ..., "record": ...}`` object per line, flushed after
-every append) plus a human-readable ``<spec_hash>.spec.json``
-manifest.  Appending line-by-line makes interrupted sweeps resumable:
-loading tolerates a truncated final line and simply re-runs whatever
-is missing.  All record (de)serialization goes through
+one ``{"key": ..., "record": ...}`` object per line) plus a
+human-readable ``<spec_hash>.spec.json`` manifest.  Appending
+line-by-line makes interrupted sweeps resumable: loading tolerates a
+truncated final line and simply re-runs whatever is missing.  All
+record (de)serialization goes through
 :mod:`repro.experiments.results_io`, so cached records round-trip
 exactly like exported ones.
+
+**Crash-safety boundary.**  :meth:`ResultCache.append` flushes after
+every record — a crash loses at most the record being written.  The
+batched :meth:`ResultCache.append_many` (what the sweep fabric uses)
+writes a whole batch with **one** flush at the end: a crash loses at
+most the records of the in-flight batch, every batch flushed before
+it is durable, and a torn line inside the lost batch is skipped by
+:meth:`ResultCache.load` like any other truncation.  Since the sweep
+engine appends a batch only after all of its trials completed, resume
+recomputes exactly the lost trials and nothing else.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, IO
+from typing import Any, IO, Iterable, Iterator
 
 from repro.experiments.harness import TrialRecord
 from repro.experiments.results_io import record_from_jsonable, record_to_jsonable
@@ -104,14 +114,43 @@ class ResultCache:
                 loaded[key] = record
         return loaded
 
+    def iter_records(self) -> Iterator[tuple[str, TrialRecord]]:
+        """Stream cached ``(key, record)`` pairs one at a time.
+
+        The streaming twin of :meth:`load` for consumers that fold
+        records and drop them (the sweep's ``stream=True`` resume):
+        resident memory is one record plus the set of keys already
+        seen.  Corrupt lines are skipped exactly like :meth:`load`;
+        duplicate keys yield their *first* occurrence — for the
+        deterministic trials this cache stores, duplicates are
+        byte-identical re-runs, so first and last coincide.
+        """
+        if not self.path.exists():
+            return
+        seen: set[str] = set()
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    key = payload["key"]
+                    record = record_from_jsonable(payload["record"])
+                except (ValueError, KeyError, TypeError):
+                    continue
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield key, record
+
     def reset(self) -> None:
         """Discard the on-disk contents (``--no-resume`` semantics)."""
         self.close()
         if self.path.exists():
             self.path.unlink()
 
-    def append(self, key: str, record: TrialRecord) -> None:
-        """Persist one record; flushed immediately for crash safety."""
+    def _open_handle(self) -> IO[str]:
         if self._handle is None:
             self._directory.mkdir(parents=True, exist_ok=True)
             if self._spec_payload is not None and not self.manifest_path.exists():
@@ -120,9 +159,32 @@ class ResultCache:
                     encoding="utf-8",
                 )
             self._handle = self.path.open("a", encoding="utf-8")
-        payload = {"key": key, "record": record_to_jsonable(record)}
-        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._handle.flush()
+        return self._handle
+
+    def append(self, key: str, record: TrialRecord) -> None:
+        """Persist one record; flushed immediately for crash safety."""
+        self.append_many([(key, record)])
+
+    def append_many(self, pairs: Iterable[tuple[str, TrialRecord]]) -> None:
+        """Persist a batch of records with **one** flush at the end.
+
+        The sweep fabric appends one completed result batch at a time
+        through this method; see the module docstring for the exact
+        crash-safety boundary this buys (at most the in-flight batch
+        is lost, and only after all earlier batches are durable).
+        An empty batch is a no-op and does not touch the disk.
+        """
+        lines = [
+            json.dumps(
+                {"key": key, "record": record_to_jsonable(record)}, sort_keys=True
+            ) + "\n"
+            for key, record in pairs
+        ]
+        if not lines:
+            return
+        handle = self._open_handle()
+        handle.write("".join(lines))
+        handle.flush()
 
     def close(self) -> None:
         """Release the file handle (safe to call repeatedly)."""

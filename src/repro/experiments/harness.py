@@ -24,11 +24,12 @@ batched executor automatically whenever its keyword arguments allow.
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro._typing import VertexId
-from repro.analysis.stats import Summary, summarize
+from repro.analysis.stats import PartialSummary, Summary, summarize
 from repro.core.api import prepare_rendezvous, rendezvous
 from repro.core.verification import verify_result
 from repro.core.constants import Constants
@@ -42,6 +43,7 @@ from repro.runtime.scheduler import SyncScheduler
 
 __all__ = [
     "TrialRecord",
+    "StreamSummary",
     "run_trial",
     "run_trials",
     "repeat_trials",
@@ -251,6 +253,71 @@ def repeat_trials(
     if batchable_kwargs(kwargs) and len(seed_list) > 1:
         return run_trials(graph, algorithm, seed_list, **kwargs)
     return [run_trial(graph, algorithm, seed, **kwargs) for seed in seed_list]
+
+
+class StreamSummary:
+    """Record-dropping aggregate of one group of streamed trials.
+
+    The streaming sweep mode and ``repro report`` fold every
+    :class:`TrialRecord` they see into one of these and then drop the
+    record, so resident memory stays O(batch) in the record stream:
+    per record the aggregate keeps at most **two** integers — the grid
+    order key and the rounds of a successful trial, in compact
+    ``array('q')`` columns.  Keeping the raw rounds — not just moments
+    — is what makes the final summaries *exact*: after
+    :meth:`_ordered_rounds` restores the canonical grid order,
+    :func:`~repro.analysis.stats.summarize` sees the identical value
+    sequence the non-streaming path feeds it, medians included.
+    (Pipelines that cannot afford even the int columns fold values
+    into :class:`~repro.analysis.stats.RunningSummary` instead and
+    settle for moments.)
+    """
+
+    __slots__ = ("total", "met", "delta", "_orders", "_rounds")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.met = 0
+        self.delta: int | None = None
+        self._orders = array("q")
+        self._rounds = array("q")
+
+    def add(self, record: TrialRecord, order: int | None = None) -> None:
+        """Fold one record (``order`` is its canonical position).
+
+        When ``order`` is omitted (e.g. replaying an already-ordered
+        JSONL file) arrival order is used.
+        """
+        if self.delta is None:
+            self.delta = record.delta
+        if record.met:
+            self._orders.append(self.total if order is None else order)
+            self._rounds.append(record.rounds)
+            self.met += 1
+        self.total += 1
+
+    def _ordered_rounds(self) -> list[int]:
+        """Successful-trial rounds, restored to canonical order."""
+        pairs = sorted(zip(self._orders, self._rounds))
+        return [rounds for _, rounds in pairs]
+
+    def summary(self) -> Summary | None:
+        """Exact rounds summary (``None`` when no trial met)."""
+        if not self.met:
+            return None
+        return summarize(self._ordered_rounds())
+
+    def sketch(self) -> PartialSummary | None:
+        """Mergeable moment sketch over the met trials' rounds.
+
+        Computed from the kept rounds in canonical order (not the
+        arrival-order :attr:`running` moments) so merging per-group
+        sketches reproduces the non-streaming
+        ``SweepResult.rounds_sketch`` bit-for-bit.
+        """
+        if not self.met:
+            return None
+        return PartialSummary.of(self._ordered_rounds())
 
 
 def aggregate_rounds(records: list[TrialRecord]) -> Summary:

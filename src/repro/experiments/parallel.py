@@ -1,4 +1,4 @@
-"""Process-pool sweep engine: seeded trial grids fanned out over cores.
+"""Zero-copy sweep fabric: seeded trial grids fanned out over cores.
 
 The serial harness (:mod:`repro.experiments.harness`) runs one trial
 at a time; this module scales the same trials across CPU cores while
@@ -7,26 +7,55 @@ keeping the output *bit-for-bit deterministic*:
 * a :class:`SweepSpec` names a grid — graph family × n × δ rule ×
   algorithm × seeds — and every grid point is enumerated in one fixed
   order, independent of worker count;
-* workers rebuild each graph from a seeded generator tag (graphs are
-  never pickled), run the fully seeded trials of their chunk, and
-  stream ``(index, TrialRecord)`` pairs back;
+* a **persistent worker pool** (created on first use, reused by every
+  later :func:`run_sweep` / :func:`map_trials` call) pulls chunks
+  from a dynamic work queue, so stragglers steal work instead of the
+  grid being dealt out statically up front;
+* the parent compiles each ``(family, n, δ)`` instance's
+  :class:`~repro.runtime.plan.ExecutionPlan` **once** and exports it
+  over ``multiprocessing.shared_memory``; workers attach read-only
+  views (:func:`repro.runtime.plan.attach_plan`) instead of
+  regenerating the graph and recompiling per process — with a
+  graceful fallback to the per-process generator memo when shared
+  memory is unavailable;
+* results travel back as **columnar record batches**
+  (:func:`repro.experiments.results_io.pack_record_batch`) — one
+  ``bytes`` object per chunk instead of one pickled record per trial
+  — and cache writes land via
+  :meth:`~repro.experiments.cache.ResultCache.append_many`, one flush
+  per batch;
 * :func:`run_sweep` reassembles records in grid order, so
   ``workers=1`` and ``workers=8`` produce byte-identical JSON lines;
+  ``stream=True`` instead folds each arriving batch into per-group
+  :class:`~repro.experiments.harness.StreamSummary` aggregates and
+  drops the records, keeping resident memory O(batch) for grids too
+  large to hold;
 * an optional content-addressed cache (:mod:`repro.experiments.cache`)
   makes re-runs and interrupted sweeps resume instead of recompute.
+
+``fabric=False`` forces the pre-fabric execution path (a fresh
+``ProcessPoolExecutor`` per call, statically chunked, object-pickled
+records) — kept as the benchmark baseline
+(``benchmarks/bench_sweep_fabric.py``) and as a belt-and-braces
+escape hatch.  Both paths produce byte-identical records.
 
 Existing callers opt in without code changes: set the
 ``REPRO_PARALLEL_WORKERS`` environment variable (or call
 :func:`configure`) and :func:`repro.experiments.harness.repeat_trials`
 fans its seeds out through :func:`map_trials` transparently.
+``docs/performance.md`` documents the fabric's lifetimes and layouts.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
+import queue as _queue
 import sys
+import threading
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from functools import lru_cache
@@ -39,16 +68,22 @@ import random
 from repro.analysis.stats import PartialSummary, merge_partial_summaries, summarize
 from repro.core.constants import Constants
 from repro.core.api import ALGORITHMS
-from repro.errors import ReproError
+from repro.errors import ReproError, SchedulerError
 from repro.experiments.cache import CACHE_FORMAT_VERSION, ResultCache, content_hash
 from repro.experiments.harness import (
+    StreamSummary,
     TrialRecord,
     batchable_kwargs,
     run_trial,
     run_trials,
 )
 from repro.experiments.report import Table
-from repro.experiments.results_io import write_records_jsonl
+from repro.experiments.results_io import (
+    json_native,
+    pack_record_batch,
+    unpack_record_batch,
+    write_records_jsonl,
+)
 from repro.graphs.generators import (
     complete_graph,
     powerlaw_graph_with_floor,
@@ -57,7 +92,13 @@ from repro.graphs.generators import (
     random_regular_graph,
 )
 from repro.graphs.graph import StaticGraph
-from repro.runtime.plan import ExecutionPlan
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanShare,
+    SharedPlanHandle,
+    attach_plan,
+    shared_plans_available,
+)
 
 __all__ = [
     "GRAPH_FAMILIES",
@@ -65,6 +106,7 @@ __all__ = [
     "SweepSpec",
     "SweepPoint",
     "SweepResult",
+    "SweepStreamResult",
     "build_graph",
     "plan_for_instance",
     "clear_instance_cache",
@@ -74,7 +116,12 @@ __all__ = [
     "configure",
     "ambient_workers",
     "resolve_workers",
+    "shutdown_fabric",
 ]
+
+#: Environment variable that disables shared-memory plan transport
+#: (``0``/``off``) without touching the persistent pool itself.
+SHM_ENV_VAR = "REPRO_SWEEP_SHM"
 
 #: Environment variable consulted by :func:`ambient_workers`.
 WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
@@ -119,7 +166,7 @@ def resolve_delta(delta_spec: str, n: int) -> int:
         ) from None
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=32)
 def _instance_for(family: str, n: int, delta_spec: str) -> tuple[StaticGraph, ExecutionPlan]:
     """Per-process memo of one sweep instance and its compiled plan.
 
@@ -345,6 +392,71 @@ class SweepResult:
         return table
 
 
+@dataclass(frozen=True)
+class SweepStreamResult:
+    """What a ``stream=True`` sweep returns: aggregates, not records.
+
+    Records were folded into per-group
+    :class:`~repro.experiments.harness.StreamSummary` aggregates as
+    their batches arrived and then dropped, so resident memory stayed
+    O(batch) (``max_resident`` is the high-water mark, asserted in
+    tests).  The final summaries are *identical* to the non-streaming
+    path's: each group keeps the successful trials' rounds as compact
+    int columns and restores canonical grid order before summarizing,
+    so means, medians, and the pooled sketch match
+    :meth:`SweepResult.summary_table` bit for bit.  Raw records are
+    available via the result cache when the sweep ran with one.
+    """
+
+    spec: SweepSpec
+    groups: dict[tuple[str, int, str, str], StreamSummary]
+    executed: int
+    cached: int
+    workers: int
+    elapsed: float
+    max_resident: int
+
+    def rounds_sketch(self) -> PartialSummary | None:
+        """Merged successful-rounds sketch (as :meth:`SweepResult.rounds_sketch`)."""
+        parts = [
+            sketch
+            for group in self.groups.values()
+            if (sketch := group.sketch()) is not None
+        ]
+        return merge_partial_summaries(parts) if parts else None
+
+    def summary_table(self) -> Table:
+        """One row per grid group — same table the record-holding path prints."""
+        table = Table(
+            title=f"SWEEP {self.spec.name} — preset {self.spec.preset}",
+            headers=[
+                "family", "n", "delta rule", "delta", "algorithm",
+                "met", "mean rounds", "median rounds",
+            ],
+        )
+        for (family, n, delta_spec, algorithm), group in self.groups.items():
+            summary = group.summary()
+            table.add_row(
+                family, n, delta_spec, group.delta, algorithm,
+                f"{group.met}/{group.total}",
+                summary.mean if summary else float("nan"),
+                summary.median if summary else float("nan"),
+            )
+        sketch = self.rounds_sketch()
+        if sketch is not None:
+            low, high = sketch.confidence_interval()
+            table.add_note(
+                f"all groups pooled: mean rounds {sketch.mean:.1f} "
+                f"[{low:.1f}, {high:.1f}] over {sketch.count} successful trials"
+            )
+        table.add_note(
+            f"{self.executed} trials executed, {self.cached} served from cache, "
+            f"{self.workers} worker(s), {self.elapsed:.1f}s wall clock "
+            f"(streaming: peak {self.max_resident} resident record(s))"
+        )
+        return table
+
+
 # ----------------------------------------------------------------------
 # Worker-side execution
 # ----------------------------------------------------------------------
@@ -384,7 +496,10 @@ def _run_chunk(chunk: _GraphChunk) -> list[tuple[int, TrialRecord]]:
 
 
 def _chunk_points(
-    spec: SweepSpec, pending: Sequence[SweepPoint], workers: int
+    spec: SweepSpec,
+    pending: Sequence[SweepPoint],
+    workers: int,
+    batch_size: int | None = None,
 ) -> list[_GraphChunk]:
     """Group pending points by instance, preserving enumeration order.
 
@@ -394,15 +509,18 @@ def _chunk_points(
     common sweep shape) would collapse into one chunk and run
     serially.  Sub-chunks rebuild the same graph, trading a little
     generator time for load balance; chunking never affects results,
-    which are reassembled by grid index.
+    which are reassembled by grid index.  ``batch_size`` overrides the
+    heuristic (the streaming inline path caps it to bound resident
+    records).
     """
     grouped: dict[tuple[str, int, str], list[SweepPoint]] = {}
     for point in pending:
         grouped.setdefault(point.graph_key(), []).append(point)
-    if workers > 1 and pending:
-        batch_size = max(1, -(-len(pending) // (workers * 4)))
-    else:
-        batch_size = max(1, len(pending))
+    if batch_size is None:
+        if workers > 1 and pending:
+            batch_size = max(1, -(-len(pending) // (workers * 4)))
+        else:
+            batch_size = max(1, len(pending))
     chunks: list[_GraphChunk] = []
     for (family, n, delta_spec), points in grouped.items():
         for start in range(0, len(points), batch_size):
@@ -481,8 +599,492 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 # ----------------------------------------------------------------------
+# The persistent fabric: pool, plan arena, columnar transport
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """One instance chunk for a fabric worker (grid trials)."""
+
+    task_id: int
+    family: str
+    n: int
+    delta_spec: str
+    preset: str
+    max_rounds: int | None
+    trials: tuple[tuple[int, str, int], ...]  # (grid index, algorithm, seed)
+    plan_handle: SharedPlanHandle | None  # None → regenerate from the tag
+
+
+@dataclass(frozen=True)
+class _MapTask:
+    """One ``map_trials`` seed batch for a fabric worker."""
+
+    task_id: int
+    graph: StaticGraph
+    algorithm: str
+    seeds: tuple[int, ...]
+    kwargs: dict
+
+
+#: Worker-side memo of attached shared plans, keyed by segment name.
+#: Bounded: the oldest attachment is closed once the cap is reached
+#: (only ever between tasks, so no in-flight plan is invalidated).
+_ATTACHED_CAP = 32
+_attached_plans: dict[str, Any] = {}
+
+
+def _attached_instance(handle: SharedPlanHandle) -> tuple[StaticGraph, ExecutionPlan] | None:
+    """Attach (or reuse) a shared plan in this worker; ``None`` on failure."""
+    entry = _attached_plans.get(handle.name)
+    if entry is None:
+        while len(_attached_plans) >= _ATTACHED_CAP:
+            _attached_plans.pop(next(iter(_attached_plans))).close()
+        try:
+            entry = attach_plan(handle)
+        except Exception:
+            return None  # segment gone or platform quirk → regenerate
+        _attached_plans[handle.name] = entry
+    return entry.graph, entry.plan
+
+
+def _release_attached_plans() -> None:
+    """Close every shared-plan mapping this process holds."""
+    while _attached_plans:
+        _, entry = _attached_plans.popitem()
+        entry.close()
+
+
+def _execute_chunk_task(task: _ChunkTask) -> tuple[tuple[int, ...], list[TrialRecord]]:
+    """Run one grid chunk; returns (grid indices, records) in chunk order.
+
+    The instance comes from the attached shared plan when the task
+    carries a handle (no generator run in this process), falling back
+    to the per-process memo otherwise.  Consecutive same-algorithm
+    trials take the batched executor
+    (:func:`~repro.experiments.harness.run_trials`, byte-identical to
+    per-trial calls) so one engine serves the whole run.
+    """
+    instance = None
+    if task.plan_handle is not None:
+        instance = _attached_instance(task.plan_handle)
+    if instance is None:
+        instance = _instance_for(task.family, task.n, task.delta_spec)
+    graph, plan = instance
+    constants = CONSTANTS_PRESETS[task.preset]()
+    indices: list[int] = []
+    records: list[TrialRecord] = []
+    trials = task.trials
+    start = 0
+    while start < len(trials):
+        stop = start
+        algorithm = trials[start][1]
+        while stop < len(trials) and trials[stop][1] == algorithm:
+            stop += 1
+        seeds = [trials[i][2] for i in range(start, stop)]
+        if len(seeds) > 1:
+            batch = run_trials(
+                graph, algorithm, seeds,
+                plan=plan, constants=constants, max_rounds=task.max_rounds,
+            )
+        else:
+            batch = [run_trial(
+                graph, algorithm, seeds[0],
+                plan=plan, constants=constants, max_rounds=task.max_rounds,
+            )]
+        indices.extend(trials[i][0] for i in range(start, stop))
+        records.extend(batch)
+        start = stop
+    return tuple(indices), records
+
+
+def _execute_map_task(task: _MapTask) -> tuple[tuple[int, ...], list[TrialRecord]]:
+    """Run one ``map_trials`` seed batch (same routing as the serial path)."""
+    seeds = list(task.seeds)
+    kwargs = task.kwargs
+    if batchable_kwargs(kwargs) and len(seeds) > 1:
+        records = run_trials(task.graph, task.algorithm, seeds, **kwargs)
+    else:
+        records = [
+            run_trial(task.graph, task.algorithm, seed, **kwargs) for seed in seeds
+        ]
+    return tuple(range(len(records))), records
+
+
+def _fabric_worker(task_queue, result_queue) -> None:
+    """Worker loop: pull tasks until the ``None`` sentinel arrives.
+
+    Tasks arrive pre-pickled (the parent serializes them itself so a
+    pickling failure surfaces *there*, at submit time, instead of
+    being dropped by a queue feeder thread).  Results travel as
+    ``("ok", task_id, indices, payload)`` where the payload is a
+    columnar ``("batch", bytes)`` blob
+    (:func:`~repro.experiments.results_io.pack_record_batch`) or, if a
+    record does not fit the codec losslessly (int64 overflow, non-JSON
+    report values that the codec would coerce), a ``("records",
+    bytes)`` pickle fallback — serialized eagerly here for the same
+    reason: if the records cannot be pickled at all, the failure is
+    caught below and reported as an error message rather than hanging
+    the parent.  Failures come back as
+    ``("error", task_id, formatted traceback)``.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        task = pickle.loads(item)
+        try:
+            if isinstance(task, _ChunkTask):
+                indices, records = _execute_chunk_task(task)
+            else:
+                indices, records = _execute_map_task(task)
+            try:
+                if not all(json_native(record.reports) for record in records):
+                    raise ValueError("reports would not survive JSON exactly")
+                payload = ("batch", pack_record_batch(records))
+            except (OverflowError, ValueError):
+                payload = ("records", pickle.dumps(records))
+            result_queue.put(("ok", task.task_id, indices, payload))
+        except Exception:
+            result_queue.put(("error", task.task_id, traceback.format_exc()))
+    _release_attached_plans()
+
+
+class _FabricPool:
+    """A persistent set of workers around one dynamic task queue.
+
+    Every worker pulls from the same queue, so load balances itself:
+    a straggling chunk delays only its worker while the others drain
+    the rest (the work *stealing* the static round-robin chunker could
+    not do).  The pool survives across :func:`run_sweep` /
+    :func:`map_trials` calls — worker-side plan attachments and
+    instance memos stay warm — until :func:`shutdown_fabric`, a
+    mismatched worker count, or interpreter exit.
+    """
+
+    def __init__(self, workers: int) -> None:
+        context = _pool_context()
+        self.workers = workers
+        self.tasks = context.Queue()
+        self.results = context.Queue()
+        self.processes = [
+            context.Process(
+                target=_fabric_worker,
+                args=(self.tasks, self.results),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for process in self.processes:
+            process.start()
+        self._next_task_id = 0
+
+    def next_task_id(self) -> int:
+        self._next_task_id += 1
+        return self._next_task_id
+
+    def alive(self) -> bool:
+        return all(process.is_alive() for process in self.processes)
+
+    def submit(self, task: "_ChunkTask | _MapTask") -> None:
+        """Serialize and enqueue one task.
+
+        Pickling happens *here*, synchronously, so an unpicklable task
+        raises at the call site — were it left to the queue's feeder
+        thread, the failure would be printed and the message silently
+        dropped, hanging :meth:`collect` forever.
+        """
+        self.submit_pickled(pickle.dumps(task))
+
+    def submit_pickled(self, payload: bytes) -> None:
+        """Enqueue an already-serialized task (see :meth:`submit`)."""
+        self.tasks.put(payload)
+
+    def collect(
+        self,
+        pending_ids: set[int],
+        on_result: Callable[[int, tuple[int, ...], list[TrialRecord]], None],
+    ) -> None:
+        """Drain results for ``pending_ids``, dispatching each to the callback.
+
+        The callback receives ``(task_id, indices, records)``.  Raises
+        :class:`ReproError` when a worker reports a failure or dies
+        without reporting (the caller shuts the fabric down so no
+        stale task or result survives into a later call).
+        """
+        while pending_ids:
+            try:
+                message = self.results.get(timeout=1.0)
+            except _queue.Empty:
+                if not self.alive():
+                    raise ReproError(
+                        "a sweep worker died without reporting a result"
+                    ) from None
+                continue
+            if message[0] == "error":
+                raise ReproError(
+                    f"sweep worker failed:\n{message[2]}"
+                )
+            _, task_id, indices, payload = message
+            pending_ids.discard(task_id)
+            if payload[0] == "batch":
+                records = unpack_record_batch(payload[1])
+            else:
+                records = pickle.loads(payload[1])
+            on_result(task_id, indices, records)
+
+    def shutdown(self) -> None:
+        """Stop the workers (sentinels first, terminate stragglers)."""
+        for _ in self.processes:
+            try:
+                self.tasks.put_nowait(None)
+            except Exception:  # pragma: no cover - queue already broken
+                break
+        for process in self.processes:
+            process.join(timeout=2.0)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for channel in (self.tasks, self.results):
+            channel.cancel_join_thread()
+            channel.close()
+
+
+class _PlanArena:
+    """Parent-side store of exported plans, keyed by instance tag.
+
+    ``handle_for`` compiles an instance's plan **once** (through the
+    same per-process memo the workers' fallback uses) and exports it
+    to shared memory; repeated sweeps over the same instances reuse
+    the segment.  Bounded: beyond the cap the oldest export is
+    unlinked (attached workers keep their mappings until they close —
+    POSIX frees the pages with the last detach).  ``close`` unlinks
+    everything; it runs on :func:`shutdown_fabric` and at interpreter
+    exit, so segments never outlive the parent.
+    """
+
+    CAP = 64
+
+    def __init__(self) -> None:
+        self._shares: dict[tuple[str, int, str], PlanShare] = {}
+        self._disabled = False
+
+    def handle_for(self, family: str, n: int, delta_spec: str) -> SharedPlanHandle | None:
+        if self._disabled or not _shm_enabled():
+            return None
+        tag = (family, n, delta_spec)
+        share = self._shares.get(tag)
+        if share is None:
+            while len(self._shares) >= self.CAP:
+                self._shares.pop(next(iter(self._shares))).close()
+            _, plan = _instance_for(family, n, delta_spec)
+            try:
+                share = PlanShare.export(plan)
+            except (SchedulerError, OSError):
+                # /dev/shm missing or full: fall back to per-worker
+                # regeneration for the rest of this process's life.
+                self._disabled = True
+                return None
+            self._shares[tag] = share
+        return share.handle
+
+    def close(self) -> None:
+        while self._shares:
+            _, share = self._shares.popitem()
+            share.close()
+
+
+def _shm_enabled() -> bool:
+    """Shared-plan transport toggle (env override, platform support)."""
+    if os.environ.get(SHM_ENV_VAR, "").strip().lower() in {"0", "off", "no"}:
+        return False
+    return shared_plans_available()
+
+
+_fabric_pool: _FabricPool | None = None
+_plan_arena: _PlanArena | None = None
+
+#: Serializes all fabric use (pool creation, task submission, result
+#: collection, shutdown).  The pool, its queues, and the plan arena
+#: are process-wide singletons — without the lock, two threads
+#: sweeping concurrently would drain each other's results.  Reentrant
+#: because a failing collect shuts the fabric down while holding it.
+_fabric_lock = threading.RLock()
+
+
+def _get_fabric(workers: int, allow_larger: bool = False) -> tuple[_FabricPool, _PlanArena]:
+    """The warm (pool, arena) pair; caller must hold ``_fabric_lock``.
+
+    An explicit ``run_sweep(workers=N)`` gets a pool of exactly ``N``
+    (restarting a mismatched one — the worker count is an explicit
+    concurrency request).  ``allow_larger`` callers (``map_trials``,
+    whose count is merely clamped by the seed count) reuse any warm
+    pool of at least that size instead of tearing it down: they limit
+    concurrency by submitting that many tasks, so idle workers stay
+    idle and the warm state survives.
+    """
+    global _fabric_pool, _plan_arena
+    if _fabric_pool is not None:
+        acceptable = (
+            _fabric_pool.workers >= workers
+            if allow_larger
+            else _fabric_pool.workers == workers
+        )
+        if not acceptable or not _fabric_pool.alive():
+            shutdown_fabric()
+    if _fabric_pool is None:
+        _fabric_pool = _FabricPool(workers)
+    if _plan_arena is None:
+        _plan_arena = _PlanArena()
+    return _fabric_pool, _plan_arena
+
+
+def shutdown_fabric() -> None:
+    """Stop the persistent pool and unlink every exported plan segment.
+
+    Safe to call at any time (idempotent); registered with ``atexit``
+    so a process that used the fabric never leaks worker processes or
+    ``/dev/shm`` segments.  The next :func:`run_sweep` /
+    :func:`map_trials` call simply warms a fresh pool.
+    """
+    global _fabric_pool, _plan_arena
+    with _fabric_lock:
+        pool, _fabric_pool = _fabric_pool, None
+        arena, _plan_arena = _plan_arena, None
+    if pool is not None:
+        pool.shutdown()
+    if arena is not None:
+        arena.close()
+
+
+atexit.register(shutdown_fabric)
+
+#: Chunks per worker the fabric aims for — finer than the static
+#: chunker because re-dispatch is cheap (no graph rebuild per chunk).
+_FABRIC_CHUNKS_PER_WORKER = 8
+
+#: Inline (workers=1) streaming batch cap: bounds resident records.
+_STREAM_INLINE_BATCH = 64
+
+
+def _fabric_batch_size(pending: int, workers: int) -> int:
+    """Chunk size targeting ``_FABRIC_CHUNKS_PER_WORKER`` per worker."""
+    return max(1, -(-pending // (workers * _FABRIC_CHUNKS_PER_WORKER)))
+
+
+def _run_fabric(
+    spec: SweepSpec,
+    pending: Sequence[SweepPoint],
+    workers: int,
+    consume: Callable[[Iterable[tuple[int, TrialRecord]]], None],
+) -> None:
+    """Execute ``pending`` on the warm fabric, feeding ``consume`` batches.
+
+    Tasks are enqueued instance by instance — each instance's plan is
+    compiled and exported right before its chunks go out, so workers
+    start executing the first instance while the parent is still
+    exporting later ones.  Any failure (worker error, death,
+    interrupt) tears the whole fabric down before propagating, so no
+    stale task or result can leak into a later call.  The fabric lock
+    is held throughout: concurrent sweeps from other threads
+    serialize rather than cross-reading one shared result queue.
+    """
+    with _fabric_lock:
+        _run_fabric_locked(spec, pending, workers, consume)
+
+
+def _run_fabric_locked(
+    spec: SweepSpec,
+    pending: Sequence[SweepPoint],
+    workers: int,
+    consume: Callable[[Iterable[tuple[int, TrialRecord]]], None],
+) -> None:
+    pool, arena = _get_fabric(workers)
+    try:
+        grouped: dict[tuple[str, int, str], list[SweepPoint]] = {}
+        for point in pending:
+            grouped.setdefault(point.graph_key(), []).append(point)
+        batch_size = _fabric_batch_size(len(pending), workers)
+        pending_ids: set[int] = set()
+        for (family, n, delta_spec), points in grouped.items():
+            handle = arena.handle_for(family, n, delta_spec)
+            for start in range(0, len(points), batch_size):
+                batch = points[start:start + batch_size]
+                task = _ChunkTask(
+                    task_id=pool.next_task_id(),
+                    family=family,
+                    n=n,
+                    delta_spec=delta_spec,
+                    preset=spec.preset,
+                    max_rounds=spec.max_rounds,
+                    trials=tuple((p.index, p.algorithm, p.seed) for p in batch),
+                    plan_handle=handle,
+                )
+                pool.submit(task)
+                pending_ids.add(task.task_id)
+
+        def on_result(
+            task_id: int, indices: tuple[int, ...], records: list[TrialRecord]
+        ) -> None:
+            consume(zip(indices, records))
+
+        pool.collect(pending_ids, on_result)
+    except BaseException:
+        shutdown_fabric()
+        raise
+
+
+# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
+
+
+class _RecordSink:
+    """Collects every record for grid-order assembly (the default mode)."""
+
+    def __init__(self) -> None:
+        self.done: dict[int, TrialRecord] = {}
+
+    def add(self, index: int, record: TrialRecord) -> None:
+        self.done[index] = record
+
+    def count(self) -> int:
+        return len(self.done)
+
+    def end_batch(self, size: int) -> None:  # symmetric with _StreamSink
+        pass
+
+
+class _StreamSink:
+    """Folds records into per-group aggregates and drops them (streaming).
+
+    Groups are pre-created in canonical grid order so the final table
+    rows come out in exactly the order the record-holding path prints,
+    regardless of which worker finished first.
+    """
+
+    def __init__(self, points: Sequence[SweepPoint]) -> None:
+        self.groups: dict[tuple[str, int, str, str], StreamSummary] = {}
+        self._group_of: list[tuple[str, int, str, str]] = []
+        for point in points:
+            key = (point.family, point.n, point.delta_spec, point.algorithm)
+            self.groups.setdefault(key, StreamSummary())
+            self._group_of.append(key)
+        self._count = 0
+        self.max_resident = 0
+
+    def add(self, index: int, record: TrialRecord) -> None:
+        self.groups[self._group_of[index]].add(record, order=index)
+        self._count += 1
+
+    def count(self) -> int:
+        return self._count
+
+    def end_batch(self, size: int) -> None:
+        if size > self.max_resident:
+            self.max_resident = size
 
 
 def run_sweep(
@@ -491,8 +1093,11 @@ def run_sweep(
     cache_dir: str | Path | None = None,
     resume: bool = True,
     progress: Callable[[int, int], None] | None = None,
-) -> SweepResult:
-    """Run (or finish) a sweep and return its records in grid order.
+    *,
+    stream: bool = False,
+    fabric: bool | None = None,
+) -> SweepResult | SweepStreamResult:
+    """Run (or finish) a sweep; records in grid order, or streamed summaries.
 
     Parameters
     ----------
@@ -512,66 +1117,108 @@ def run_sweep(
     progress:
         Optional ``callback(done, total)`` fired after every completed
         chunk — the CLI uses it for a stderr ticker.
+    stream:
+        ``True`` folds each arriving batch into per-group aggregates
+        and drops the records (O(batch) resident memory), returning a
+        :class:`SweepStreamResult` with summaries identical to the
+        default mode's; pair with ``cache_dir`` when the raw records
+        must also land on disk.
+    fabric:
+        ``None`` (default) runs multi-worker sweeps on the persistent
+        zero-copy fabric; ``False`` forces the pre-fabric path (a
+        fresh pool per call, statically chunked, object-pickled
+        records — the benchmark baseline).  One-worker sweeps always
+        run inline, whatever the flag.  Records are byte-identical on
+        every path.
     """
     points = spec.points()
     total = len(points)
     worker_count = resolve_workers(workers)
+    use_fabric = worker_count > 1 if fabric is None else bool(fabric)
 
+    sink: _RecordSink | _StreamSink = _StreamSink(points) if stream else _RecordSink()
     cache: ResultCache | None = None
-    done: dict[int, TrialRecord] = {}
+    cached_hits = 0
     started = time.perf_counter()
+    have: set[int] = set()
     if cache_dir is not None:
         cache = ResultCache(cache_dir, spec.spec_hash(), spec_payload=spec.describe())
         if resume:
-            cached_records = cache.load()
-            for point in points:
-                hit = cached_records.get(spec.point_key(point))
-                if hit is not None:
-                    done[point.index] = hit
+            index_of_key = {spec.point_key(p): p.index for p in points}
+            for key, record in cache.iter_records():
+                index = index_of_key.get(key)
+                if index is not None and index not in have:
+                    have.add(index)
+                    sink.add(index, record)
+                    sink.end_batch(1)
         else:
             cache.reset()
-    cached_hits = len(done)
+    cached_hits = len(have)
 
-    pending = [p for p in points if p.index not in done]
+    pending = [p for p in points if p.index not in have]
     key_of = (
         {p.index: spec.point_key(p) for p in pending} if cache is not None else {}
     )
-    chunks = _chunk_points(spec, pending, worker_count)
 
     def consume(results: Iterable[tuple[int, TrialRecord]]) -> None:
-        for index, record in results:
-            done[index] = record
-            if cache is not None:
-                cache.append(key_of[index], record)
+        batch = list(results)
+        if cache is not None:
+            cache.append_many((key_of[index], record) for index, record in batch)
+        for index, record in batch:
+            sink.add(index, record)
+        sink.end_batch(len(batch))
         if progress is not None:
-            progress(len(done), total)
+            progress(sink.count(), total)
 
     try:
-        if worker_count <= 1 or len(chunks) <= 1:
-            for chunk in chunks:
+        if worker_count <= 1 or not pending:
+            inline_batch = _STREAM_INLINE_BATCH if stream else None
+            for chunk in _chunk_points(spec, pending, 1, batch_size=inline_batch):
                 consume(_run_chunk(chunk))
+        elif use_fabric:
+            _run_fabric(spec, pending, worker_count, consume)
         else:
-            context = _pool_context()
-            pool_size = min(worker_count, len(chunks))
-            with ProcessPoolExecutor(pool_size, mp_context=context) as pool:
-                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        consume(future.result())
+            chunks = _chunk_points(spec, pending, worker_count)
+            if len(chunks) <= 1:
+                for chunk in chunks:
+                    consume(_run_chunk(chunk))
+            else:
+                context = _pool_context()
+                pool_size = min(worker_count, len(chunks))
+                with ProcessPoolExecutor(pool_size, mp_context=context) as pool:
+                    futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                    remaining = set(futures)
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            consume(future.result())
     finally:
         if cache is not None:
             cache.close()
 
-    records = tuple(done[point.index] for point in points)
+    elapsed = time.perf_counter() - started
+    if stream:
+        assert isinstance(sink, _StreamSink)
+        return SweepStreamResult(
+            spec=spec,
+            groups=sink.groups,
+            executed=total - cached_hits,
+            cached=cached_hits,
+            workers=worker_count,
+            elapsed=elapsed,
+            max_resident=sink.max_resident,
+        )
+    assert isinstance(sink, _RecordSink)
+    records = tuple(sink.done[point.index] for point in points)
     return SweepResult(
         spec=spec,
         records=records,
         executed=total - cached_hits,
         cached=cached_hits,
         workers=worker_count,
-        elapsed=time.perf_counter() - started,
+        elapsed=elapsed,
     )
 
 
@@ -590,6 +1237,46 @@ def _run_seed_batch(
     return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
 
 
+#: Per-class memo of the graph picklability probe (see
+#: :func:`_graph_transportable`).  Instances of one class share their
+#: transportability in practice; a class whose instances genuinely
+#: differ can still opt out by raising in ``__reduce__`` — the actual
+#: transport failure then falls back per call.
+_graph_probe_cache: dict[type, bool] = {}
+
+
+def _graph_transportable(graph: StaticGraph) -> bool:
+    """Whether ``graph`` can cross a process boundary — probed cheaply.
+
+    The old probe pickled the *entire* graph (an O(m) serialization)
+    on every ``map_trials`` call just to test transportability.
+    :class:`StaticGraph` itself is always picklable, so the common
+    case is now a type check; unknown subclasses are probed once and
+    memoized per class.
+    """
+    cls = type(graph)
+    if cls is StaticGraph:
+        return True
+    cached = _graph_probe_cache.get(cls)
+    if cached is None:
+        try:
+            pickle.dumps(graph)
+            cached = True
+        except Exception:
+            cached = False
+        _graph_probe_cache[cls] = cached
+    return cached
+
+
+def _kwargs_transportable(kwargs: dict[str, Any]) -> bool:
+    """Probe the (small) keyword arguments — cheap relative to a graph."""
+    try:
+        pickle.dumps(kwargs)
+        return True
+    except Exception:
+        return False
+
+
 def map_trials(
     graph: StaticGraph,
     algorithm: str,
@@ -601,11 +1288,13 @@ def map_trials(
 
     The seed list is dealt round-robin into one batch per worker
     (each trial is independently seeded, so batch composition does
-    not change any record) and results are reassembled in seed
-    order.  Arguments that cannot cross a process boundary
-    (unpicklable graph or kwargs) fall back to the serial loop
-    rather than failing — checked up front, so errors raised by the
-    trials themselves propagate normally without discarding work.
+    not change any record), executed on the same persistent fabric
+    pool the sweep engine uses (so repeated calls share warm
+    workers), and results are reassembled in seed order.  Arguments
+    that cannot cross a process boundary (unpicklable graph subclass
+    or kwargs) fall back to the serial loop rather than failing —
+    probed cheaply up front (type check plus a per-class memo; the
+    graph itself is no longer serialized just to test the water).
     A caller-supplied ``plan`` never crosses the boundary: plans are
     identity-bound to the parent's graph object, so each worker batch
     recompiles its own (the records are identical either way).
@@ -613,31 +1302,60 @@ def map_trials(
     seeds = [int(s) for s in seeds]
     kwargs = dict(kwargs)
     caller_plan = kwargs.pop("plan", None)
-    worker_count = min(resolve_workers(workers), len(seeds))
-    if worker_count > 1:
-        try:
-            pickle.dumps((graph, kwargs))
-        except (pickle.PicklingError, TypeError, AttributeError):
-            worker_count = 1
-    if worker_count <= 1:
+
+    def serial() -> list[TrialRecord]:
         if batchable_kwargs(kwargs) and len(seeds) > 1:
             return run_trials(graph, algorithm, seeds, plan=caller_plan, **kwargs)
         if caller_plan is not None:
             kwargs["plan"] = caller_plan
         return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
+
+    worker_count = min(resolve_workers(workers), len(seeds))
+    if worker_count > 1 and not (
+        _graph_transportable(graph) and _kwargs_transportable(kwargs)
+    ):
+        worker_count = 1
+    if worker_count <= 1:
+        return serial()
     batches: list[list[int]] = [[] for _ in range(worker_count)]
     for position in range(len(seeds)):
         batches[position % worker_count].append(position)
-    with ProcessPoolExecutor(worker_count, mp_context=_pool_context()) as pool:
-        results = list(pool.map(
-            _run_seed_batch,
-            [
-                (graph, algorithm, [seeds[i] for i in batch], kwargs)
-                for batch in batches
-            ],
-        ))
     by_position: dict[int, TrialRecord] = {}
-    for batch, records in zip(batches, results):
-        for position, record in zip(batch, records):
-            by_position[position] = record
+    with _fabric_lock:
+        pool, _ = _get_fabric(worker_count, allow_larger=True)
+        # Serialize every task *before* submitting any: the per-class
+        # probe above is only a heuristic, and an instance that turns
+        # out unpicklable after all must degrade to the serial loop,
+        # not strand half a fan-out on the queue.
+        try:
+            payloads = []
+            for batch in batches:
+                task = _MapTask(
+                    task_id=pool.next_task_id(),
+                    graph=graph,
+                    algorithm=algorithm,
+                    seeds=tuple(seeds[i] for i in batch),
+                    kwargs=kwargs,
+                )
+                payloads.append((pickle.dumps(task), task.task_id, batch))
+        except Exception:
+            payloads = None
+        if payloads is None:
+            return serial()
+        try:
+            batch_of: dict[int, list[int]] = {}
+            for payload, task_id, batch in payloads:
+                pool.submit_pickled(payload)
+                batch_of[task_id] = batch
+
+            def on_result(
+                task_id: int, indices: tuple[int, ...], records: list[TrialRecord]
+            ) -> None:
+                for position, record in zip(batch_of[task_id], records):
+                    by_position[position] = record
+
+            pool.collect(set(batch_of), on_result)
+        except BaseException:
+            shutdown_fabric()
+            raise
     return [by_position[position] for position in range(len(seeds))]

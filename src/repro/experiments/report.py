@@ -3,15 +3,25 @@
 The benchmark harness prints one or more :class:`Table` objects per
 experiment — the reproduction's analogue of the paper's result tables —
 and optionally persists them under ``results/`` for EXPERIMENTS.md.
+
+:func:`summarize_records` folds any stream of
+:class:`~repro.experiments.harness.TrialRecord` objects into one
+grouped summary table without materializing the stream — the engine
+behind ``repro report FILE.jsonl``, which replays sweep exports of any
+size in O(1) memory via
+:func:`~repro.experiments.results_io.iter_records_jsonl`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable
 
-__all__ = ["Table"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.harness import TrialRecord
+
+__all__ = ["Table", "summarize_records", "summarize_jsonl"]
 
 
 def _fmt(value: Any) -> str:
@@ -88,3 +98,58 @@ class Table:
         target = path / f"{stem}.md"
         target.write_text(self.to_markdown() + "\n", encoding="utf-8")
         return target
+
+
+def summarize_records(
+    records: "Iterable[TrialRecord]", title: str = "RECORDS"
+) -> Table:
+    """Fold a record stream into a grouped summary table, record by record.
+
+    Groups by ``(algorithm, graph name, n, δ)`` — the axes a sweep
+    export varies — and keeps only the per-group
+    :class:`~repro.experiments.harness.StreamSummary` aggregates, so
+    an arbitrarily large stream (a generator over a JSONL file) is
+    summarized in O(groups) memory.  Rows appear in first-seen order,
+    which for sweep exports is canonical grid order.
+    """
+    from repro.experiments.harness import StreamSummary
+
+    groups: dict[tuple[str, str, int, int], StreamSummary] = {}
+    total = 0
+    for record in records:
+        key = (record.algorithm, record.graph_name, record.n, record.delta)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = StreamSummary()
+        group.add(record)
+        total += 1
+    table = Table(
+        title=title,
+        headers=[
+            "algorithm", "graph", "n", "delta",
+            "met", "mean rounds", "median rounds",
+        ],
+    )
+    for (algorithm, graph_name, n, delta), group in groups.items():
+        summary = group.summary()
+        table.add_row(
+            algorithm, graph_name, n, delta,
+            f"{group.met}/{group.total}",
+            summary.mean if summary else float("nan"),
+            summary.median if summary else float("nan"),
+        )
+    table.add_note(f"{total} records in {len(groups)} group(s)")
+    return table
+
+
+def summarize_jsonl(path: str | Path) -> Table:
+    """Summarize a JSON-lines record export without loading it whole.
+
+    Streams through
+    :func:`~repro.experiments.results_io.iter_records_jsonl`, so peak
+    memory is one record plus the group aggregates regardless of file
+    size — the implementation of ``repro report``.
+    """
+    from repro.experiments.results_io import iter_records_jsonl
+
+    return summarize_records(iter_records_jsonl(path), title=f"RECORDS {Path(path).name}")

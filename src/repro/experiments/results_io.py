@@ -1,19 +1,39 @@
-"""Persistence of raw trial records (JSON lines + CSV export).
+"""Persistence and transport of raw trial records.
 
 Tables summarize; raw records let downstream users re-analyze.  Every
 :class:`~repro.experiments.harness.TrialRecord` round-trips through
 JSON lines losslessly (per-agent reports included, with non-JSON
 values stringified); CSV export flattens the scalar fields for
 spreadsheet work.
+
+Two access shapes for JSON lines: :func:`read_records_jsonl`
+materializes the whole list (small files, tests), and
+:func:`iter_records_jsonl` streams one record at a time so consumers
+— the ``repro report`` command, streaming aggregation — stay O(1) in
+the file size.
+
+The **columnar batch codec** (:func:`pack_record_batch` /
+:func:`unpack_record_batch`) is the wire format of the sweep fabric
+(:mod:`repro.experiments.parallel`): the nine scalar fields of a whole
+batch of records travel as typed ``array``/``struct`` columns and the
+variable-shape fields (algorithm, graph name, per-agent reports) as
+one compact JSON side channel, so a worker→parent transfer is a
+single ``bytes`` object instead of one pickled ``TrialRecord`` per
+trial.  The codec is exact with respect to the JSON export surface:
+``record_to_jsonable(unpack(pack([r]))[0]) == record_to_jsonable(r)``
+byte-for-byte (reports are passed through the same coercion in both
+directions); ``docs/performance.md`` documents the layout.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import struct
+from array import array
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.experiments.harness import TrialRecord
 
@@ -22,7 +42,11 @@ __all__ = [
     "record_from_jsonable",
     "write_records_jsonl",
     "read_records_jsonl",
+    "iter_records_jsonl",
     "write_records_csv",
+    "json_native",
+    "pack_record_batch",
+    "unpack_record_batch",
 ]
 
 _CSV_FIELDS = [
@@ -66,16 +90,130 @@ def write_records_jsonl(records: Iterable[TrialRecord], path: str | Path) -> Pat
     return target
 
 
-def read_records_jsonl(path: str | Path) -> list[TrialRecord]:
-    """Load records written by :func:`write_records_jsonl`."""
-    records = []
+def iter_records_jsonl(path: str | Path) -> Iterator[TrialRecord]:
+    """Stream records written by :func:`write_records_jsonl` one at a time.
+
+    The generator holds exactly one decoded record at a time, so
+    consumers that fold records into summaries (``repro report``, the
+    streaming sweep aggregation) stay O(1) in the file size.  Blank
+    lines are skipped; a torn final line (interrupted writer) raises
+    ``json.JSONDecodeError`` like :func:`read_records_jsonl` would.
+    """
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            records.append(record_from_jsonable(json.loads(line)))
-    return records
+            yield record_from_jsonable(json.loads(line))
+
+
+def read_records_jsonl(path: str | Path) -> list[TrialRecord]:
+    """Load records written by :func:`write_records_jsonl` as one list."""
+    return list(iter_records_jsonl(path))
+
+
+# ----------------------------------------------------------------------
+# Columnar batch codec (the sweep fabric's wire format)
+# ----------------------------------------------------------------------
+
+#: Magic + version prefix of a packed batch; bump on layout changes.
+_BATCH_MAGIC = b"TRB1"
+
+#: The scalar int columns, in wire order (one ``array('q')`` each).
+_INT_COLUMNS = (
+    "n", "id_space", "delta", "max_degree", "seed",
+    "rounds", "total_moves", "whiteboard_writes",
+)
+
+
+def json_native(value: Any) -> bool:
+    """Whether ``value`` survives a JSON round trip *unchanged*.
+
+    The batch codec is always exact with respect to the JSON export
+    surface, but a record whose reports hold non-JSON values (tuples,
+    sets, arbitrary objects — coerced by :func:`record_to_jsonable`)
+    would come back coerced rather than identical.  Transport layers
+    that promise object-identical records (the sweep fabric) check
+    this and fall back to object transport when it fails.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return True
+    if type(value) is list:
+        return all(json_native(item) for item in value)
+    if type(value) is dict:
+        return all(
+            type(key) is str and json_native(item) for key, item in value.items()
+        )
+    return False
+
+
+def pack_record_batch(records: Sequence[TrialRecord]) -> bytes:
+    """Pack many records into one columnar ``bytes`` blob.
+
+    Layout (all little-endian)::
+
+        "TRB1" | uint32 count
+              | 8 x int64[count]   -- n, id_space, delta, max_degree,
+              |                       seed, rounds, total_moves,
+              |                       whiteboard_writes
+              | uint8[count]       -- met flags
+              | utf-8 JSON         -- {"algorithm": [...],
+              |                        "graph_name": [...],
+              |                        "reports": [...]} (to the end)
+
+    Reports go through the same coercion as
+    :func:`record_to_jsonable`, so unpacking and then JSON-exporting a
+    record produces bytes identical to exporting the original.
+    Raises ``OverflowError`` if a scalar exceeds int64 (callers fall
+    back to object transport).
+    """
+    count = len(records)
+    parts = [_BATCH_MAGIC, struct.pack("<I", count)]
+    for name in _INT_COLUMNS:
+        column = array("q", (getattr(r, name) for r in records))
+        parts.append(column.tobytes())
+    parts.append(bytes(1 if r.met else 0 for r in records))
+    side = {
+        "algorithm": [r.algorithm for r in records],
+        "graph_name": [r.graph_name for r in records],
+        "reports": [_jsonable(r.reports) for r in records],
+    }
+    parts.append(json.dumps(side, separators=(",", ":")).encode("utf-8"))
+    return b"".join(parts)
+
+
+def unpack_record_batch(data: bytes) -> list[TrialRecord]:
+    """Inverse of :func:`pack_record_batch`."""
+    if data[:4] != _BATCH_MAGIC:
+        raise ValueError("not a packed TrialRecord batch (bad magic)")
+    (count,) = struct.unpack_from("<I", data, 4)
+    offset = 8
+    columns: dict[str, array] = {}
+    for name in _INT_COLUMNS:
+        column = array("q")
+        column.frombytes(data[offset:offset + 8 * count])
+        columns[name] = column
+        offset += 8 * count
+    met = data[offset:offset + count]
+    offset += count
+    side = json.loads(data[offset:].decode("utf-8"))
+    return [
+        TrialRecord(
+            algorithm=side["algorithm"][i],
+            graph_name=side["graph_name"][i],
+            n=columns["n"][i],
+            id_space=columns["id_space"][i],
+            delta=columns["delta"][i],
+            max_degree=columns["max_degree"][i],
+            seed=columns["seed"][i],
+            met=bool(met[i]),
+            rounds=columns["rounds"][i],
+            total_moves=columns["total_moves"][i],
+            whiteboard_writes=columns["whiteboard_writes"][i],
+            reports=side["reports"][i],
+        )
+        for i in range(count)
+    ]
 
 
 def write_records_csv(records: Iterable[TrialRecord], path: str | Path) -> Path:

@@ -69,3 +69,57 @@ class TestResultCache:
         cache.close()
         manifest = json.loads(cache.manifest_path.read_text())
         assert manifest == {"name": "demo"}
+
+
+class TestAppendMany:
+    def test_batch_round_trips_like_singles(self, tmp_path):
+        records = [run_trial(complete_graph(16), "trivial", seed=s) for s in range(3)]
+        with ResultCache(tmp_path, "batched") as cache:
+            cache.append_many([(f"k{i}", r) for i, r in enumerate(records)])
+        with ResultCache(tmp_path, "single") as cache:
+            for i, record in enumerate(records):
+                cache.append(f"k{i}", record)
+        assert (
+            (tmp_path / "batched.jsonl").read_bytes()
+            == (tmp_path / "single.jsonl").read_bytes()
+        )
+
+    def test_empty_batch_touches_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path, "empty")
+        cache.append_many([])
+        cache.close()
+        assert not cache.path.exists()
+
+    def test_batches_and_singles_interleave(self, tmp_path):
+        first, second, third = (
+            run_trial(complete_graph(16), "trivial", seed=s) for s in range(3)
+        )
+        with ResultCache(tmp_path, "mix") as cache:
+            cache.append("a", first)
+            cache.append_many([("b", second), ("c", third)])
+        loaded = ResultCache(tmp_path, "mix").load()
+        assert loaded == {"a": first, "b": second, "c": third}
+
+
+class TestIterRecords:
+    def test_streams_in_write_order(self, tmp_path):
+        records = [run_trial(complete_graph(16), "trivial", seed=s) for s in range(3)]
+        with ResultCache(tmp_path, "iter") as cache:
+            cache.append_many([(f"k{i}", r) for i, r in enumerate(records)])
+        cache = ResultCache(tmp_path, "iter")
+        assert list(cache.iter_records()) == [
+            (f"k{i}", r) for i, r in enumerate(records)
+        ]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(ResultCache(tmp_path, "nope").iter_records()) == []
+
+    def test_corrupt_lines_and_duplicates(self, tmp_path):
+        record = one_record()
+        cache = ResultCache(tmp_path, "dirty")
+        cache.append("k", record)
+        cache.append("k", record)  # duplicate: first occurrence wins
+        cache.close()
+        with cache.path.open("a", encoding="utf-8") as handle:
+            handle.write("{torn")
+        assert list(ResultCache(tmp_path, "dirty").iter_records()) == [("k", record)]

@@ -86,3 +86,49 @@ class TestSweepCommand:
         ]
         assert main(args) == 1
         assert "sweep failed" in capsys.readouterr().err
+
+    def test_stream_mode_prints_summary(self, capsys):
+        assert main([*self._grid, "--workers", "2", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "streaming: peak" in out
+
+    def test_stream_rejects_out_file(self, capsys, tmp_path):
+        args = [*self._grid, "--stream", "--out", str(tmp_path / "x.jsonl")]
+        assert main(args) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_no_fabric_output_identical(self, capsys, tmp_path):
+        fabric_out = tmp_path / "fabric.jsonl"
+        legacy_out = tmp_path / "legacy.jsonl"
+        assert main([*self._grid, "--workers", "2", "--out", str(fabric_out)]) == 0
+        assert main([
+            *self._grid, "--workers", "2", "--no-fabric", "--out", str(legacy_out),
+        ]) == 0
+        assert fabric_out.read_bytes() == legacy_out.read_bytes()
+
+
+class TestReportCommand:
+    def test_report_streams_a_summary(self, capsys, tmp_path):
+        out_file = tmp_path / "records.jsonl"
+        assert main([
+            "sweep", "--name", "report-test", "--family", "complete", "--n", "32",
+            "--algorithm", "trivial", "--seeds", "3", "--workers", "1",
+            "--out", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "RECORDS records.jsonl" in out
+        assert "trivial" in out
+        assert "3 records in 1 group(s)" in out
+
+    def test_report_missing_file(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_malformed_file_is_a_clean_error(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text('{"not": "a record"}\nnot json at all\n')
+        assert main(["report", str(garbage)]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -24,6 +24,7 @@ from repro.experiments.parallel import (
     resolve_delta,
     resolve_workers,
     run_sweep,
+    shutdown_fabric,
 )
 from repro.experiments.results_io import write_records_jsonl
 from repro.graphs.generators import complete_graph
@@ -308,3 +309,157 @@ class TestHarnessOptIn:
         serial = repeat_trials(base, "trivial", range(3))
         records = map_trials(graph, "trivial", [0, 1, 2], workers=2)
         assert [r.rounds for r in records] == [r.rounds for r in serial]
+
+    def test_transport_probe_is_cached_per_class(self):
+        import pickle
+
+        from repro.graphs.generators import complete_graph
+        from repro.graphs.graph import StaticGraph
+
+        probes = []
+
+        class CountingUnpicklable(StaticGraph):
+            def __reduce__(self):
+                probes.append(1)
+                raise pickle.PicklingError("nope")
+
+        base = complete_graph(24)
+        graph = CountingUnpicklable({v: base.neighbors(v) for v in base.vertices})
+        map_trials(graph, "trivial", [0, 1], workers=2)
+        map_trials(graph, "trivial", [2, 3], workers=2)
+        assert sum(probes) == 1, "the picklability probe must be memoized per class"
+
+    def test_transport_probe_skips_plain_static_graphs(self, monkeypatch):
+        """A plain StaticGraph is never serialized just to test the water."""
+        from repro.experiments import parallel
+        from repro.graphs.generators import complete_graph
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("probe pickled a plain StaticGraph")
+
+        monkeypatch.setattr(parallel.pickle, "dumps", forbidden)
+        assert parallel._graph_transportable(complete_graph(8))
+
+    def test_instance_varying_picklability_still_falls_back(self):
+        """The per-class memo is a heuristic: an instance that turns
+        out unpicklable after a picklable sibling primed the cache must
+        degrade to the serial loop, not strand tasks on the queue."""
+        from repro.graphs.generators import complete_graph
+        from repro.graphs.graph import StaticGraph
+
+        class SometimesPicklable(StaticGraph):
+            pass  # subclassing adds __dict__, so instances can differ
+
+        base = complete_graph(24)
+        adjacency = {v: base.neighbors(v) for v in base.vertices}
+        good = SometimesPicklable(adjacency)
+        map_trials(good, "trivial", [0, 1], workers=2)  # primes cache: True
+        bad = SometimesPicklable(adjacency)
+        bad.attachment = lambda: None  # lambdas cannot be pickled
+        records = map_trials(bad, "trivial", [0, 1, 2], workers=2)
+        serial = repeat_trials(base, "trivial", range(3))
+        assert [r.rounds for r in records] == [r.rounds for r in serial]
+
+
+class TestFabric:
+    def test_fabric_and_legacy_paths_byte_identical(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep(spec, workers=1)
+        fabric = run_sweep(spec, workers=3)
+        legacy = run_sweep(spec, workers=3, fabric=False)
+        assert serial.records == fabric.records == legacy.records
+        paths = []
+        for name, result in (("s", serial), ("f", fabric), ("l", legacy)):
+            paths.append(write_records_jsonl(result.records, tmp_path / f"{name}.jsonl"))
+        assert paths[0].read_bytes() == paths[1].read_bytes() == paths[2].read_bytes()
+
+    def test_pool_persists_across_sweeps(self):
+        from repro.experiments import parallel
+
+        run_sweep(small_spec(), workers=3)
+        first = parallel._fabric_pool
+        assert first is not None and first.alive()
+        run_sweep(small_spec(seeds=(0, 1)), workers=3)
+        assert parallel._fabric_pool is first, "warm pool was not reused"
+        processes = first.processes
+        shutdown_fabric()
+        assert parallel._fabric_pool is None
+        for process in processes:
+            process.join(timeout=5)
+            assert not process.is_alive()
+
+    def test_shared_plans_disabled_is_identical(self, monkeypatch):
+        spec = small_spec()
+        with_shm = run_sweep(spec, workers=3)
+        monkeypatch.setenv("REPRO_SWEEP_SHM", "0")
+        shutdown_fabric()  # new pool under the disabled transport
+        without_shm = run_sweep(spec, workers=3)
+        assert with_shm.records == without_shm.records
+
+    def test_worker_failure_surfaces_and_pool_recovers(self, monkeypatch):
+        # regular graphs need n * delta even — the generator raises in
+        # the worker (shm disabled so the parent does not trip first).
+        monkeypatch.setenv("REPRO_SWEEP_SHM", "0")
+        shutdown_fabric()
+        bad = SweepSpec(
+            name="bad", families=("regular",), ns=(21,), deltas=("9",),
+            algorithms=("trivial",), seeds=(0, 1, 2, 3),
+        )
+        with pytest.raises(ReproError):
+            run_sweep(bad, workers=2)
+        # The fabric tore itself down and the next sweep just works.
+        good = run_sweep(small_spec(), workers=2)
+        assert len(good.records) == 8
+
+    def test_parent_failure_with_shared_plans_is_clean(self):
+        bad = SweepSpec(
+            name="bad", families=("regular",), ns=(21,), deltas=("9",),
+            algorithms=("trivial",), seeds=(0, 1),
+        )
+        with pytest.raises(ReproError):
+            run_sweep(bad, workers=2)
+
+
+class TestStreamingSweep:
+    def test_summaries_identical_to_record_holding_path(self):
+        spec = small_spec()
+        held = run_sweep(spec, workers=3)
+        streamed = run_sweep(spec, workers=3, stream=True)
+        held_table = held.summary_table()
+        stream_table = streamed.summary_table()
+        assert stream_table.rows == held_table.rows
+        assert stream_table.notes[0] == held_table.notes[0]  # pooled sketch
+        held_sketch, stream_sketch = held.rounds_sketch(), streamed.rounds_sketch()
+        assert held_sketch == stream_sketch
+
+    def test_resident_records_bounded_by_batch(self):
+        from repro.experiments.parallel import _fabric_batch_size
+
+        spec = small_spec(seeds=tuple(range(16)))  # 32 points
+        streamed = run_sweep(spec, workers=3, stream=True)
+        assert streamed.executed == 32
+        bound = _fabric_batch_size(32, 3)
+        assert 0 < streamed.max_resident <= bound
+
+    def test_inline_streaming_is_batched(self):
+        spec = small_spec(seeds=tuple(range(8)))  # 16 points, workers=1
+        streamed = run_sweep(spec, workers=1, stream=True)
+        from repro.experiments.parallel import _STREAM_INLINE_BATCH
+
+        assert streamed.max_resident <= _STREAM_INLINE_BATCH
+        held = run_sweep(spec, workers=1)
+        assert streamed.summary_table().rows == held.summary_table().rows
+
+    def test_stream_resume_from_cache(self, tmp_path):
+        spec = small_spec()
+        held = run_sweep(spec, workers=2, cache_dir=tmp_path)
+        streamed = run_sweep(spec, workers=2, cache_dir=tmp_path, stream=True)
+        assert streamed.cached == 8 and streamed.executed == 0
+        assert streamed.summary_table().rows == held.summary_table().rows
+
+    def test_stream_writes_cache_for_later_runs(self, tmp_path):
+        spec = small_spec()
+        streamed = run_sweep(spec, workers=2, cache_dir=tmp_path, stream=True)
+        assert streamed.executed == 8
+        held = run_sweep(spec, workers=2, cache_dir=tmp_path)
+        assert held.cached == 8 and held.executed == 0

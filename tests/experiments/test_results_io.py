@@ -1,16 +1,27 @@
-"""Tests for raw-record persistence."""
+"""Tests for raw-record persistence and the columnar batch codec."""
 
 from __future__ import annotations
 
 import json
+import random
 
-from repro.experiments.harness import repeat_trials
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import ALGORITHMS
+from repro.experiments.harness import TrialRecord, repeat_trials, run_trial
 from repro.experiments.results_io import (
+    iter_records_jsonl,
+    pack_record_batch,
     read_records_jsonl,
+    record_to_jsonable,
+    unpack_record_batch,
     write_records_csv,
     write_records_jsonl,
 )
-from repro.graphs.generators import complete_graph
+from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+from repro.graphs.ports import PortLabeling, PortModel
 
 
 def sample_records():
@@ -58,6 +69,130 @@ class TestJsonl:
         loaded = read_records_jsonl(path)
         assert loaded[0].reports["a"]["odd"] == [1, 3]
         assert isinstance(loaded[0].reports["a"]["obj"], str)
+
+
+class TestIterRecords:
+    def test_streaming_matches_bulk_load(self, tmp_path):
+        records = sample_records()
+        path = write_records_jsonl(records, tmp_path / "out.jsonl")
+        assert list(iter_records_jsonl(path)) == read_records_jsonl(path)
+
+    def test_is_lazy(self, tmp_path):
+        path = write_records_jsonl(sample_records(), tmp_path / "out.jsonl")
+        stream = iter_records_jsonl(path)
+        first = next(stream)
+        assert first.algorithm == "trivial"
+        stream.close()  # no exhaustion required
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = write_records_jsonl(sample_records(), tmp_path / "out.jsonl")
+        path.write_text("\n" + path.read_text() + "\n\n")
+        assert len(list(iter_records_jsonl(path))) == 3
+
+
+def _export_bytes(records) -> bytes:
+    return "\n".join(
+        json.dumps(record_to_jsonable(r), sort_keys=True) for r in records
+    ).encode()
+
+
+def _supported_matrix():
+    pairs = [(algorithm, PortModel.KT1) for algorithm in ALGORITHMS]
+    pairs.append(("random-walk", PortModel.KT0))  # the only KT0-capable one
+    return pairs
+
+
+class TestRecordBatchCodec:
+    @pytest.mark.parametrize(
+        "algorithm,port_model",
+        _supported_matrix(),
+        ids=lambda value: getattr(value, "value", value),
+    )
+    def test_round_trip_byte_identical_per_algorithm(self, algorithm, port_model):
+        """Acceptance: codec exactness for every algorithm × port model."""
+        graph = random_graph_with_min_degree(40, 10, random.Random("codec"))
+        labeling = (
+            PortLabeling(graph, rng=random.Random(2))
+            if port_model is PortModel.KT0
+            else None
+        )
+        records = [
+            run_trial(
+                graph, algorithm, seed,
+                port_model=port_model, labeling=labeling, max_rounds=400,
+            )
+            for seed in range(3)
+        ]
+        restored = unpack_record_batch(pack_record_batch(records))
+        assert _export_bytes(restored) == _export_bytes(records)
+        # KT1 reports are JSON-native, so the records themselves (not
+        # just their exports) must survive the wire exactly.
+        assert restored == records
+
+    def test_empty_batch(self):
+        assert unpack_record_batch(pack_record_batch([])) == []
+
+    def test_json_native_detects_lossless_reports(self):
+        from repro.experiments.results_io import json_native
+
+        assert json_native({"a": {"moves": 3, "ok": True, "note": None}})
+        assert json_native({"a": {"path": [1, 2, 3], "rate": 0.5}})
+        # Values record_to_jsonable would *coerce* are not native: the
+        # fabric must ship such records as objects, not columns.
+        assert not json_native({"a": {"pair": (1, 2)}})
+        assert not json_native({"a": {"seen": frozenset({1})}})
+        assert not json_native({"a": {"obj": object()}})
+        assert not json_native({1: {"non-str": "key"}})
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_record_batch(b"NOPE" + b"\x00" * 16)
+
+    def test_int64_overflow_raises(self):
+        record = sample_records()[0]
+        huge = TrialRecord(**{**record_to_jsonable(record), "rounds": 2 ** 70})
+        with pytest.raises(OverflowError):
+            pack_record_batch([huge])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        records=st.lists(
+            st.builds(
+                TrialRecord,
+                algorithm=st.text(max_size=8),
+                graph_name=st.text(max_size=12),
+                n=st.integers(min_value=1, max_value=2 ** 62),
+                id_space=st.integers(min_value=1, max_value=2 ** 62),
+                delta=st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+                max_degree=st.integers(min_value=0, max_value=2 ** 62),
+                seed=st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+                met=st.booleans(),
+                rounds=st.integers(min_value=0, max_value=2 ** 62),
+                total_moves=st.integers(min_value=0, max_value=2 ** 62),
+                whiteboard_writes=st.integers(min_value=0, max_value=2 ** 62),
+                reports=st.dictionaries(
+                    st.text(max_size=6),
+                    st.dictionaries(
+                        st.text(max_size=6),
+                        st.one_of(
+                            st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+                            st.text(max_size=10),
+                            st.booleans(),
+                            st.none(),
+                            st.lists(st.integers(), max_size=3),
+                        ),
+                        max_size=3,
+                    ),
+                    max_size=2,
+                ),
+            ),
+            max_size=6,
+        )
+    )
+    def test_round_trip_property(self, records):
+        """Any JSON-native record list survives the wire byte-for-byte."""
+        restored = unpack_record_batch(pack_record_batch(records))
+        assert _export_bytes(restored) == _export_bytes(records)
 
 
 class TestCsv:

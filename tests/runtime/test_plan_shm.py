@@ -1,0 +1,182 @@
+"""Differential tests for shared-memory plan transport.
+
+The promise under test: a plan attached from a shared-memory segment
+(:func:`repro.runtime.plan.attach_plan`) is indistinguishable — down
+to byte-identical trial records — from a plan compiled locally on the
+same instance, for every registered algorithm under both port models.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.api import ALGORITHMS
+from repro.errors import SchedulerError
+from repro.experiments.harness import run_trials
+from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling, PortModel
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanShare,
+    attach_plan,
+    shared_plans_available,
+)
+
+
+pytestmark = pytest.mark.skipif(
+    not shared_plans_available(), reason="no multiprocessing.shared_memory"
+)
+
+
+def roundtrip(plan: ExecutionPlan):
+    """Export, attach (through a pickled handle, like a real task), close."""
+    share = PlanShare.export(plan)
+    handle = pickle.loads(pickle.dumps(share.handle))
+    attached = attach_plan(handle)
+    return share, attached
+
+
+@pytest.fixture(scope="module")
+def instance() -> StaticGraph:
+    return random_graph_with_min_degree(48, 12, random.Random("shm-test"))
+
+
+class TestFlatArrayFidelity:
+    def test_csr_and_ids_identical(self, instance):
+        plan = ExecutionPlan.compile(instance)
+        share, attached = roundtrip(plan)
+        try:
+            assert attached.plan.n == plan.n
+            assert tuple(attached.plan.ids) == tuple(plan.ids)
+            assert list(attached.plan.degrees) == list(plan.degrees)
+            assert list(attached.plan.neighbor_offsets) == list(plan.neighbor_offsets)
+            assert list(attached.plan.neighbor_indices) == list(plan.neighbor_indices)
+            assert attached.graph.id_space == instance.id_space
+            assert attached.graph.name == instance.name
+        finally:
+            attached.close()
+            share.close()
+
+    def test_kt0_port_table_identical(self, instance):
+        labeling = PortLabeling(instance, rng=random.Random(5))
+        plan = ExecutionPlan.compile(instance, labeling, port_model=PortModel.KT0)
+        share, attached = roundtrip(plan)
+        try:
+            assert list(attached.plan.port_targets) == list(plan.port_targets)
+            # The reconstructed labeling resolves every port identically.
+            for v in instance.vertices:
+                assert (
+                    attached.plan.labeling.port_table()[v]
+                    == labeling.port_table()[v]
+                )
+        finally:
+            attached.close()
+            share.close()
+
+    def test_attached_arrays_are_zero_copy_views(self, instance):
+        plan = ExecutionPlan.compile(instance)
+        share, attached = roundtrip(plan)
+        try:
+            assert isinstance(attached.plan.neighbor_indices, memoryview)
+            assert isinstance(attached.plan.neighbor_offsets, memoryview)
+        finally:
+            attached.close()
+            share.close()
+
+    def test_dilated_id_space_round_trips(self):
+        base = complete_graph(12)
+        dilated = StaticGraph(
+            {v * 7 + 3: tuple(u * 7 + 3 for u in base.neighbors(v))
+             for v in base.vertices},
+            id_space=12 * 7 + 4,
+            name="dilated",
+        )
+        plan = ExecutionPlan.compile(dilated)
+        share, attached = roundtrip(plan)
+        try:
+            assert attached.graph.vertices == dilated.vertices
+            assert attached.graph.id_space == dilated.id_space
+        finally:
+            attached.close()
+            share.close()
+
+
+def _supported_matrix():
+    """(algorithm, port model) pairs the runtime accepts."""
+    pairs = [(algorithm, PortModel.KT1) for algorithm in ALGORITHMS]
+    pairs.append(("random-walk", PortModel.KT0))  # the only KT0-capable one
+    return pairs
+
+
+class TestRecordEquivalence:
+    @pytest.mark.parametrize(
+        "algorithm,port_model",
+        _supported_matrix(),
+        ids=lambda value: getattr(value, "value", value),
+    )
+    def test_attached_plan_records_identical(self, instance, algorithm, port_model):
+        labeling = (
+            PortLabeling(instance, rng=random.Random(9))
+            if port_model is PortModel.KT0
+            else None
+        )
+        plan = ExecutionPlan.compile(instance, labeling, port_model=port_model)
+        local = run_trials(
+            instance, algorithm, range(4),
+            plan=plan, port_model=port_model, labeling=labeling, max_rounds=400,
+        )
+        share, attached = roundtrip(plan)
+        try:
+            remote = run_trials(
+                attached.graph, algorithm, range(4),
+                plan=attached.plan, port_model=port_model, max_rounds=400,
+            )
+        finally:
+            attached.close()
+            share.close()
+        assert remote == local
+
+
+class TestLifetime:
+    def test_attach_after_unlink_fails(self, instance):
+        plan = ExecutionPlan.compile(instance)
+        share = PlanShare.export(plan)
+        handle = share.handle
+        share.close()  # unlinks
+        with pytest.raises((FileNotFoundError, OSError)):
+            attach_plan(handle)
+
+    def test_close_is_idempotent(self, instance):
+        plan = ExecutionPlan.compile(instance)
+        share, attached = roundtrip(plan)
+        attached.close()
+        attached.close()
+        share.close()
+        share.close()
+
+    def test_attacher_survives_exporter_unlink(self, instance):
+        # POSIX keeps the pages until the last mapping closes: a worker
+        # that already attached keeps computing after the parent
+        # unlinks the name.
+        plan = ExecutionPlan.compile(instance)
+        share, attached = roundtrip(plan)
+        share.close()  # unlink while attached
+        try:
+            records = run_trials(
+                attached.graph, "trivial", range(2), plan=attached.plan
+            )
+            assert len(records) == 2
+        finally:
+            attached.close()
+
+    def test_export_requires_shared_memory(self, instance, monkeypatch):
+        import repro.runtime.plan as plan_module
+
+        monkeypatch.setattr(plan_module, "_shared_memory", None)
+        assert not plan_module.shared_plans_available()
+        with pytest.raises(SchedulerError):
+            PlanShare.export(ExecutionPlan.compile(instance))
