@@ -45,10 +45,26 @@ cache aside) and may be shared freely across engines, trials, and
 threads of one process; they are keyed by *object identity* of their
 graph, so always compile from the same :class:`StaticGraph` instance
 the trials run on.
+
+**Cross-process transport.**  Because the plan's canonical export
+surface is already flat ``array('q')`` buffers, a compiled plan can
+cross a process boundary without pickling any graph object:
+:meth:`PlanShare.export` copies the ids, degrees, CSR adjacency, and
+(for KT0) flat port table into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and
+:func:`attach_plan` in a worker maps that segment read-only, rebuilds
+the :class:`StaticGraph` and interpreter rows from it (no generator
+run, no port-table derivation), and adopts the shared buffers
+zero-copy as the plan's flat-array views.  The sweep fabric
+(:mod:`repro.experiments.parallel`) is the intended user; see
+``docs/performance.md`` for the lifetime rules (the exporting process
+owns the segment and must :meth:`PlanShare.close` it, attachers
+release their mapping with :meth:`AttachedPlan.close`).
 """
 
 from __future__ import annotations
 
+import json
 from array import array
 from typing import TYPE_CHECKING
 
@@ -57,10 +73,22 @@ from repro.errors import SchedulerError
 from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling, PortModel
 
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shared_memory = None  # type: ignore[assignment]
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from collections.abc import Mapping
 
-__all__ = ["ExecutionPlan"]
+__all__ = [
+    "ExecutionPlan",
+    "SharedPlanHandle",
+    "PlanShare",
+    "AttachedPlan",
+    "attach_plan",
+    "shared_plans_available",
+]
 
 
 class ExecutionPlan:
@@ -302,3 +330,232 @@ class ExecutionPlan:
             f"ExecutionPlan(graph={self.graph.name!r}, n={self.n}, "
             f"model={self.port_model.value})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+
+
+def shared_plans_available() -> bool:
+    """Whether this interpreter can export/attach plans over shared memory.
+
+    ``False`` on interpreters without
+    :mod:`multiprocessing.shared_memory`; callers (the sweep fabric)
+    fall back to regenerating instances per worker process.  A
+    runtime failure to *create* a segment (``/dev/shm`` full or
+    unmounted) surfaces as ``OSError`` from :meth:`PlanShare.export`
+    and is handled the same way.
+    """
+    return _shared_memory is not None
+
+
+class SharedPlanHandle:
+    """Picklable descriptor of one exported plan segment.
+
+    Carries the OS-level segment name plus the JSON metadata needed to
+    interpret the flat int64 buffers inside it — everything
+    :func:`attach_plan` needs, and small enough to ship in every task
+    message.
+    """
+
+    __slots__ = ("name", "meta")
+
+    def __init__(self, name: str, meta: dict) -> None:
+        self.name = name
+        self.meta = meta
+
+    def __getstate__(self) -> tuple[str, str]:
+        return (self.name, json.dumps(self.meta, separators=(",", ":")))
+
+    def __setstate__(self, state: tuple[str, str]) -> None:
+        self.name = state[0]
+        self.meta = json.loads(state[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedPlanHandle({self.name!r}, n={self.meta.get('n')})"
+
+
+class PlanShare:
+    """One plan exported into a shared-memory segment (exporter side).
+
+    The exporting process **owns** the segment: :meth:`close` (or
+    process exit via the sweep fabric's arena) must eventually unlink
+    it, or the name leaks until reboot.  Attached readers keep their
+    mapping alive independently of the unlink — POSIX keeps the pages
+    until the last attacher closes — so the exporter may unlink as
+    soon as every worker that needs the plan has received the handle.
+
+    Segment layout: the little-endian int64 buffers
+    ``ids[n] | degrees[n] | neighbor_offsets[n+1] | neighbor_indices[m2]``
+    and, for KT0 plans, ``port_targets[m2]``, concatenated in that
+    order (``m2`` = twice the edge count).  All interpretation
+    metadata travels in the :class:`SharedPlanHandle`, never in the
+    segment.
+    """
+
+    __slots__ = ("_segment", "handle")
+
+    def __init__(self, segment: "_shared_memory.SharedMemory", handle: SharedPlanHandle) -> None:
+        self._segment = segment
+        self.handle = handle
+
+    @classmethod
+    def export(cls, plan: ExecutionPlan) -> "PlanShare":
+        """Copy ``plan``'s flat arrays into a fresh shared segment.
+
+        Raises :class:`SchedulerError` when shared memory is not
+        available at all, and propagates ``OSError`` when the segment
+        cannot be created (callers treat both as "fall back to
+        per-worker regeneration").
+        """
+        if _shared_memory is None:
+            raise SchedulerError("multiprocessing.shared_memory is unavailable")
+        offsets = plan.neighbor_offsets
+        indices = plan.neighbor_indices
+        ports = plan.port_targets
+        segments = [array("q", plan.ids), plan.degrees, offsets, indices]
+        if ports is not None:
+            segments.append(ports)
+        total = sum(8 * len(seg) for seg in segments)
+        segment = _shared_memory.SharedMemory(create=True, size=total)
+        position = 0
+        for seg in segments:
+            raw = seg.tobytes()
+            segment.buf[position:position + len(raw)] = raw
+            position += len(raw)
+        graph = plan.graph
+        meta = {
+            "n": plan.n,
+            "m2": len(indices),
+            "id_space": graph.id_space,
+            "graph_name": graph.name,
+            "port_model": plan.port_model.value,
+            "has_ports": ports is not None,
+        }
+        return cls(segment, SharedPlanHandle(segment.name, meta))
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the exporter's mapping; ``unlink`` destroys the name.
+
+        Safe to call repeatedly.  Attached workers keep their own
+        mappings until they close them.
+        """
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        segment.close()
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "PlanShare":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AttachedPlan:
+    """A worker-side view of an exported plan: ``graph``, ``plan``, lifetime.
+
+    Rebuilds the Python-object layers the interpreter hot loop needs
+    (the :class:`StaticGraph`, per-vertex rows, KT1 ``nbr_index``
+    dicts) from the shared buffers — no generator run, no
+    ``PortLabeling`` port-table derivation — and adopts the segment's
+    CSR (and KT0 port-target) buffers **zero-copy** as the plan's
+    flat-array views.  :meth:`close` releases those views and the
+    mapping; the plan must not be used afterwards.
+    """
+
+    __slots__ = ("graph", "plan", "_segment", "_views")
+
+    def __init__(self, graph: StaticGraph, plan: ExecutionPlan, segment, views) -> None:
+        self.graph = graph
+        self.plan = plan
+        self._segment = segment
+        self._views = views
+
+    def close(self) -> None:
+        """Release the shared views and unmap the segment (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        # Detach the plan from the shared buffers first: anything still
+        # holding the plan re-materializes local arrays lazily instead
+        # of faulting on an unmapped page.
+        self.plan._csr = None
+        self.plan._port_targets = None
+        for view in self._views:
+            view.release()
+        self._views = ()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - exported slice escaped
+            pass  # mapping is freed at process exit instead
+
+
+def attach_plan(handle: SharedPlanHandle) -> AttachedPlan:
+    """Attach one exported plan and rebuild its execution structures.
+
+    The returned :class:`AttachedPlan` produces byte-identical trial
+    records to a locally compiled plan on the same instance
+    (``tests/runtime/test_plan_shm.py`` proves it differentially for
+    every registered algorithm under both port models).
+    """
+    if _shared_memory is None:
+        raise SchedulerError("multiprocessing.shared_memory is unavailable")
+    segment = _shared_memory.SharedMemory(name=handle.name)
+    try:
+        # CPython ≤ 3.12 registers *attached* segments with the
+        # resource tracker as if this process created them; under the
+        # spawn start method the tracker would then unlink the segment
+        # when this worker exits, yanking it from every other reader.
+        # The exporter owns the lifetime, so undo the registration.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API moved/absent
+        pass
+    meta = handle.meta
+    n = meta["n"]
+    m2 = meta["m2"]
+    port_model = PortModel(meta["port_model"])
+    words = memoryview(segment.buf).cast("q")
+    ids_view = words[0:n]
+    degrees_view = words[n:2 * n]
+    offsets_view = words[2 * n:3 * n + 1]
+    indices_view = words[3 * n + 1:3 * n + 1 + m2]
+    views = [words, ids_view, degrees_view, offsets_view, indices_view]
+    ports_view = None
+    if meta["has_ports"]:
+        ports_view = words[3 * n + 1 + m2:3 * n + 1 + 2 * m2]
+        views.append(ports_view)
+
+    ids = tuple(ids_view)
+    adjacency = {
+        ids[i]: tuple(ids[j] for j in indices_view[offsets_view[i]:offsets_view[i + 1]])
+        for i in range(n)
+    }
+    graph = StaticGraph(
+        adjacency,
+        id_space=meta["id_space"],
+        name=meta["graph_name"],
+        validate=False,
+    )
+    labeling = None
+    if port_model is PortModel.KT0:
+        permutations = {
+            ids[i]: tuple(ids[j] for j in ports_view[offsets_view[i]:offsets_view[i + 1]])
+            for i in range(n)
+        }
+        labeling = PortLabeling(graph, permutations=permutations)
+    plan = ExecutionPlan.compile(graph, labeling, port_model)
+    # Adopt the shared buffers as the plan's flat-array export surface
+    # (they would otherwise re-materialize lazily as local copies).
+    plan._csr = (offsets_view, indices_view)
+    if ports_view is not None:
+        plan._port_targets = ports_view
+    return AttachedPlan(graph, plan, segment, tuple(views))
