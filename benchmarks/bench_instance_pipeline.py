@@ -1,0 +1,318 @@
+"""Benchmark for the CSR-native instance pipeline: setup throughput.
+
+PR 3 made trials fast (compiled plans) and PR 4 made transport fast
+(shared-memory fabric); this gate protects the layer added after them
+— the CSR-native construction pipeline (:mod:`repro.graphs.build`):
+generators emit straight into flat int64 buffers, ``StaticGraph``
+adopts them zero-copy with lazy dict views, ``PortLabeling`` derives
+KT0 tables in flat form, and ``ExecutionPlan.compile`` adopts the same
+buffers without re-flattening.  Instance *setup* — generate → label →
+compile → flat export surface — is replayed through both pipelines:
+
+* **baseline** — the frozen pre-builder path
+  (:mod:`repro.graphs.reference`): dict-of-sets generation, eager
+  tuple/frozenset graph views, eager two-layer port dictionaries, and
+  the row-first plan flatten;
+* **csr** — the current modules, exactly what
+  ``repro.experiments.parallel`` runs per instance.
+
+Three promises are asserted on every machine:
+
+* the flat plan buffers (ids / degrees / CSR offsets / CSR indices /
+  KT0 port table) are **byte-identical** old-vs-new — checked for
+  every registered sweep family under both port models (dilated ID
+  spaces included) and for every timed workload;
+* aggregate setup throughput of the CSR path is **≥ 2×** the frozen
+  baseline over a mixed-family workload set including a large-``n``
+  point;
+* peak traced Python-heap memory of the large-``n`` setup is **lower**
+  on the CSR path (``tracemalloc``; the dict detour's tuples,
+  frozensets, and port dictionaries never exist).
+
+Runs under pytest (``pytest benchmarks/bench_instance_pipeline.py``)
+and as a script (``python benchmarks/bench_instance_pipeline.py
+[--quick]``, the CI perf-smoke job).  Emits
+``results/BENCH_instance_pipeline.json`` via :mod:`_bench_json`.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+import tracemalloc
+from array import array
+from dataclasses import dataclass
+from typing import Callable
+
+import _bench_json
+
+from repro.experiments.parallel import GRAPH_FAMILIES
+from repro.experiments.report import Table
+from repro.graphs import generators, reference
+from repro.graphs.generators import dilate_id_space
+from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling, PortModel
+from repro.runtime.plan import ExecutionPlan
+
+SPEEDUP_GATE = 2.0
+
+#: Frozen twin of every registered sweep family (same call signature).
+REFERENCE_FAMILIES: dict[str, Callable] = {
+    "er-min-degree": reference.random_graph_with_min_degree,
+    "geometric": reference.random_geometric_dense_graph,
+    "regular": reference.random_regular_graph,
+    "powerlaw": reference.powerlaw_graph_with_floor,
+    "complete": lambda n, delta, rng: reference.complete_graph(n),
+}
+
+
+@dataclass(frozen=True)
+class _Workload:
+    """One timed setup unit: family × size × δ × port model."""
+
+    name: str
+    family: str
+    n: int
+    delta: int
+    port_model: PortModel
+
+
+def _workloads(quick: bool) -> list[_Workload]:
+    s = 2 if quick else 1  # quick halves (roughly) every size
+    return [
+        # The large-n point: a dense fixed shape where the dict detour
+        # is purely overhead (row-mode CSR emission has no sort at all).
+        _Workload("complete-large/KT1", "complete", 1600 // s, 8, PortModel.KT1),
+        # The main Theorem 1/2 workload, both port models — KT0 adds
+        # the flat-vs-dict port table derivation to the comparison.
+        _Workload("er-min-degree/KT1", "er-min-degree", 600 // s, 24, PortModel.KT1),
+        _Workload("er-min-degree/KT0", "er-min-degree", 600 // s, 24, PortModel.KT0),
+        # Sparse regular at parameters where the configuration-model
+        # pairing usually succeeds: with a denser degree the timing is
+        # ~100% rejection-sampling retries — identical in both
+        # pipelines — which would measure the sampler, not the setup.
+        _Workload("regular/KT1", "regular", 400 // s, 3, PortModel.KT1),
+        # Skewed degrees under KT0 (the lower-bound model's shape).
+        _Workload("powerlaw/KT0", "powerlaw", 500 // s, 10, PortModel.KT0),
+        # O(n²) geometry dominates both paths identically — the
+        # workload the pipeline helps least.
+        _Workload("geometric/KT1", "geometric", 256 // s, 12, PortModel.KT1),
+    ]
+
+
+def _baseline_setup(workload: _Workload) -> dict[str, array]:
+    """Frozen pipeline: dict generator → eager ports → row-first flatten."""
+    rng = random.Random(f"pipeline:{workload.name}")
+    graph = REFERENCE_FAMILIES[workload.family](workload.n, workload.delta, rng)
+    table = None
+    if workload.port_model is PortModel.KT0:
+        table, _ = reference.reference_port_tables(
+            graph, random.Random(f"ports:{workload.name}")
+        )
+    return reference.reference_plan_buffers(graph, table, workload.port_model)
+
+
+def _csr_setup(workload: _Workload) -> dict[str, array]:
+    """Current pipeline: builder generator → flat labeling → zero-copy compile."""
+    rng = random.Random(f"pipeline:{workload.name}")
+    graph = GRAPH_FAMILIES[workload.family](workload.n, workload.delta, rng)
+    labeling = None
+    if workload.port_model is PortModel.KT0:
+        labeling = PortLabeling(graph, rng=random.Random(f"ports:{workload.name}"))
+    plan = ExecutionPlan.compile(
+        graph, labeling=labeling, port_model=workload.port_model
+    )
+    buffers = {
+        "ids": array("q", plan.ids),
+        "degrees": plan.degrees,
+        "offsets": plan.neighbor_offsets,
+        "indices": plan.neighbor_indices,
+    }
+    if workload.port_model is PortModel.KT0:
+        buffers["ports"] = plan.port_targets
+    return buffers
+
+
+def _buffer_bytes(buffers: dict) -> dict[str, bytes]:
+    return {key: bytes(value) for key, value in buffers.items()}
+
+
+def _assert_identical(old: dict, new: dict, context: str) -> None:
+    old_bytes, new_bytes = _buffer_bytes(old), _buffer_bytes(new)
+    assert old_bytes.keys() == new_bytes.keys(), (
+        f"buffer sets diverged on {context}: {sorted(old_bytes)} vs {sorted(new_bytes)}"
+    )
+    for key in old_bytes:
+        assert old_bytes[key] == new_bytes[key], (
+            f"{key} buffer diverged between pipelines on {context}"
+        )
+
+
+def _check_all_families() -> int:
+    """Byte-equality for every registered family × both port models.
+
+    Small instances (the property is size-independent; the timed
+    workloads re-assert it at scale), plus one dilated-ID-space case.
+    Returns the number of (family, model) combinations checked.
+    """
+    checked = 0
+    for family in sorted(GRAPH_FAMILIES):
+        for port_model in (PortModel.KT1, PortModel.KT0):
+            workload = _Workload(f"check:{family}", family, 36, 8, port_model)
+            _assert_identical(
+                _baseline_setup(workload),
+                _csr_setup(workload),
+                f"{family} × {port_model.value}",
+            )
+            checked += 1
+    # Non-contiguous identifiers: dilate one instance through both paths.
+    for port_model in (PortModel.KT1, PortModel.KT0):
+        old_graph = dilate_id_space(
+            reference.random_graph_with_min_degree(30, 6, random.Random("d")),
+            5,
+            random.Random("map"),
+        )
+        new_graph = dilate_id_space(
+            generators.random_graph_with_min_degree(30, 6, random.Random("d")),
+            5,
+            random.Random("map"),
+        )
+        table = labeling = None
+        if port_model is PortModel.KT0:
+            table, _ = reference.reference_port_tables(old_graph, random.Random("p"))
+            new_labeling_rng = random.Random("p")
+            labeling = PortLabeling(new_graph, rng=new_labeling_rng)
+        old = reference.reference_plan_buffers(old_graph, table, port_model)
+        plan = ExecutionPlan.compile(new_graph, labeling=labeling, port_model=port_model)
+        new = {
+            "ids": array("q", plan.ids),
+            "degrees": plan.degrees,
+            "offsets": plan.neighbor_offsets,
+            "indices": plan.neighbor_indices,
+        }
+        if port_model is PortModel.KT0:
+            new["ports"] = plan.port_targets
+        _assert_identical(old, new, f"dilated × {port_model.value}")
+        checked += 1
+    return checked
+
+
+def _traced_peak(setup: Callable[[], object]) -> int:
+    """Peak traced Python-heap bytes of one setup run."""
+    tracemalloc.start()
+    try:
+        setup()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def run_benchmark(quick: bool = False, repetitions: int = 3) -> Table:
+    """Measure baseline-vs-CSR setup throughput; assert equality and gates."""
+    combinations = _check_all_families()
+
+    table = Table(
+        title=f"INSTANCE-PIPELINE — CSR-native setup vs frozen dict pipeline "
+              f"({'quick' if quick else 'full'} parameters)",
+        headers=[
+            "workload", "n", "baseline ms", "csr ms", "speedup", "identical",
+        ],
+    )
+    workload_stats: dict[str, dict] = {}
+    total_base = total_csr = 0.0
+    for workload in _workloads(quick):
+        base_samples: list[float] = []
+        csr_samples: list[float] = []
+        old = new = None
+        for _ in range(repetitions):
+            began = time.perf_counter()
+            old = _baseline_setup(workload)
+            base_samples.append(time.perf_counter() - began)
+            began = time.perf_counter()
+            new = _csr_setup(workload)
+            csr_samples.append(time.perf_counter() - began)
+        _assert_identical(old, new, workload.name)
+        base_time, csr_time = min(base_samples), min(csr_samples)
+        table.add_row(
+            workload.name,
+            workload.n,
+            round(base_time * 1e3, 2),
+            round(csr_time * 1e3, 2),
+            f"{base_time / csr_time:.2f}x",
+            True,
+        )
+        workload_stats[workload.name] = {
+            "n": workload.n,
+            "baseline": _bench_json.summarize_samples(base_samples),
+            "csr": _bench_json.summarize_samples(csr_samples),
+            "speedup": base_time / csr_time,
+        }
+        total_base += base_time
+        total_csr += csr_time
+
+    speedup = total_base / total_csr
+    table.add_row("TOTAL", "-", round(total_base * 1e3, 2),
+                  round(total_csr * 1e3, 2), f"{speedup:.2f}x", True)
+
+    # Peak traced memory of the large-n setup, old vs new.
+    large = _workloads(quick)[0]
+    peak_old = _traced_peak(lambda: _baseline_setup(large))
+    peak_new = _traced_peak(lambda: _csr_setup(large))
+    table.add_note(
+        f"large-n setup peak (tracemalloc): baseline {peak_old / 1e6:.1f} MB, "
+        f"csr {peak_new / 1e6:.1f} MB"
+    )
+    table.add_note(
+        f"gate: aggregate setup speedup >= {SPEEDUP_GATE}x with byte-identical "
+        f"plan buffers ({combinations} family × model combinations checked) "
+        "and lower large-n setup memory"
+    )
+    _bench_json.write_bench_json(
+        "instance_pipeline",
+        quick=quick,
+        workloads=workload_stats,
+        metrics={
+            "aggregate_speedup": speedup,
+            "speedup_gate": SPEEDUP_GATE,
+            "family_model_combinations_checked": combinations,
+            "large_n_peak_python_bytes_baseline": peak_old,
+            "large_n_peak_python_bytes_csr": peak_new,
+        },
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        f"CSR-pipeline setup speedup {speedup:.2f}x is below the {SPEEDUP_GATE}x gate"
+    )
+    assert peak_new < peak_old, (
+        f"CSR pipeline peak memory {peak_new} is not below the dict "
+        f"pipeline's {peak_old} on the large-n workload"
+    )
+    return table
+
+
+def test_instance_pipeline(capsys):
+    """Pytest entry point: full parameters, table to the terminal."""
+    table = run_benchmark(quick=False)
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller instance sizes (CI smoke; same assertions)",
+    )
+    args = parser.parse_args(argv)
+    table = run_benchmark(quick=args.quick)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

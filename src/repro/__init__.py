@@ -51,6 +51,8 @@ from repro.errors import (
 )
 from repro.graphs import (
     StaticGraph,
+    EdgeBuffer,
+    GraphBuilder,
     PortLabeling,
     PortModel,
     barbell_graph,
@@ -82,6 +84,8 @@ __all__ = [
     "Constants",
     # graphs
     "StaticGraph",
+    "EdgeBuffer",
+    "GraphBuilder",
     "PortLabeling",
     "PortModel",
     "complete_graph",

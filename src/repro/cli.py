@@ -169,6 +169,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out and not args.stream:
         target = result.write_jsonl(args.out)
         print(f"[{len(result.records)} records written to {target}]")
+    if args.profile_setup:
+        from repro.experiments.parallel import profile_setup
+
+        print()
+        print(profile_setup(spec).render())
     return 0
 
 
@@ -249,6 +254,12 @@ def main(argv: list[str] | None = None) -> int:
         "--fabric", action=argparse.BooleanOptionalAction, default=None,
         help="--no-fabric forces the pre-fabric pool (per-call workers, "
              "object-pickled records); default: fabric when --workers > 1",
+    )
+    sweep_parser.add_argument(
+        "--profile-setup", action="store_true",
+        help="after the sweep, print a per-instance timing breakdown of "
+             "the setup pipeline (generate / label / compile / export) "
+             "vs one trial's runtime",
     )
 
     report_parser = sub.add_parser(

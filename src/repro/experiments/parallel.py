@@ -92,6 +92,7 @@ from repro.graphs.generators import (
     random_regular_graph,
 )
 from repro.graphs.graph import StaticGraph
+from repro.graphs.ports import PortLabeling
 from repro.runtime.plan import (
     ExecutionPlan,
     PlanShare,
@@ -110,6 +111,8 @@ __all__ = [
     "build_graph",
     "plan_for_instance",
     "clear_instance_cache",
+    "profile_setup",
+    "bounded_cache_size",
     "resolve_delta",
     "run_sweep",
     "map_trials",
@@ -125,6 +128,33 @@ SHM_ENV_VAR = "REPRO_SWEEP_SHM"
 
 #: Environment variable consulted by :func:`ambient_workers`.
 WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
+
+#: Environment variable bounding the per-process instance memo
+#: (``_instance_for``); read once at import.  Default 32, clamped ≥ 1.
+INSTANCE_CACHE_ENV_VAR = "REPRO_INSTANCE_CACHE"
+DEFAULT_INSTANCE_CACHE = 32
+
+#: Environment variable bounding the parent-side plan arena
+#: (exported shared-memory segments); read when the arena is created.
+#: Default 64, clamped ≥ 1.
+PLAN_ARENA_ENV_VAR = "REPRO_PLAN_ARENA"
+DEFAULT_PLAN_ARENA = 64
+
+
+def bounded_cache_size(variable: str, default: int) -> int:
+    """Resolve a cache-bound environment variable, clamped to ``>= 1``.
+
+    An unset or blank variable yields ``default``; a non-integer value
+    raises :class:`ReproError` (silently shrinking a cache on a typo
+    would be a very quiet way to lose throughput).
+    """
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return int(default)
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ReproError(f"{variable}={raw!r} is not an integer") from None
 
 #: Graph families a sweep can range over: ``name -> builder(n, delta, rng)``.
 GRAPH_FAMILIES: dict[str, Callable[[int, int, random.Random], StaticGraph]] = {
@@ -166,7 +196,7 @@ def resolve_delta(delta_spec: str, n: int) -> int:
         ) from None
 
 
-@lru_cache(maxsize=32)
+@lru_cache(maxsize=bounded_cache_size(INSTANCE_CACHE_ENV_VAR, DEFAULT_INSTANCE_CACHE))
 def _instance_for(family: str, n: int, delta_spec: str) -> tuple[StaticGraph, ExecutionPlan]:
     """Per-process memo of one sweep instance and its compiled plan.
 
@@ -174,10 +204,11 @@ def _instance_for(family: str, n: int, delta_spec: str) -> tuple[StaticGraph, Ex
     generator RNG — so every chunk a worker handles for the same
     instance reuses one graph object and one
     :class:`~repro.runtime.plan.ExecutionPlan` instead of regenerating
-    both.  The cache is bounded (a worker rarely touches more than a
-    couple of instances at a time) and holds graph and plan together:
-    a plan is only valid for the exact graph object it was compiled
-    from, so they must be evicted as one.
+    both.  The cache is bounded (default ``32`` entries, overridable
+    via ``REPRO_INSTANCE_CACHE``, clamped ≥ 1 — a worker rarely
+    touches more than a couple of instances at a time) and holds graph
+    and plan together: a plan is only valid for the exact graph object
+    it was compiled from, so they must be evicted as one.
     """
     try:
         builder = GRAPH_FAMILIES[family]
@@ -210,6 +241,93 @@ def plan_for_instance(family: str, n: int, delta_spec: str) -> ExecutionPlan:
 def clear_instance_cache() -> None:
     """Drop the per-process graph/plan memo (tests, long-lived daemons)."""
     _instance_for.cache_clear()
+
+
+def profile_setup(spec: "SweepSpec") -> Table:
+    """Per-instance timing breakdown of the setup pipeline vs trial time.
+
+    For every unique ``(family, n, δ)`` instance of ``spec``, runs the
+    parent-side pipeline *fresh* (no memo) and times each stage:
+
+    * **generate** — the graph family builder (CSR emission included);
+    * **label** — :class:`~repro.graphs.ports.PortLabeling` construction
+      (zero-copy on CSR graphs, so this should be ~0);
+    * **compile** — :meth:`~repro.runtime.plan.ExecutionPlan.compile`
+      plus touching the flat export surface (offsets/indices/degrees);
+    * **export** — shared-memory export + unlink (blank when shared
+      memory is unavailable);
+    * **trial** — one seeded trial of the spec's first algorithm
+      against the compiled plan, for scale.
+
+    Backs ``repro sweep --profile-setup`` (see ``docs/cli.md``), so a
+    regression anywhere in the instance pipeline is visible from the
+    CLI without running a benchmark.
+    """
+    table = Table(
+        title=f"SETUP PROFILE {spec.name} — per-instance pipeline timings (ms)",
+        headers=[
+            "family", "n", "delta rule", "generate", "label", "compile",
+            "export", "trial", "setup/trial",
+        ],
+    )
+    algorithm = spec.algorithms[0]
+    seed = spec.seeds[0]
+    constants = CONSTANTS_PRESETS[spec.preset]()
+    seen: set[tuple[str, int, str]] = set()
+    for point in spec.points():
+        key = point.graph_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        family, n, delta_spec = key
+        delta = resolve_delta(delta_spec, n)
+        rng = random.Random(f"sweep-graph:{family}:{n}:{delta_spec}")
+        builder = GRAPH_FAMILIES[family]
+
+        began = time.perf_counter()
+        graph = builder(n, delta, rng)
+        t_generate = time.perf_counter() - began
+
+        began = time.perf_counter()
+        labeling = PortLabeling(graph)
+        t_label = time.perf_counter() - began
+
+        began = time.perf_counter()
+        plan = ExecutionPlan.compile(graph, labeling=labeling)
+        _ = plan.neighbor_offsets, plan.neighbor_indices, plan.degrees
+        t_compile = time.perf_counter() - began
+
+        t_export: float | None = None
+        if _shm_enabled():
+            try:
+                began = time.perf_counter()
+                PlanShare.export(plan).close()
+                t_export = time.perf_counter() - began
+            except (SchedulerError, OSError):
+                t_export = None
+
+        began = time.perf_counter()
+        run_trial(
+            graph, algorithm, seed,
+            constants=constants, max_rounds=spec.max_rounds, plan=plan,
+        )
+        t_trial = time.perf_counter() - began
+
+        setup = t_generate + t_label + t_compile + (t_export or 0.0)
+        table.add_row(
+            family, n, delta_spec,
+            round(t_generate * 1e3, 3),
+            round(t_label * 1e3, 3),
+            round(t_compile * 1e3, 3),
+            "-" if t_export is None else round(t_export * 1e3, 3),
+            round(t_trial * 1e3, 3),
+            f"{setup / t_trial:.2f}x" if t_trial > 0 else "-",
+        )
+    table.add_note(
+        "fresh (unmemoized) parent-side pipeline per instance; trial = one "
+        f"seeded {algorithm!r} run against the compiled plan"
+    )
+    return table
 
 
 @dataclass(frozen=True)
@@ -858,18 +976,18 @@ class _PlanArena:
     ``handle_for`` compiles an instance's plan **once** (through the
     same per-process memo the workers' fallback uses) and exports it
     to shared memory; repeated sweeps over the same instances reuse
-    the segment.  Bounded: beyond the cap the oldest export is
-    unlinked (attached workers keep their mappings until they close —
-    POSIX frees the pages with the last detach).  ``close`` unlinks
-    everything; it runs on :func:`shutdown_fabric` and at interpreter
-    exit, so segments never outlive the parent.
+    the segment.  Bounded (default ``64`` exports, overridable via
+    ``REPRO_PLAN_ARENA``, clamped ≥ 1): beyond the cap the oldest
+    export is unlinked (attached workers keep their mappings until
+    they close — POSIX frees the pages with the last detach).
+    ``close`` unlinks everything; it runs on :func:`shutdown_fabric`
+    and at interpreter exit, so segments never outlive the parent.
     """
-
-    CAP = 64
 
     def __init__(self) -> None:
         self._shares: dict[tuple[str, int, str], PlanShare] = {}
         self._disabled = False
+        self.cap = bounded_cache_size(PLAN_ARENA_ENV_VAR, DEFAULT_PLAN_ARENA)
 
     def handle_for(self, family: str, n: int, delta_spec: str) -> SharedPlanHandle | None:
         if self._disabled or not _shm_enabled():
@@ -877,7 +995,7 @@ class _PlanArena:
         tag = (family, n, delta_spec)
         share = self._shares.get(tag)
         if share is None:
-            while len(self._shares) >= self.CAP:
+            while len(self._shares) >= self.cap:
                 self._shares.pop(next(iter(self._shares))).close()
             _, plan = _instance_for(family, n, delta_spec)
             try:

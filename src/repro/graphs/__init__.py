@@ -7,13 +7,19 @@ This subpackage implements the graph model of paper Section 2.1:
   ID space ``[0, n')`` with ``n' >= n``.
 * :mod:`~repro.graphs.ports` — the hidden local port numbering
   ``P̂_v`` and the accessible port numbering ``P_v`` (KT1 vs KT0).
+* :mod:`~repro.graphs.build` — the CSR-native construction layer:
+  flat edge buffers generators emit into, finished zero-copy as
+  CSR-backed :class:`~repro.graphs.graph.StaticGraph` instances.
 * :mod:`~repro.graphs.generators` — workload graph families with
-  controllable ``(n, δ, Δ)``.
+  controllable ``(n, δ, Δ)``, all emitting through the builder.
+* :mod:`~repro.graphs.reference` — the frozen pre-builder pipeline,
+  kept as the differential oracle for construction.
 * :mod:`~repro.graphs.lowerbound` — the hard instances of paper
   Section 5 (Figures 1–3).
 """
 
 from repro.graphs.graph import StaticGraph, bfs_distance
+from repro.graphs.build import EdgeBuffer, GraphBuilder
 from repro.graphs.ports import PortLabeling, PortModel
 from repro.graphs.generators import (
     complete_graph,
@@ -57,6 +63,8 @@ from repro.graphs.lowerbound import (
 __all__ = [
     "StaticGraph",
     "bfs_distance",
+    "EdgeBuffer",
+    "GraphBuilder",
     "PortLabeling",
     "PortModel",
     "complete_graph",

@@ -1,0 +1,322 @@
+"""CSR-native graph construction: flat edge buffers, no dict detour.
+
+The paper's model (Section 2.1) needs adjacency, identifiers in
+``[0, n')``, and port maps — nothing in it requires the dict-of-sets
+representation instances used to be born in.  This module takes
+generators straight to the flat int64 buffers the execution plan
+(:mod:`repro.runtime.plan`) and the shared-memory sweep fabric consume:
+
+* :class:`EdgeBuffer` accumulates directed arcs as *encoded keys*
+  ``u·n + v`` in one ``array('q')`` and turns them into a CSR pair
+  (offsets, indices) with a single C-level sort plus one linear walk —
+  symmetrize/dedup/sort happen at the array level, never per Python
+  object;
+* :class:`GraphBuilder` wraps a buffer with the graph metadata
+  (``id_space``, ``name``) and offers a second, even cheaper emission
+  mode for generators whose adjacency is *known sorted*
+  (:meth:`GraphBuilder.add_row` appends each vertex's neighbor run
+  directly — a complete graph builds from two ``range`` extends per
+  vertex, no sort at all);
+* :meth:`GraphBuilder.build` hands the finished buffers to
+  :meth:`StaticGraph.from_csr` **zero-copy**: the graph keeps the CSR
+  arrays as its canonical adjacency and materializes the historical
+  dict/tuple/frozenset views lazily on first access.
+
+Everything here works in *dense* vertex space ``0 .. n-1``; public
+identifiers (possibly non-contiguous, the paper's ``n' > n``) attach at
+:meth:`GraphBuilder.build` via the ``ids`` argument.  Builders trust
+their callers: the generators in :mod:`repro.graphs.generators`
+guarantee symmetry and loop-freeness by construction (every edge is
+emitted as both arcs, loops are never emitted), which is why the graphs
+they produce skip :class:`StaticGraph` validation — user-supplied
+adjacency keeps the full check (see ``docs/performance.md``,
+"Instance pipeline").
+
+The frozen pre-builder pipeline lives in :mod:`repro.graphs.reference`;
+differential tests (``tests/graphs/test_build.py``) prove old and new
+construction byte-identical per family × size × seed.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from itertools import accumulate, chain, repeat
+from operator import floordiv, mod
+
+from repro._typing import VertexId
+from repro.errors import GraphError
+from repro.graphs.graph import StaticGraph
+
+__all__ = ["EdgeBuffer", "GraphBuilder", "from_adjacency_sets"]
+
+
+class EdgeBuffer:
+    """Flat accumulator of directed arcs over dense vertices ``0 .. n-1``.
+
+    Arcs are stored as encoded int64 keys ``u * n + v`` in one
+    ``array('q')``; :meth:`csr` sorts the keys (one C-level sort — the
+    only super-linear step) and walks them once to produce the CSR
+    pair.  Encoding is safe for ``n`` up to ``~3·10^9`` (``n² < 2^63``).
+
+    The ``keys`` array is public on purpose: generator hot loops bind
+    ``append = buffer.keys.append`` and emit arcs without a method
+    call per edge.  Treat it as append-only.
+    """
+
+    __slots__ = ("n", "keys")
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise GraphError("an edge buffer needs at least one vertex")
+        self.n = int(n)
+        self.keys = array("q")
+
+    def __len__(self) -> int:
+        """Number of accumulated arcs (two per undirected edge)."""
+        return len(self.keys)
+
+    def _check(self, u: int, v: int) -> None:
+        """Bounds/loop check for the public emitters.
+
+        The key encoding *aliases* out-of-range endpoints onto other
+        edges (``add_arc(0, n + 2)`` would silently decode as
+        ``(1, 2)``), so the method emitters reject them here.  Trusted
+        hot loops that append to ``keys`` directly take responsibility
+        for their own ranges.
+        """
+        n = self.n
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(
+                f"edge endpoint ({u}, {v}) outside the dense vertex range [0, {n})"
+            )
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u}")
+
+    def add_arc(self, u: int, v: int) -> None:
+        """Append one directed arc (caller emits the mirror itself)."""
+        self._check(u, v)
+        self.keys.append(u * self.n + v)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Append both arcs of one undirected edge."""
+        self._check(u, v)
+        n = self.n
+        keys = self.keys
+        keys.append(u * n + v)
+        keys.append(v * n + u)
+
+    def extend_edges(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Append both arcs of every ``(u, v)`` pair."""
+        n = self.n
+        append = self.keys.append
+        for u, v in pairs:
+            self._check(u, v)
+            append(u * n + v)
+            append(v * n + u)
+
+    def clear(self) -> None:
+        """Drop every accumulated arc (rejection-sampling retries)."""
+        del self.keys[:]
+
+    def degree_counts(self) -> array:
+        """Per-vertex out-arc counts of the current buffer (one C-level pass)."""
+        n = self.n
+        counts = Counter(map(floordiv, self.keys, repeat(n)))
+        degrees = array("q", bytes(8 * n))
+        for u, count in counts.items():
+            degrees[u] = count
+        return degrees
+
+    def neighbor_sets_of(self, vertices: Iterable[int]) -> dict[int, set[int]]:
+        """Current neighbor sets of selected vertices (one buffer pass).
+
+        Repair passes need membership for the (few) deficient vertices
+        only; this recovers exactly those sets without ever building
+        per-vertex containers for the rest of the graph.
+        """
+        n = self.n
+        wanted: dict[int, set[int]] = {int(v): set() for v in vertices}
+        if wanted:
+            for key in self.keys:
+                u = key // n
+                if u in wanted:
+                    wanted[u].add(key - u * n)
+        return wanted
+
+    def csr(self, dedup: bool = True, degrees: array | None = None) -> tuple[array, array]:
+        """Sort the arcs and lay them out as ``(offsets, indices)``.
+
+        ``dedup=True`` is the checking walk: repeated arcs are dropped
+        and self-loops reported (one Python-level pass).  ``dedup=False``
+        is the trusted fast path for emitters that guarantee unique,
+        loop-free arcs (every generator in
+        :mod:`repro.graphs.generators`): after the sort, the entire
+        layout is C-level — a :class:`collections.Counter` degree
+        count (skipped when the caller already tracked ``degrees``),
+        an :func:`itertools.accumulate` prefix sum for the offsets,
+        and one ``map(mod, ...)`` pass for the indices.
+        """
+        n = self.n
+        ordered = sorted(self.keys)
+        if not dedup:
+            if degrees is None:
+                degrees = self.degree_counts()
+            offsets = array("q", chain((0,), accumulate(degrees)))
+            indices = array("q", map(mod, ordered, repeat(n)))
+            return offsets, indices
+        offsets = array("q", bytes(8 * (n + 1)))
+        indices = array("q")
+        append = indices.append
+        prev = -1
+        u_prev = 0
+        count = 0
+        for key in ordered:
+            if key == prev:
+                continue
+            prev = key
+            u = key // n
+            v = key - u * n
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u}")
+            if u != u_prev:
+                for w in range(u_prev + 1, u + 1):
+                    offsets[w] = count
+                u_prev = u
+            append(v)
+            count += 1
+        for w in range(u_prev + 1, n + 1):
+            offsets[w] = count
+        return offsets, indices
+
+
+class GraphBuilder:
+    """Accumulates one graph and finishes it as a CSR-backed ``StaticGraph``.
+
+    Two mutually exclusive emission modes:
+
+    * **edge mode** — :attr:`edges` exposes an :class:`EdgeBuffer`;
+      arcs arrive in any order and :meth:`build` sorts/dedups them;
+    * **row mode** — :meth:`add_row` appends vertex ``0, 1, 2, …``'s
+      full neighbor run directly (already sorted, loop- and
+      duplicate-free, mirror arcs included across rows); :meth:`build`
+      then skips the sort entirely.
+
+    ``ids`` (at :meth:`build`) maps dense vertices to public
+    identifiers, ascending; the default is ``0 .. n-1``.
+    """
+
+    __slots__ = ("n", "id_space", "name", "_buffer", "_offsets", "_indices", "_rows")
+
+    def __init__(self, n: int, id_space: int | None = None, name: str | None = None) -> None:
+        if n < 1:
+            raise GraphError("a graph must contain at least one vertex")
+        self.n = int(n)
+        self.id_space = id_space
+        self.name = name
+        self._buffer: EdgeBuffer | None = None
+        self._offsets: array | None = None
+        self._indices: array | None = None
+        self._rows = 0
+
+    # -- edge mode ------------------------------------------------------
+
+    @property
+    def edges(self) -> EdgeBuffer:
+        """The arc buffer (edge mode); created on first access."""
+        if self._offsets is not None:
+            raise GraphError("cannot mix row and edge emission in one builder")
+        if self._buffer is None:
+            self._buffer = EdgeBuffer(self.n)
+        return self._buffer
+
+    # -- row mode -------------------------------------------------------
+
+    def add_row(self, neighbors: Iterable[int]) -> None:
+        """Append the next vertex's neighbor run (sorted, no loops/dups).
+
+        Rows must arrive for vertices ``0, 1, 2, …`` in order, each a
+        strictly ascending run of dense neighbor indices — that
+        guarantee is what makes this mode a straight C-level ``extend``
+        with no sort at :meth:`build` time.
+        """
+        if self._buffer is not None:
+            raise GraphError("cannot mix row and edge emission in one builder")
+        if self._rows >= self.n:
+            raise GraphError(f"row mode already received all {self.n} rows")
+        if self._offsets is None:
+            self._offsets = array("q", bytes(8 * (self.n + 1)))
+            self._indices = array("q")
+        self._indices.extend(neighbors)
+        self._rows += 1
+        self._offsets[self._rows] = len(self._indices)
+
+    # -- finish ---------------------------------------------------------
+
+    def build(
+        self,
+        ids: Sequence[VertexId] | None = None,
+        dedup: bool = True,
+        validate: bool = False,
+        degrees: array | None = None,
+    ) -> StaticGraph:
+        """Finish the buffers and wrap them in a CSR-backed ``StaticGraph``.
+
+        ``dedup`` and ``degrees`` are forwarded to
+        :meth:`EdgeBuffer.csr` (edge mode only; a repair pass that
+        already tracked per-vertex degrees passes them through so no
+        counting pass re-runs).  ``validate`` runs the full
+        :class:`StaticGraph` structural check on the result — off by
+        default because every internal emitter guarantees validity by
+        construction; the differential suite turns it on to
+        double-check the builders themselves.
+        """
+        if self._offsets is not None:
+            if self._rows != self.n:
+                raise GraphError(
+                    f"row mode received {self._rows} of {self.n} rows"
+                )
+            offsets, indices = self._offsets, self._indices
+        elif self._buffer is not None:
+            if dedup:
+                offsets, indices = self._buffer.csr(dedup=True)
+                degrees = None  # dedup may have dropped arcs
+            else:
+                offsets, indices = self._buffer.csr(dedup=False, degrees=degrees)
+        else:
+            # No edges at all: a valid (edgeless) graph.
+            offsets = array("q", bytes(8 * (self.n + 1)))
+            indices = array("q")
+            degrees = None
+        return StaticGraph.from_csr(
+            offsets,
+            indices,
+            ids=ids,
+            id_space=self.id_space,
+            name=self.name,
+            degrees=degrees,
+            validate=validate,
+        )
+
+
+def from_adjacency_sets(
+    adjacency: dict[int, set[int]],
+    id_space: int | None = None,
+    name: str | None = None,
+) -> StaticGraph:
+    """Finish a dense dict-of-sets working structure as a CSR graph.
+
+    For the few construction algorithms that genuinely need incremental
+    membership while they work (double edge swaps, repairs over their
+    own output): build with whatever structure the algorithm wants,
+    then flatten once here.  Keys must be exactly ``0 .. n-1``.
+    """
+    n = len(adjacency)
+    builder = GraphBuilder(n, id_space=id_space, name=name)
+    buffer = builder.edges
+    add_arc = buffer.add_arc
+    for v in range(n):
+        for u in adjacency[v]:
+            add_arc(v, u)
+    return builder.build(dedup=False)

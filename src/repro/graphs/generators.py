@@ -21,15 +21,30 @@ minimum degree (and, where relevant, maximum degree) we can dial:
 
 All generators take an explicit :class:`random.Random` and are fully
 deterministic given a seed.
+
+Every generator emits into the CSR-native construction layer
+(:mod:`repro.graphs.build`): fixed shapes stream pre-sorted neighbor
+runs straight into the CSR arrays (row mode, no sort at all); the
+random families accumulate arcs in a flat :class:`~repro.graphs.build.EdgeBuffer`
+and pay one array-level sort.  The resulting :class:`StaticGraph` is
+CSR-backed — dict/tuple/frozenset views materialize lazily — and skips
+re-validation, because emission guarantees symmetry and loop-freeness
+by construction.  The pre-builder dict-of-sets implementations are
+frozen in :mod:`repro.graphs.reference`; differential tests pin the
+two pipelines to byte-identical graphs (same RNG stream, same
+adjacency, same names) per family × size × seed.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from array import array
+from itertools import chain
 
 from repro._typing import VertexId
 from repro.errors import GenerationError
+from repro.graphs.build import EdgeBuffer, GraphBuilder, from_adjacency_sets
 from repro.graphs.graph import StaticGraph
 
 __all__ = [
@@ -54,52 +69,59 @@ def _require(condition: bool, message: str) -> None:
 def complete_graph(n: int) -> StaticGraph:
     """The complete graph ``K_n`` (δ = Δ = n-1; the setting of [6])."""
     _require(n >= 2, "complete_graph needs n >= 2")
-    vertices = range(n)
-    adjacency = {v: [u for u in vertices if u != v] for v in vertices}
-    return StaticGraph(adjacency, name=f"complete(n={n})", validate=False)
+    builder = GraphBuilder(n, name=f"complete(n={n})")
+    for v in range(n):
+        builder.add_row(chain(range(v), range(v + 1, n)))
+    return builder.build()
 
 
 def cycle_graph(n: int) -> StaticGraph:
     """The cycle ``C_n`` (δ = Δ = 2); the classic symmetry-breaking example."""
     _require(n >= 3, "cycle_graph needs n >= 3")
-    adjacency = {v: [(v - 1) % n, (v + 1) % n] for v in range(n)}
-    return StaticGraph(adjacency, name=f"cycle(n={n})", validate=False)
+    builder = GraphBuilder(n, name=f"cycle(n={n})")
+    builder.add_row((1, n - 1))
+    for v in range(1, n - 1):
+        builder.add_row((v - 1, v + 1))
+    builder.add_row((0, n - 2))
+    return builder.build()
 
 
 def path_graph(n: int) -> StaticGraph:
     """The path ``P_n`` (δ = 1, Δ = 2)."""
     _require(n >= 2, "path_graph needs n >= 2")
-    adjacency: dict[VertexId, list[VertexId]] = {v: [] for v in range(n)}
-    for v in range(n - 1):
-        adjacency[v].append(v + 1)
-        adjacency[v + 1].append(v)
-    return StaticGraph(adjacency, name=f"path(n={n})", validate=False)
+    builder = GraphBuilder(n, name=f"path(n={n})")
+    builder.add_row((1,))
+    for v in range(1, n - 1):
+        builder.add_row((v - 1, v + 1))
+    builder.add_row((n - 2,))
+    return builder.build()
 
 
 def star_graph(n: int, center: VertexId = 0) -> StaticGraph:
     """A star with ``n`` vertices; ``center`` adjacent to all others."""
     _require(n >= 2, "star_graph needs n >= 2")
     _require(0 <= center < n, "center must be one of the n vertices")
-    leaves = [v for v in range(n) if v != center]
-    adjacency: dict[VertexId, list[VertexId]] = {center: leaves}
-    for leaf in leaves:
-        adjacency[leaf] = [center]
-    return StaticGraph(adjacency, name=f"star(n={n})", validate=False)
+    builder = GraphBuilder(n, name=f"star(n={n})")
+    for v in range(n):
+        if v == center:
+            builder.add_row(chain(range(center), range(center + 1, n)))
+        else:
+            builder.add_row((center,))
+    return builder.build()
 
 
 def barbell_graph(clique_size: int) -> StaticGraph:
     """Two ``clique_size``-cliques joined by one edge (a bottleneck workload)."""
     _require(clique_size >= 2, "barbell_graph needs clique_size >= 2")
     k = clique_size
-    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(2 * k)}
-    for base in (0, k):
-        for i in range(k):
-            for j in range(i + 1, k):
-                adjacency[base + i].add(base + j)
-                adjacency[base + j].add(base + i)
-    adjacency[k - 1].add(k)
-    adjacency[k].add(k - 1)
-    return StaticGraph(adjacency, name=f"barbell(k={k})", validate=False)
+    builder = GraphBuilder(2 * k, name=f"barbell(k={k})")
+    for v in range(k - 1):
+        builder.add_row(chain(range(v), range(v + 1, k)))
+    builder.add_row(chain(range(k - 1), (k,)))  # bridge endpoint k-1
+    builder.add_row(chain((k - 1,), range(k + 1, 2 * k)))  # bridge endpoint k
+    for v in range(k + 1, 2 * k):
+        builder.add_row(chain(range(k, v), range(v + 1, 2 * k)))
+    return builder.build()
 
 
 def random_graph_with_min_degree(
@@ -128,55 +150,79 @@ def random_graph_with_min_degree(
     _require(n >= 2, "random_graph_with_min_degree needs n >= 2")
     _require(1 <= min_degree <= n - 1, "need 1 <= min_degree <= n - 1")
     p = min(1.0, edge_slack * min_degree / (n - 1))
+    name = f"er-min-deg(n={n},delta>={min_degree})"
 
-    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
-    # Geometric skipping enumerates the edges of G(n, p) in O(m) expected
-    # time instead of O(n^2) coin flips.
     if p >= 1.0:
-        for u in range(n):
-            for v in range(u + 1, n):
-                adjacency[u].add(v)
-                adjacency[v].add(u)
-    elif p > 0.0:
-        # Batagelj-Brandes geometric skipping over the lower triangle.
+        # Full density: the complete graph, no coin flips, no repair.
+        builder = GraphBuilder(n, name=name)
+        for v in range(n):
+            builder.add_row(chain(range(v), range(v + 1, n)))
+        return builder.build()
+
+    builder = GraphBuilder(n, name=name)
+    buffer = builder.edges
+    if p > 0.0:
+        # Batagelj-Brandes geometric skipping over the lower triangle:
+        # enumerates the edges of G(n, p) in O(m) expected time instead
+        # of O(n^2) coin flips, and never emits a pair twice.
         log_q = math.log(1.0 - p)
+        append = buffer.keys.append
+        rand = rng.random
+        log = math.log
         v, w = 1, -1
         while v < n:
-            r = rng.random()
-            w = w + 1 + int(math.log(max(1.0 - r, 1e-300)) / log_q)
+            r = rand()
+            w = w + 1 + int(log(max(1.0 - r, 1e-300)) / log_q)
             while w >= v and v < n:
                 w -= v
                 v += 1
             if v < n:
-                adjacency[v].add(w)
-                adjacency[w].add(v)
+                append(v * n + w)
+                append(w * n + v)
 
-    _repair_min_degree(adjacency, min_degree, rng)
-    graph = StaticGraph(adjacency, name=f"er-min-deg(n={n},delta>={min_degree})", validate=False)
-    return graph
+    degrees = _repair_min_degree_flat(buffer, min_degree, rng)
+    return builder.build(dedup=False, degrees=degrees)
 
 
-def _repair_min_degree(
-    adjacency: dict[VertexId, set[VertexId]],
-    min_degree: int,
-    rng: random.Random,
-) -> None:
-    """Add edges until every vertex has degree at least ``min_degree``."""
-    n = len(adjacency)
-    vertices = list(adjacency)
-    deficient = [v for v in vertices if len(adjacency[v]) < min_degree]
+def _repair_min_degree_flat(
+    buffer: EdgeBuffer, min_degree: int, rng: random.Random
+):
+    """Add edges until every vertex has degree at least ``min_degree``.
+
+    Flat twin of the frozen dict repair
+    (:func:`repro.graphs.reference._repair_min_degree`): same deficient
+    order, same ascending candidate enumeration, same ``rng.sample``
+    stream — only the bookkeeping differs (a degree array plus neighbor
+    sets recovered for the deficient vertices alone, instead of
+    per-vertex sets for the whole graph).  Returns the final degree
+    array so the caller's :meth:`~repro.graphs.build.GraphBuilder.build`
+    skips its counting pass.
+    """
+    n = buffer.n
+    degrees = buffer.degree_counts()
+    deficient = [v for v in range(n) if degrees[v] < min_degree]
+    if not deficient:
+        return degrees
+    have = buffer.neighbor_sets_of(deficient)
     for v in deficient:
-        missing = min_degree - len(adjacency[v])
+        missing = min_degree - degrees[v]
         if missing <= 0:
             continue
-        candidates = [u for u in vertices if u != v and u not in adjacency[v]]
+        mine = have[v]
+        candidates = [u for u in range(n) if u != v and u not in mine]
         if len(candidates) < missing:
             raise GenerationError(
                 f"cannot raise degree of vertex {v} to {min_degree} in an {n}-vertex graph"
             )
         for u in rng.sample(candidates, missing):
-            adjacency[v].add(u)
-            adjacency[u].add(v)
+            buffer.add_edge(v, u)
+            degrees[v] += 1
+            degrees[u] += 1
+            mine.add(u)
+            peer = have.get(u)
+            if peer is not None:
+                peer.add(v)
+    return degrees
 
 
 def random_regular_graph(n: int, degree: int, rng: random.Random, max_attempts: int = 200) -> StaticGraph:
@@ -191,29 +237,39 @@ def random_regular_graph(n: int, degree: int, rng: random.Random, max_attempts: 
     _require(n >= 2, "random_regular_graph needs n >= 2")
     _require(1 <= degree <= n - 1, "need 1 <= degree <= n - 1")
     _require(n * degree % 2 == 0, "n * degree must be even")
+    name = f"regular(n={n},d={degree})"
 
     for _ in range(max_attempts):
+        # Rebuilt (not reused) per attempt: the retry must shuffle the
+        # ordered stub list, exactly as the frozen reference does.
         stubs = [v for v in range(n) for _ in range(degree)]
         rng.shuffle(stubs)
-        adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+        builder = GraphBuilder(n, name=name)
+        buffer = builder.edges
+        append = buffer.keys.append
+        seen: set[int] = set()
+        seen_add = seen.add
         ok = True
         for i in range(0, len(stubs), 2):
             u, v = stubs[i], stubs[i + 1]
-            if u == v or v in adjacency[u]:
+            key = u * n + v
+            if u == v or key in seen:
                 ok = False
                 break
-            adjacency[u].add(v)
-            adjacency[v].add(u)
+            seen_add(key)
+            seen_add(v * n + u)
+            append(key)
+            append(v * n + u)
         if ok:
-            return StaticGraph(
-                adjacency, name=f"regular(n={n},d={degree})", validate=False
+            return builder.build(
+                dedup=False, degrees=array("q", [degree]) * n
             )
 
     # Dense fallback: deterministic circulant graph perturbed by double
     # edge swaps.  Still exactly `degree`-regular, connected, and seeded.
     adjacency = _circulant(n, degree)
     _double_edge_swaps(adjacency, rng, swaps=4 * n)
-    return StaticGraph(adjacency, name=f"regular(n={n},d={degree})", validate=False)
+    return from_adjacency_sets(adjacency, name=name)
 
 
 def _circulant(n: int, degree: int) -> dict[VertexId, set[VertexId]]:
@@ -280,7 +336,10 @@ def random_geometric_dense_graph(
     points = [(rng.random(), rng.random()) for _ in range(n)]
     # Expected degree on the unit torus is (n - 1) * pi * r^2.
     radius_sq = radius_slack * min_degree / ((n - 1) * math.pi)
-    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    builder = GraphBuilder(n, name=f"geometric(n={n},delta>={min_degree})")
+    buffer = builder.edges
+    add_edge = buffer.add_edge
+    append = buffer.keys.append
 
     def torus_dist_sq(p: tuple[float, float], q: tuple[float, float]) -> float:
         dx = abs(p[0] - q[0])
@@ -290,27 +349,37 @@ def random_geometric_dense_graph(
         return dx * dx + dy * dy
 
     for u in range(n):
+        pu = points[u]
+        base = u * n
         for v in range(u + 1, n):
-            if torus_dist_sq(points[u], points[v]) <= radius_sq:
-                adjacency[u].add(v)
-                adjacency[v].add(u)
+            if torus_dist_sq(pu, points[v]) <= radius_sq:
+                append(base + v)
+                append(v * n + u)
 
     # Locality-preserving repair: attach deficient vertices to nearest
     # non-neighbors instead of uniform ones.
-    for v in range(n):
-        if len(adjacency[v]) >= min_degree:
-            continue
-        others = sorted(
-            (u for u in range(n) if u != v and u not in adjacency[v]),
-            key=lambda u: torus_dist_sq(points[v], points[u]),
-        )
-        for u in others[: min_degree - len(adjacency[v])]:
-            adjacency[v].add(u)
-            adjacency[u].add(v)
+    degrees = buffer.degree_counts()
+    initial_deficient = [v for v in range(n) if degrees[v] < min_degree]
+    if initial_deficient:
+        have = buffer.neighbor_sets_of(initial_deficient)
+        for v in initial_deficient:
+            if degrees[v] >= min_degree:
+                continue
+            mine = have[v]
+            others = sorted(
+                (u for u in range(n) if u != v and u not in mine),
+                key=lambda u: torus_dist_sq(points[v], points[u]),
+            )
+            for u in others[: min_degree - degrees[v]]:
+                add_edge(v, u)
+                degrees[v] += 1
+                degrees[u] += 1
+                mine.add(u)
+                peer = have.get(u)
+                if peer is not None:
+                    peer.add(v)
 
-    return StaticGraph(
-        adjacency, name=f"geometric(n={n},delta>={min_degree})", validate=False
-    )
+    return builder.build(dedup=False, degrees=degrees)
 
 
 def powerlaw_graph_with_floor(
@@ -347,20 +416,26 @@ def powerlaw_graph_with_floor(
 
     stubs = [v for v, d in enumerate(degrees) for _ in range(d)]
     rng.shuffle(stubs)
-    adjacency: dict[VertexId, set[VertexId]] = {v: set() for v in range(n)}
+    builder = GraphBuilder(
+        n, name=f"powerlaw(n={n},delta>={min_degree},gamma={exponent})"
+    )
+    buffer = builder.edges
+    append = buffer.keys.append
+    seen: set[int] = set()
+    seen_add = seen.add
     for i in range(0, len(stubs) - 1, 2):
         u, v = stubs[i], stubs[i + 1]
-        if u == v or v in adjacency[u]:
+        key = u * n + v
+        if u == v or key in seen:
             continue  # simplification: drop loops and parallel edges
-        adjacency[u].add(v)
-        adjacency[v].add(u)
+        mirror = v * n + u
+        seen_add(key)
+        seen_add(mirror)
+        append(key)
+        append(mirror)
 
-    _repair_min_degree(adjacency, min_degree, rng)
-    return StaticGraph(
-        adjacency,
-        name=f"powerlaw(n={n},delta>={min_degree},gamma={exponent})",
-        validate=False,
-    )
+    final_degrees = _repair_min_degree_flat(buffer, min_degree, rng)
+    return builder.build(dedup=False, degrees=final_degrees)
 
 
 def dilate_id_space(graph: StaticGraph, factor: int, rng: random.Random) -> StaticGraph:

@@ -9,10 +9,23 @@ This is the substrate of the whole reproduction.  The paper's model
 * ``δ_G`` and ``Δ_G`` denote minimum and maximum degree;
 * ``N(v)`` is the open neighborhood, ``N⁺(v) = N(v) ∪ {v}``.
 
-:class:`StaticGraph` stores adjacency as sorted tuples (deterministic
-iteration order) plus frozensets (O(1) membership), and pre-computes the
-degree extremes.  Instances are immutable: algorithms never mutate the
-graph, only their own state and the whiteboards.
+:class:`StaticGraph` has two construction paths with one public API:
+
+* **mapping path** (the constructor) — adjacency arrives as a mapping
+  and is stored eagerly as sorted tuples (deterministic iteration
+  order) plus frozensets (O(1) membership), validated by default.
+  This is the path for user-supplied adjacency.
+* **CSR path** (:meth:`from_csr`) — adjacency arrives as the flat
+  int64 buffers produced by :mod:`repro.graphs.build`; the graph
+  adopts them zero-copy as its canonical representation and the
+  dict/tuple/frozenset views above materialize *lazily* on first
+  access.  Every generator builds this way, and
+  :class:`repro.runtime.plan.ExecutionPlan` compiles from the same
+  buffers without re-flattening (see ``docs/performance.md``,
+  "Instance pipeline").
+
+Either way instances are immutable: algorithms never mutate the graph,
+only their own state and the whiteboards.
 
 Doctests in this module run under pytest via
 ``tests/graphs/test_graph_doctests.py``.
@@ -20,8 +33,9 @@ Doctests in this module run under pytest via
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from typing import Iterator
 
 from repro._typing import VertexId
@@ -78,6 +92,9 @@ class StaticGraph:
         "_max_degree",
         "_edge_count",
         "name",
+        "_csr_offsets",
+        "_csr_indices",
+        "_degrees",
     )
 
     def __init__(
@@ -103,26 +120,142 @@ class StaticGraph:
         self._max_degree = max(degrees)
         self._edge_count = sum(degrees) // 2
         self.name = name or f"graph(n={len(self._vertices)})"
+        self._csr_offsets = None
+        self._csr_indices = None
+        self._degrees = None
 
         if validate:
             self._validate(max_id)
 
+    @classmethod
+    def from_csr(
+        cls,
+        offsets,
+        indices,
+        ids: Sequence[VertexId] | None = None,
+        id_space: int | None = None,
+        name: str | None = None,
+        degrees=None,
+        validate: bool = False,
+    ) -> "StaticGraph":
+        """Adopt flat CSR adjacency buffers zero-copy (the builder path).
+
+        ``offsets``/``indices`` are int64 buffers (``array('q')`` or a
+        shared-memory ``memoryview`` cast to ``'q'``): vertex ``i``'s
+        neighbors — as *dense indices*, sorted ascending — occupy
+        ``indices[offsets[i]:offsets[i + 1]]``.  ``ids`` maps dense
+        indices to public identifiers (strictly ascending; default
+        ``0 .. n-1``), which keeps "sorted by dense index" and "sorted
+        by identifier" the same order.  ``degrees`` may be supplied
+        when already available (shared-memory attach) to skip the
+        O(n) derivation.
+
+        The historical dict/tuple/frozenset views are **not** built
+        here; they materialize lazily on first access, so pipelines
+        that only ever compile an execution plan never pay for them.
+        ``validate`` (off by default — builders guarantee validity by
+        construction) materializes the views and runs the full
+        structural check, exactly as the mapping constructor would.
+        """
+        n = len(offsets) - 1
+        if n < 1:
+            raise GraphError("a graph must contain at least one vertex")
+        self = object.__new__(cls)
+        if ids is None:
+            vertices: tuple[VertexId, ...] = tuple(range(n))
+        else:
+            vertices = tuple(ids)
+            if len(vertices) != n:
+                raise GraphError(
+                    f"{len(vertices)} identifiers for {n} CSR rows"
+                )
+        self._vertices = vertices
+        self._csr_offsets = offsets
+        self._csr_indices = indices
+        if degrees is None:
+            from itertools import islice
+            from operator import sub
+
+            degrees = array("q", map(sub, islice(offsets, 1, None), offsets))
+        self._degrees = degrees
+        self._neighbors = None
+        self._neighbor_sets = None
+        max_id = vertices[-1]
+        self._id_space = int(id_space) if id_space is not None else max_id + 1
+        self._min_degree = min(degrees)
+        self._max_degree = max(degrees)
+        self._edge_count = len(indices) // 2
+        self.name = name or f"graph(n={n})"
+        if validate:
+            if len(set(vertices)) != n or any(
+                a >= b for a, b in zip(vertices, vertices[1:])
+            ):
+                raise GraphError("CSR identifiers must be strictly ascending")
+            self._validate(max_id)
+        return self
+
+    # ------------------------------------------------------------------
+    # Lazy view materialization (CSR-backed graphs)
+    # ------------------------------------------------------------------
+
+    def _adjacency(self) -> dict[VertexId, tuple[VertexId, ...]]:
+        """The ``{v: N(v)}`` table, materialized from CSR on first use."""
+        neighbors = self._neighbors
+        if neighbors is None:
+            ids = self._vertices
+            offsets = self._csr_offsets
+            indices = self._csr_indices
+            getter = ids.__getitem__
+            neighbors = {}
+            lo = 0
+            for i, v in enumerate(ids):
+                hi = offsets[i + 1]
+                neighbors[v] = tuple(map(getter, indices[lo:hi]))
+                lo = hi
+            self._neighbors = neighbors
+        return neighbors
+
+    def _membership(self) -> dict[VertexId, frozenset[VertexId]]:
+        """The ``{v: frozenset(N(v))}`` table, materialized on first use."""
+        sets = self._neighbor_sets
+        if sets is None:
+            sets = {v: frozenset(adj) for v, adj in self._adjacency().items()}
+            self._neighbor_sets = sets
+        return sets
+
+    def csr_adjacency(self) -> tuple | None:
+        """The flat ``(offsets, indices)`` pair, or ``None`` off the CSR path.
+
+        Dense, sorted, int64 — the exact buffers
+        :meth:`repro.runtime.plan.ExecutionPlan.compile` adopts
+        zero-copy.  Treat as **read-only**.
+        """
+        if self._csr_offsets is None:
+            return None
+        return (self._csr_offsets, self._csr_indices)
+
+    def degree_array(self):
+        """Per-dense-vertex degrees as an int64 buffer (CSR path only)."""
+        return self._degrees
+
     def _validate(self, max_id: VertexId) -> None:
+        neighbors = self._adjacency()
+        membership = self._membership()
         if self._vertices[0] < 0:
             raise GraphError("vertex identifiers must be non-negative")
         if max_id >= self._id_space:
             raise GraphError(
                 f"vertex id {max_id} outside declared id space [0, {self._id_space})"
             )
-        for vertex, adj in self._neighbors.items():
+        for vertex, adj in neighbors.items():
             if len(set(adj)) != len(adj):
                 raise GraphError(f"duplicate edges at vertex {vertex}")
-            if vertex in self._neighbor_sets[vertex]:
+            if vertex in membership[vertex]:
                 raise GraphError(f"self-loop at vertex {vertex}")
             for u in adj:
-                if u not in self._neighbor_sets:
+                if u not in membership:
                     raise GraphError(f"edge ({vertex}, {u}) points outside the graph")
-                if vertex not in self._neighbor_sets[u]:
+                if vertex not in membership[u]:
                     raise GraphError(f"asymmetric edge ({vertex}, {u})")
 
     # ------------------------------------------------------------------
@@ -160,7 +293,9 @@ class StaticGraph:
         return self._edge_count
 
     def __contains__(self, vertex: VertexId) -> bool:
-        return vertex in self._neighbor_sets
+        # Containment only needs the key set — never force the
+        # frozenset table into existence for a membership test.
+        return vertex in self._adjacency()
 
     def __len__(self) -> int:
         return len(self._vertices)
@@ -178,9 +313,10 @@ class StaticGraph:
         This is the graph's internal table, returned without copying so
         the runtime engine can bind it once per execution instead of
         resolving neighborhoods round by round — treat it as
-        **read-only**; mutating it corrupts the graph.
+        **read-only**; mutating it corrupts the graph.  On CSR-backed
+        graphs the table materializes on first access and is cached.
         """
-        return self._neighbors
+        return self._adjacency()
 
     @property
     def neighbor_set_map(self) -> Mapping[VertexId, frozenset[VertexId]]:
@@ -189,44 +325,46 @@ class StaticGraph:
         Companion of :attr:`neighbor_map` for O(1) edge tests in the
         runtime engine's movement resolution.
         """
-        return self._neighbor_sets
+        return self._membership()
 
     def degree(self, vertex: VertexId) -> int:
         """Degree of ``vertex``."""
-        return len(self._neighbors[vertex])
+        return len(self._adjacency()[vertex])
 
     def neighbors(self, vertex: VertexId) -> tuple[VertexId, ...]:
         """Open neighborhood ``N(vertex)`` as a sorted tuple."""
-        return self._neighbors[vertex]
+        return self._adjacency()[vertex]
 
     def neighbor_set(self, vertex: VertexId) -> frozenset[VertexId]:
         """Open neighborhood ``N(vertex)`` as a frozenset."""
-        return self._neighbor_sets[vertex]
+        return self._membership()[vertex]
 
     def closed_neighbors(self, vertex: VertexId) -> tuple[VertexId, ...]:
         """Closed neighborhood ``N⁺(vertex) = N(vertex) ∪ {vertex}``, sorted."""
-        return tuple(sorted(self._neighbor_sets[vertex] | {vertex}))
+        return tuple(sorted(self._membership()[vertex] | {vertex}))
 
     def closed_neighbor_set(self, vertex: VertexId) -> frozenset[VertexId]:
         """Closed neighborhood ``N⁺(vertex)`` as a frozenset."""
-        return self._neighbor_sets[vertex] | {vertex}
+        return self._membership()[vertex] | {vertex}
 
     def closed_neighborhood_of_set(self, vertices: Iterable[VertexId]) -> frozenset[VertexId]:
         """``N⁺(X) = N(X) ∪ X`` for a vertex set ``X`` (paper Section 2.1)."""
+        membership = self._membership()
         result: set[VertexId] = set()
         for v in vertices:
             result.add(v)
-            result.update(self._neighbor_sets[v])
+            result.update(membership[v])
         return frozenset(result)
 
     def has_edge(self, u: VertexId, v: VertexId) -> bool:
         """Whether ``(u, v)`` is an edge."""
-        return v in self._neighbor_sets[u]
+        return v in self._membership()[u]
 
     def edges(self) -> Iterator[tuple[VertexId, VertexId]]:
         """Iterate over undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        neighbors = self._adjacency()
         for u in self._vertices:
-            for v in self._neighbors[u]:
+            for v in neighbors[u]:
                 if u < v:
                     yield (u, v)
 
@@ -282,15 +420,50 @@ class StaticGraph:
 
         ``mapping`` must be injective over the vertex set.  This is how
         generators dilate the ID space (``n' > n``) to exercise the
-        non-contiguous-identifier assumption.
+        non-contiguous-identifier assumption.  The copy is CSR-backed:
+        arcs are re-emitted in the permuted dense space and sorted at
+        the array level.  An injective relabeling of a valid graph has
+        valid *adjacency* by construction, so no structural
+        re-validation runs — but the identifier bounds (non-negative,
+        inside the declared ID space) depend on the mapping alone and
+        are still checked here.
         """
-        images = {mapping[v] for v in self._vertices}
-        if len(images) != self.n:
+        vertices = self._vertices
+        new_ids = sorted(mapping[v] for v in vertices)
+        if len(set(new_ids)) != self.n:
             raise GraphError("relabeling mapping is not injective on the vertex set")
-        adjacency = {
-            mapping[v]: [mapping[u] for u in adj] for v, adj in self._neighbors.items()
-        }
-        return StaticGraph(adjacency, id_space=id_space, name=self.name, validate=True)
+        if new_ids[0] < 0:
+            raise GraphError("vertex identifiers must be non-negative")
+        if id_space is not None and new_ids[-1] >= int(id_space):
+            raise GraphError(
+                f"vertex id {new_ids[-1]} outside declared id space [0, {int(id_space)})"
+            )
+        rank = {vid: i for i, vid in enumerate(new_ids)}
+        perm = array("q", (rank[mapping[v]] for v in vertices))
+
+        # Local import: build imports this module.
+        from repro.graphs.build import GraphBuilder
+
+        builder = GraphBuilder(self.n, id_space=id_space, name=self.name)
+        buffer = builder.edges
+        add_arc = buffer.add_arc
+        if self._csr_offsets is not None:
+            offsets = self._csr_offsets
+            indices = self._csr_indices
+            lo = 0
+            for i in range(self.n):
+                hi = offsets[i + 1]
+                p = perm[i]
+                for j in indices[lo:hi]:
+                    add_arc(p, perm[j])
+                lo = hi
+        else:
+            index_of = {v: i for i, v in enumerate(vertices)}
+            for i, v in enumerate(vertices):
+                p = perm[i]
+                for u in self._neighbors[v]:
+                    add_arc(p, perm[index_of[u]])
+        return builder.build(ids=new_ids, dedup=False)
 
     # ------------------------------------------------------------------
     # Queries used by tests and analyses (not by agents)
@@ -298,12 +471,13 @@ class StaticGraph:
 
     def is_connected(self) -> bool:
         """Whether the graph is connected (BFS from an arbitrary vertex)."""
+        neighbors = self._adjacency()
         start = self._vertices[0]
         seen = {start}
         queue = deque([start])
         while queue:
             v = queue.popleft()
-            for u in self._neighbors[v]:
+            for u in neighbors[v]:
                 if u not in seen:
                     seen.add(u)
                     queue.append(u)

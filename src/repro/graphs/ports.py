@@ -15,12 +15,25 @@ can actually observe:
 The runtime uses :class:`PortLabeling` to resolve an agent's chosen
 *accessible port key* into an actual destination vertex, so algorithms
 can only navigate through the interface their model grants them.
+
+On CSR-backed graphs (every generator output; see
+:mod:`repro.graphs.build`) the labeling is stored **flat**: one int64
+buffer of dense port targets aligned with the graph's CSR offsets —
+entry ``offsets[i] + p`` is the dense vertex behind port ``p`` of
+vertex ``i``.  The ascending-ID default labeling is then the CSR
+index buffer itself, adopted zero-copy, and
+:meth:`repro.runtime.plan.ExecutionPlan.compile` reads the flat table
+directly instead of re-deriving it from dictionaries.  The historical
+dictionary views (:meth:`PortLabeling.port_table` and the inverse used
+by :meth:`PortLabeling.port_of`) materialize lazily on first access
+with identical contents.
 """
 
 from __future__ import annotations
 
 import enum
 import random
+from array import array
 from collections.abc import Mapping
 
 from repro._typing import PortKey, VertexId
@@ -59,7 +72,7 @@ class PortLabeling:
         but non-trivial labeling used in KT0 experiments.
     """
 
-    __slots__ = ("_graph", "_port_to_neighbor", "_neighbor_to_port")
+    __slots__ = ("_graph", "_port_to_neighbor", "_neighbor_to_port", "_flat_targets")
 
     def __init__(
         self,
@@ -68,6 +81,31 @@ class PortLabeling:
         rng: random.Random | None = None,
     ) -> None:
         self._graph = graph
+        self._neighbor_to_port: dict[VertexId, dict[VertexId, int]] | None = None
+        self._flat_targets = None
+        csr = graph.csr_adjacency() if permutations is None else None
+        if csr is not None:
+            # Flat path: derive the table in dense form, aligned with
+            # the graph's CSR offsets; no dictionaries are built here.
+            offsets, indices = csr
+            if rng is None:
+                # Ascending neighbor ID *is* CSR order — adopt zero-copy.
+                self._flat_targets = indices
+            else:
+                flat = array("q", indices)
+                shuffle = rng.shuffle
+                lo = 0
+                for i in range(graph.n):
+                    hi = offsets[i + 1]
+                    if hi - lo > 1:
+                        row = list(flat[lo:hi])
+                        shuffle(row)
+                        flat[lo:hi] = array("q", row)
+                    lo = hi
+                self._flat_targets = flat
+            self._port_to_neighbor: dict[VertexId, tuple[VertexId, ...]] | None = None
+            return
+
         port_to_neighbor: dict[VertexId, tuple[VertexId, ...]] = {}
         if permutations is not None:
             for v in graph.vertices:
@@ -84,14 +122,41 @@ class PortLabeling:
                     rng.shuffle(order)
                 port_to_neighbor[v] = tuple(order)
         self._port_to_neighbor = port_to_neighbor
-        self._neighbor_to_port = {
-            v: {u: i for i, u in enumerate(order)} for v, order in port_to_neighbor.items()
-        }
+
+    @classmethod
+    def _from_flat(cls, graph: StaticGraph, flat_targets) -> "PortLabeling":
+        """Adopt a dense flat port-target buffer zero-copy (internal).
+
+        ``flat_targets`` must be aligned with ``graph``'s CSR offsets
+        and hold, per vertex, a permutation of its dense neighbor
+        slice.  Used by :func:`repro.runtime.plan.attach_plan` to
+        rebuild a labeling from a shared-memory segment without any
+        dictionary construction.
+        """
+        if graph.csr_adjacency() is None:
+            raise GraphError("flat port labelings require a CSR-backed graph")
+        self = object.__new__(cls)
+        self._graph = graph
+        self._port_to_neighbor = None
+        self._neighbor_to_port = None
+        self._flat_targets = flat_targets
+        return self
 
     @property
     def graph(self) -> StaticGraph:
         """The graph this labeling belongs to."""
         return self._graph
+
+    def flat_port_targets(self):
+        """The dense flat port table, or ``None`` for dict-built labelings.
+
+        Aligned with the graph's CSR offsets: entry ``offsets[i] + p``
+        is the dense vertex behind port ``p`` of dense vertex ``i``.
+        :meth:`repro.runtime.plan.ExecutionPlan.compile` adopts this
+        buffer zero-copy as the plan's ``port_targets``.  Treat as
+        **read-only**.
+        """
+        return self._flat_targets
 
     # -- hidden side (used only by the runtime) -------------------------
 
@@ -102,21 +167,43 @@ class PortLabeling:
         movements with one dict lookup and one tuple index per round;
         treat it as **read-only**.  Agents never see this table — they
         navigate through :meth:`accessible_ports` /
-        :meth:`resolve_accessible`.
+        :meth:`resolve_accessible`.  On flat labelings the dictionary
+        materializes on first access and is cached.
         """
-        return self._port_to_neighbor
+        table = self._port_to_neighbor
+        if table is None:
+            graph = self._graph
+            ids = graph.vertices
+            offsets, _ = graph.csr_adjacency()
+            flat = self._flat_targets
+            getter = ids.__getitem__
+            table = {}
+            lo = 0
+            for i, v in enumerate(ids):
+                hi = offsets[i + 1]
+                table[v] = tuple(map(getter, flat[lo:hi]))
+                lo = hi
+            self._port_to_neighbor = table
+        return table
 
     def resolve(self, vertex: VertexId, port: int) -> VertexId:
         """``P̂_vertex(port)``: the neighbor behind a physical port."""
-        order = self._port_to_neighbor[vertex]
+        order = self.port_table()[vertex]
         if not 0 <= port < len(order):
             raise ProtocolError(f"port {port} out of range at vertex {vertex}")
         return order[port]
 
     def port_of(self, vertex: VertexId, neighbor: VertexId) -> int:
         """``P̂⁻¹_vertex(neighbor)``: the physical port leading to ``neighbor``."""
+        inverse = self._neighbor_to_port
+        if inverse is None:
+            inverse = {
+                v: {u: i for i, u in enumerate(order)}
+                for v, order in self.port_table().items()
+            }
+            self._neighbor_to_port = inverse
         try:
-            return self._neighbor_to_port[vertex][neighbor]
+            return inverse[vertex][neighbor]
         except KeyError:
             raise ProtocolError(f"{neighbor} is not a neighbor of {vertex}") from None
 

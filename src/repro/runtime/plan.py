@@ -20,15 +20,18 @@ over dense vertex indices ``0 .. n-1``:
   same way: entry ``neighbor_offsets[i] + p`` is the dense index
   behind port ``p`` of vertex ``i``.
 
-The per-vertex rows the interpreter hot loop actually touches are
-compiled eagerly, and only for the model that reads them
-(``nbr_index`` maps a public target identifier straight to its dense
-index for KT1 movement resolution; ``kt0_rows`` are the port rows as
-tuples for KT0), so an engine bound to a plan does **no**
-per-execution table building at all.  The flat CSR pair and
-``port_targets`` are derived views of those rows, materialized once
-on first access — they serve tests, analyses, and export, not the
-round loop, and one-off executions never pay for them.
+**CSR-backed graphs compile zero-copy.**  Every generator builds its
+graph through :mod:`repro.graphs.build`, which already produces exactly
+these buffers; ``compile`` adopts the graph's CSR pair, degree array,
+and — for KT0 — the labeling's flat port table *by reference* instead
+of re-flattening anything.  The per-vertex rows the interpreter hot
+loop touches (``nbr_ids``; ``nbr_index`` mapping a public target
+identifier straight to its dense index for KT1 movement resolution;
+``kt0_rows`` as tuples for KT0) then materialize **lazily on first
+engine bind**: a parent process that only compiles and exports plans
+(the sweep fabric) never builds a single per-vertex Python row.  On
+dict-backed graphs (user-supplied adjacency) compilation is eager and
+unchanged: rows first, flat CSR derived from them on first access.
 
 The identifier/index translation boundary is strict: everything inside
 :class:`~repro.runtime.engine.Engine` runs on dense indices, and public
@@ -40,11 +43,10 @@ stay byte-identical to the pre-plan schedulers (the frozen oracles in
 algorithm).  ``docs/performance.md`` documents the layer, the cache
 lifetimes, and the benchmarks gating its speedups.
 
-Plans are immutable once compiled (the lazy per-vertex closed-set
-cache aside) and may be shared freely across engines, trials, and
-threads of one process; they are keyed by *object identity* of their
-graph, so always compile from the same :class:`StaticGraph` instance
-the trials run on.
+Plans are immutable once compiled (the lazy row/view caches aside) and
+may be shared freely across engines, trials, and threads of one
+process; they are keyed by *object identity* of their graph, so always
+compile from the same :class:`StaticGraph` instance the trials run on.
 
 **Cross-process transport.**  Because the plan's canonical export
 surface is already flat ``array('q')`` buffers, a compiled plan can
@@ -53,13 +55,13 @@ cross a process boundary without pickling any graph object:
 (for KT0) flat port table into one
 :class:`multiprocessing.shared_memory.SharedMemory` segment, and
 :func:`attach_plan` in a worker maps that segment read-only, rebuilds
-the :class:`StaticGraph` and interpreter rows from it (no generator
-run, no port-table derivation), and adopts the shared buffers
-zero-copy as the plan's flat-array views.  The sweep fabric
-(:mod:`repro.experiments.parallel`) is the intended user; see
-``docs/performance.md`` for the lifetime rules (the exporting process
-owns the segment and must :meth:`PlanShare.close` it, attachers
-release their mapping with :meth:`AttachedPlan.close`).
+the :class:`StaticGraph` *directly on the shared buffers* (no
+generator run, no port-table derivation, no adjacency dictionaries),
+and compiles a plan that adopts the same buffers zero-copy.  The
+sweep fabric (:mod:`repro.experiments.parallel`) is the intended
+user; see ``docs/performance.md`` for the lifetime rules (the
+exporting process owns the segment and must :meth:`PlanShare.close`
+it, attachers release their mapping with :meth:`AttachedPlan.close`).
 """
 
 from __future__ import annotations
@@ -127,41 +129,117 @@ class ExecutionPlan:
         self._labeling = labeling
 
         ids = graph.vertices
-        index_of = {v: i for i, v in enumerate(ids)}
+        n = len(ids)
+        self.n = n
+        self.ids = ids
+        self.index_of = {v: i for i, v in enumerate(ids)}
+        self._closed_sets: list[frozenset[VertexId] | None] = [None] * n
+        self._port_targets: array | None = None
+
+        csr = graph.csr_adjacency()
+        if csr is not None:
+            # CSR-backed graph (every generator output): adopt the
+            # graph's flat buffers zero-copy.  The per-vertex rows —
+            # nbr_ids, and nbr_index (KT1) or kt0_rows/kt0_ports (KT0,
+            # flat labeling) — materialize lazily in __getattr__ on
+            # first engine bind, so compile-and-export pipelines never
+            # build them at all.
+            self._csr = csr
+            self.degrees = graph.degree_array()
+            if port_model is PortModel.KT0:
+                self.nbr_index = None  # never read by KT0 loops
+                flat = labeling.flat_port_targets()  # type: ignore[union-attr]
+                if flat is not None:
+                    self._port_targets = flat  # zero-copy adoption
+                else:
+                    # Explicit (dict-built) permutations on a CSR graph:
+                    # derive the rows eagerly, as the dict path does.
+                    table = labeling.port_table()  # type: ignore[union-attr]
+                    index_of = self.index_of
+                    self.kt0_rows = [
+                        tuple(index_of[u] for u in table[v]) for v in ids
+                    ]
+                    ports_by_degree: dict[int, tuple[int, ...]] = {}
+                    self.kt0_ports = [
+                        ports_by_degree.setdefault(d, tuple(range(d)))
+                        for d in self.degrees
+                    ]
+            else:
+                self.kt0_rows = None
+                self.kt0_ports = None
+            return
+
+        # Dict-backed graph (user-supplied adjacency): the historical
+        # eager compile — per-vertex rows first, flat CSR derived from
+        # them on first access.
         nbr_map = graph.neighbor_map
         nbr_ids = [nbr_map[v] for v in ids]
-
-        n = len(ids)
-        # The KT1 movement-resolution rows; KT0 loops move through
-        # kt0_rows instead and never consult these, so KT0 plans skip
-        # the O(m) dict construction entirely.
-        nbr_index: list[dict[VertexId, int]] | None = (
-            [{u: index_of[u] for u in adj} for adj in nbr_ids]
+        self.degrees = array("q", map(len, nbr_ids))
+        self.nbr_ids = nbr_ids
+        self.nbr_index = (
+            [{u: self.index_of[u] for u in adj} for adj in nbr_ids]
             if port_model is PortModel.KT1
             else None
         )
-
-        self.n = n
-        self.ids = ids
-        self.index_of = index_of
-        self.degrees = array("q", map(len, nbr_ids))
-        self.nbr_ids = nbr_ids
-        self.nbr_index = nbr_index
-        self._closed_sets: list[frozenset[VertexId] | None] = [None] * n
-        self._csr: tuple[array, array] | None = None
-        self._port_targets: array | None = None
+        self._csr = None
 
         if port_model is PortModel.KT0:
             table = labeling.port_table()  # type: ignore[union-attr]
-            kt0_rows = [tuple(index_of[u] for u in table[v]) for v in ids]
-            ports_by_degree: dict[int, tuple[int, ...]] = {}
-            self.kt0_rows: list[tuple[int, ...]] | None = kt0_rows
-            self.kt0_ports: list[tuple[int, ...]] | None = [
+            index_of = self.index_of
+            self.kt0_rows = [tuple(index_of[u] for u in table[v]) for v in ids]
+            ports_by_degree = {}
+            self.kt0_ports = [
                 ports_by_degree.setdefault(d, tuple(range(d))) for d in self.degrees
             ]
         else:
             self.kt0_rows = None
             self.kt0_ports = None
+
+    def __getattr__(self, name: str):
+        # Reached only when a slot is unset: the lazy per-vertex rows
+        # of CSR-backed plans.  Materialize once, cache in the slot.
+        if name == "nbr_ids":
+            offsets, indices = self._csr
+            getter = self.ids.__getitem__
+            value: list = []
+            append = value.append
+            lo = 0
+            for i in range(self.n):
+                hi = offsets[i + 1]
+                append(tuple(map(getter, indices[lo:hi])))
+                lo = hi
+        elif name == "nbr_index":
+            offsets, indices = self._csr
+            getter = self.ids.__getitem__
+            value = []
+            append = value.append
+            lo = 0
+            for i in range(self.n):
+                hi = offsets[i + 1]
+                chunk = indices[lo:hi]
+                append(dict(zip(map(getter, chunk), chunk)))
+                lo = hi
+        elif name == "kt0_rows":
+            flat = self._port_targets
+            offsets = self._csr[0]
+            value = []
+            append = value.append
+            lo = 0
+            for i in range(self.n):
+                hi = offsets[i + 1]
+                append(tuple(flat[lo:hi]))
+                lo = hi
+        elif name == "kt0_ports":
+            ports_by_degree: dict[int, tuple[int, ...]] = {}
+            value = [
+                ports_by_degree.setdefault(d, tuple(range(d))) for d in self.degrees
+            ]
+        else:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        setattr(self, name, value)
+        return value
 
     # ------------------------------------------------------------------
     # Compilation
@@ -179,7 +257,8 @@ class ExecutionPlan:
         ``labeling`` defaults to the ascending-ID labeling — lazily
         constructed for KT1 plans, which never consult the hidden
         bijection on the fast path, and eagerly for KT0 plans, whose
-        flat port table is derived from it.
+        flat port table is derived from it (on CSR-backed graphs that
+        default labeling *is* the CSR index buffer, adopted zero-copy).
         """
         if labeling is not None and labeling.graph is not graph:
             raise SchedulerError("labeling belongs to a different graph")
@@ -236,11 +315,10 @@ class ExecutionPlan:
     def neighbor_offsets(self) -> array:
         """CSR offsets: vertex ``i``'s neighbors span ``[off[i], off[i+1])``.
 
-        The flat CSR pair is the plan's canonical export surface
-        (differential tests, analyses, serialization); the engine hot
-        loops run on the per-vertex rows instead, so the arrays are
-        materialized once on first access rather than at compile time
-        — one-off executions never pay for them.
+        On CSR-backed graphs this is the builder's buffer itself
+        (zero-copy); on dict-backed graphs the flat pair is derived
+        from the per-vertex rows once on first access — one-off
+        executions never pay for it.
         """
         return self._csr_arrays()[0]
 
@@ -254,16 +332,16 @@ class ExecutionPlan:
         """The hidden port table flattened CSR-style (KT0 plans only).
 
         Entry ``neighbor_offsets[i] + p`` is the dense index behind
-        port ``p`` of vertex ``i``; ``None`` for KT1 plans.  Like the
-        CSR pair, materialized on first access.
+        port ``p`` of vertex ``i``; ``None`` for KT1 plans.  On flat
+        labelings this is the labeling's buffer (zero-copy); otherwise
+        derived from the rows on first access.
         """
-        rows = self.kt0_rows
-        if rows is None:
+        if self.port_model is not PortModel.KT0:
             return None
         flat = self._port_targets
         if flat is None:
             flat = array("q")
-            for row in rows:
+            for row in self.kt0_rows:
                 flat.extend(row)
             self._port_targets = flat
         return flat
@@ -306,7 +384,7 @@ class ExecutionPlan:
 
     def port_row(self, index: int) -> tuple[int, ...]:
         """Dense targets behind ports ``0, 1, ...`` of ``index`` (KT0)."""
-        if self.kt0_rows is None:
+        if self.port_model is not PortModel.KT0:
             raise SchedulerError("KT1 plans compile no hidden port table")
         return self.kt0_rows[index]
 
@@ -404,9 +482,12 @@ class PlanShare:
     def export(cls, plan: ExecutionPlan) -> "PlanShare":
         """Copy ``plan``'s flat arrays into a fresh shared segment.
 
-        Raises :class:`SchedulerError` when shared memory is not
-        available at all, and propagates ``OSError`` when the segment
-        cannot be created (callers treat both as "fall back to
+        On a CSR-backed plan the buffers being copied are the
+        builder's own (no flattening happens here or anywhere earlier);
+        on a dict-backed plan they materialize on first export as
+        before.  Raises :class:`SchedulerError` when shared memory is
+        not available at all, and propagates ``OSError`` when the
+        segment cannot be created (callers treat both as "fall back to
         per-worker regeneration").
         """
         if _shared_memory is None:
@@ -461,13 +542,13 @@ class PlanShare:
 class AttachedPlan:
     """A worker-side view of an exported plan: ``graph``, ``plan``, lifetime.
 
-    Rebuilds the Python-object layers the interpreter hot loop needs
-    (the :class:`StaticGraph`, per-vertex rows, KT1 ``nbr_index``
-    dicts) from the shared buffers — no generator run, no
-    ``PortLabeling`` port-table derivation — and adopts the segment's
-    CSR (and KT0 port-target) buffers **zero-copy** as the plan's
-    flat-array views.  :meth:`close` releases those views and the
-    mapping; the plan must not be used afterwards.
+    The :class:`StaticGraph` is rebuilt **directly on the shared
+    buffers** (:meth:`StaticGraph.from_csr` — no generator run, no
+    adjacency dictionaries) and the compiled plan adopts the same
+    buffers zero-copy, flat port table included.  :meth:`close`
+    replaces every shared-buffer reference with a local copy before
+    unmapping the segment, so anything still holding the graph or plan
+    keeps working on process-local arrays.
     """
 
     __slots__ = ("graph", "plan", "_segment", "_views")
@@ -479,15 +560,31 @@ class AttachedPlan:
         self._views = views
 
     def close(self) -> None:
-        """Release the shared views and unmap the segment (idempotent)."""
+        """Localize the shared buffers and unmap the segment (idempotent)."""
         segment, self._segment = self._segment, None
         if segment is None:
             return
-        # Detach the plan from the shared buffers first: anything still
-        # holding the plan re-materializes local arrays lazily instead
-        # of faulting on an unmapped page.
-        self.plan._csr = None
-        self.plan._port_targets = None
+        # Detach graph, labeling, and plan from the shared buffers
+        # first: copy each adopted view into a process-local array so
+        # no later access faults on an unmapped page.
+        graph = self.graph
+        plan = self.plan
+        offsets = array("q", graph._csr_offsets)
+        indices = array("q", graph._csr_indices)
+        degrees = array("q", graph._degrees)
+        graph._csr_offsets = offsets
+        graph._csr_indices = indices
+        graph._degrees = degrees
+        plan._csr = (offsets, indices)
+        plan.degrees = degrees
+        labeling = plan._labeling
+        if plan._port_targets is not None:
+            ports = array("q", plan._port_targets)
+            plan._port_targets = ports
+            if labeling is not None and labeling.flat_port_targets() is not None:
+                labeling._flat_targets = ports
+        elif labeling is not None and labeling.flat_port_targets() is not None:
+            labeling._flat_targets = array("q", labeling.flat_port_targets())
         for view in self._views:
             view.release()
         self._views = ()
@@ -534,28 +631,16 @@ def attach_plan(handle: SharedPlanHandle) -> AttachedPlan:
         ports_view = words[3 * n + 1 + m2:3 * n + 1 + 2 * m2]
         views.append(ports_view)
 
-    ids = tuple(ids_view)
-    adjacency = {
-        ids[i]: tuple(ids[j] for j in indices_view[offsets_view[i]:offsets_view[i + 1]])
-        for i in range(n)
-    }
-    graph = StaticGraph(
-        adjacency,
+    graph = StaticGraph.from_csr(
+        offsets_view,
+        indices_view,
+        ids=tuple(ids_view),
         id_space=meta["id_space"],
         name=meta["graph_name"],
-        validate=False,
+        degrees=degrees_view,
     )
     labeling = None
     if port_model is PortModel.KT0:
-        permutations = {
-            ids[i]: tuple(ids[j] for j in ports_view[offsets_view[i]:offsets_view[i + 1]])
-            for i in range(n)
-        }
-        labeling = PortLabeling(graph, permutations=permutations)
+        labeling = PortLabeling._from_flat(graph, ports_view)
     plan = ExecutionPlan.compile(graph, labeling, port_model)
-    # Adopt the shared buffers as the plan's flat-array export surface
-    # (they would otherwise re-materialize lazily as local copies).
-    plan._csr = (offsets_view, indices_view)
-    if ports_view is not None:
-        plan._port_targets = ports_view
     return AttachedPlan(graph, plan, segment, tuple(views))

@@ -1,0 +1,122 @@
+"""Unit tests for the benchmark trend checker (``tools/check_bench_trend.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_bench_trend.py"
+spec = importlib.util.spec_from_file_location("check_bench_trend", TOOL)
+trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(trend)
+
+
+def payload(speedup: float, mode: str = "quick") -> dict:
+    return {
+        "bench": "sweep_throughput",
+        "mode": mode,
+        "workloads": {
+            "w": {
+                "baseline": {"median_s": speedup, "samples": 3},
+                "planned": {"median_s": 1.0, "samples": 3},
+                "speedup": speedup,
+            }
+        },
+        "metrics": {"aggregate_speedup": speedup},
+    }
+
+
+def write(directory: Path, name: str, data: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(data))
+
+
+class TestMedianSpeedups:
+    def test_extracts_workload_and_aggregate(self):
+        speedups = trend.median_speedups(payload(4.0))
+        assert speedups["w"] == 4.0
+        assert speedups["<aggregate>"] == 4.0
+
+    def test_ignores_workloads_without_a_named_baseline(self):
+        data = payload(4.0)
+        data["workloads"]["w"] = {
+            "left": {"median_s": 1.0}, "right": {"median_s": 2.0}
+        }
+        assert "w" not in trend.median_speedups(data)
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        _, regressions = trend.compare("b", payload(4.0), payload(3.2), 0.25)
+        assert regressions == []
+
+    def test_beyond_threshold_fails(self):
+        _, regressions = trend.compare("b", payload(4.0), payload(2.5), 0.25)
+        assert regressions and "median speedup fell" in regressions[0]
+
+    def test_mode_mismatch_is_skipped(self):
+        lines, regressions = trend.compare(
+            "b", payload(4.0, mode="full"), payload(1.0, mode="quick"), 0.25
+        )
+        assert regressions == []
+        assert any("skipped" in line for line in lines)
+
+
+class TestMainEndToEnd:
+    def test_ok_run(self, tmp_path, capsys):
+        write(tmp_path / "base", "sweep_throughput", payload(4.0))
+        write(tmp_path / "fresh", "sweep_throughput", payload(3.9))
+        code = trend.main([
+            "--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        write(tmp_path / "base", "engine", payload(4.0))
+        write(tmp_path / "fresh", "engine", payload(1.5))
+        code = trend.main([
+            "--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+        ])
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_missing_baseline_dir_is_usage_error(self, tmp_path):
+        assert trend.main(["--baseline", str(tmp_path / "absent")]) == 2
+
+    def test_missing_files_are_skipped(self, tmp_path, capsys):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "fresh").mkdir()
+        code = trend.main([
+            "--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+class TestFlakeGuards:
+    def test_near_parity_workloads_are_skipped(self):
+        base = payload(4.0)
+        base["workloads"]["parity"] = {
+            "baseline": {"median_s": 1.1}, "planned": {"median_s": 1.0},
+        }
+        fresh = payload(3.9)
+        fresh["workloads"]["parity"] = {
+            "baseline": {"median_s": 0.5}, "planned": {"median_s": 1.0},
+        }
+        lines, regressions = trend.compare("b", base, fresh, 0.25)
+        assert regressions == []  # a 1.1x -> 0.5x swing carries no signal
+        assert any("near parity" in line for line in lines)
+
+    def test_multiprocess_benchmarks_use_looser_threshold(self):
+        # 12x -> 6x is within the 60% multi-process allowance...
+        _, regressions = trend.compare(
+            "sweep_fabric", payload(12.0), payload(6.0), 0.25
+        )
+        assert regressions == []
+        # ...but a catastrophic collapse still fails.
+        _, regressions = trend.compare(
+            "sweep_fabric", payload(12.0), payload(3.0), 0.25
+        )
+        assert regressions

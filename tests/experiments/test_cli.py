@@ -132,3 +132,23 @@ class TestReportCommand:
         garbage.write_text('{"not": "a record"}\nnot json at all\n')
         assert main(["report", str(garbage)]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestProfileSetupFlag:
+    def test_profile_setup_prints_breakdown(self, capsys):
+        assert main([
+            "sweep", "--name", "profile-test", "--family", "complete",
+            "--n", "32", "--algorithm", "trivial", "--seeds", "2",
+            "--workers", "1", "--profile-setup",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SETUP PROFILE profile-test" in out
+        for column in ("generate", "label", "compile", "export", "trial"):
+            assert column in out
+
+    def test_no_profile_by_default(self, capsys):
+        assert main([
+            "sweep", "--name", "plain", "--family", "complete", "--n", "32",
+            "--algorithm", "trivial", "--seeds", "2", "--workers", "1",
+        ]) == 0
+        assert "SETUP PROFILE" not in capsys.readouterr().out

@@ -463,3 +463,77 @@ class TestStreamingSweep:
         assert streamed.executed == 8
         held = run_sweep(spec, workers=2, cache_dir=tmp_path)
         assert held.cached == 8 and held.executed == 0
+
+
+class TestCacheBoundConfiguration:
+    """REPRO_INSTANCE_CACHE / REPRO_PLAN_ARENA env-var satellites."""
+
+    def test_bounded_cache_size_default_and_clamp(self, monkeypatch):
+        from repro.experiments.parallel import bounded_cache_size
+
+        monkeypatch.delenv("X_TEST_CACHE", raising=False)
+        assert bounded_cache_size("X_TEST_CACHE", 32) == 32
+        monkeypatch.setenv("X_TEST_CACHE", "7")
+        assert bounded_cache_size("X_TEST_CACHE", 32) == 7
+        monkeypatch.setenv("X_TEST_CACHE", "0")
+        assert bounded_cache_size("X_TEST_CACHE", 32) == 1  # clamped >= 1
+        monkeypatch.setenv("X_TEST_CACHE", "-5")
+        assert bounded_cache_size("X_TEST_CACHE", 32) == 1
+        monkeypatch.setenv("X_TEST_CACHE", "  ")
+        assert bounded_cache_size("X_TEST_CACHE", 32) == 32
+
+    def test_bounded_cache_size_rejects_garbage(self, monkeypatch):
+        from repro.experiments.parallel import bounded_cache_size
+
+        monkeypatch.setenv("X_TEST_CACHE", "lots")
+        with pytest.raises(ReproError, match="not an integer"):
+            bounded_cache_size("X_TEST_CACHE", 32)
+
+    def test_instance_memo_bound_defaults(self):
+        from repro.experiments.parallel import DEFAULT_INSTANCE_CACHE, _instance_for
+
+        # Import-time binding: in this process the default applies
+        # (the subprocess test below covers the override).
+        assert _instance_for.cache_info().maxsize >= 1
+        assert DEFAULT_INSTANCE_CACHE == 32
+
+    def test_instance_memo_bound_from_env(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.experiments.parallel import _instance_for;"
+            "print(_instance_for.cache_info().maxsize)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**__import__("os").environ, "REPRO_INSTANCE_CACHE": "5",
+                 "PYTHONPATH": "src"},
+            capture_output=True, text=True, cwd=".",
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "5"
+
+    def test_plan_arena_bound_from_env(self, monkeypatch):
+        from repro.experiments.parallel import _PlanArena
+
+        monkeypatch.setenv("REPRO_PLAN_ARENA", "3")
+        assert _PlanArena().cap == 3
+        monkeypatch.setenv("REPRO_PLAN_ARENA", "0")
+        assert _PlanArena().cap == 1
+        monkeypatch.delenv("REPRO_PLAN_ARENA")
+        from repro.experiments.parallel import DEFAULT_PLAN_ARENA
+
+        assert _PlanArena().cap == DEFAULT_PLAN_ARENA
+
+
+class TestProfileSetup:
+    def test_one_row_per_unique_instance(self):
+        from repro.experiments.parallel import profile_setup
+
+        spec = small_spec()  # two families x one n -> two instances
+        table = profile_setup(spec)
+        assert len(table.rows) == 2
+        rendered = table.render()
+        assert "generate" in rendered and "compile" in rendered
+        assert "trial" in rendered

@@ -1,0 +1,89 @@
+"""Cross-process generator determinism.
+
+The sweep fabric's fallback path regenerates instances inside worker
+processes from the ``(family, n, delta_spec)`` tag alone, under either
+multiprocessing start method.  These tests pin the contract that makes
+that sound: the same ``(family, n, delta_spec, seed)`` must yield
+byte-identical edge buffers (ids + CSR offsets + CSR indices) in the
+parent, in a forked child, and in a spawned child.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import random
+from array import array
+
+import pytest
+
+from repro.experiments.parallel import GRAPH_FAMILIES, resolve_delta
+
+CASES = [
+    ("er-min-degree", 48, "8", 0),
+    ("er-min-degree", 48, "8", 3),
+    ("regular", 36, "6", 1),
+    ("powerlaw", 40, "4", 2),
+    ("complete", 24, "8", 0),
+]
+
+
+def _edge_buffer_digest(family: str, n: int, delta_spec: str, seed: int) -> str:
+    """SHA-256 over the instance's flat buffers (ids | offsets | indices)."""
+    builder = GRAPH_FAMILIES[family]
+    delta = resolve_delta(delta_spec, n)
+    rng = random.Random(f"determinism:{family}:{n}:{delta_spec}:{seed}")
+    graph = builder(n, delta, rng)
+    offsets, indices = graph.csr_adjacency()
+    digest = hashlib.sha256()
+    digest.update(bytes(array("q", graph.vertices)))
+    digest.update(bytes(offsets))
+    digest.update(bytes(indices))
+    return digest.hexdigest()
+
+
+def _child_digest(queue, family: str, n: int, delta_spec: str, seed: int) -> None:
+    try:
+        queue.put(("ok", _edge_buffer_digest(family, n, delta_spec, seed)))
+    except Exception as error:  # pragma: no cover - surfaced as test failure
+        queue.put(("error", repr(error)))
+
+
+def _digest_in_subprocess(method: str, case: tuple[str, int, str, int]) -> str:
+    context = multiprocessing.get_context(method)
+    queue = context.Queue()
+    process = context.Process(target=_child_digest, args=(queue, *case))
+    process.start()
+    try:
+        status, payload = queue.get(timeout=60)
+    finally:
+        process.join(timeout=10)
+    assert status == "ok", payload
+    return payload
+
+
+@pytest.mark.parametrize(
+    "method",
+    [
+        method
+        for method in ("fork", "spawn")
+        if method in multiprocessing.get_all_start_methods()
+    ],
+)
+def test_edge_buffers_identical_across_start_methods(method):
+    for case in CASES:
+        assert _digest_in_subprocess(method, case) == _edge_buffer_digest(*case), (
+            f"{case} diverged under the {method} start method"
+        )
+
+
+def test_same_tag_same_buffers_in_process():
+    """Two in-process builds of one tag are byte-identical (no hidden state)."""
+    for case in CASES:
+        assert _edge_buffer_digest(*case) == _edge_buffer_digest(*case)
+
+
+def test_different_seeds_differ():
+    base = _edge_buffer_digest("er-min-degree", 48, "8", 0)
+    other = _edge_buffer_digest("er-min-degree", 48, "8", 1)
+    assert base != other

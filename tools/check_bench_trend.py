@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory trend check (stdlib only; CI perf-smoke job).
+
+Compares fresh ``results/BENCH_*.json`` files against a directory of
+committed baselines and fails (exit 1) when any **gated** benchmark
+regressed by more than the threshold on its *median-based speedup*.
+
+Why speedups and not raw seconds: CI machines differ wildly from the
+machines that produced the committed baselines, but each benchmark
+measures its old and new code paths **in the same process on the same
+machine**, so the ratio of their median timings transfers across
+hardware.  For every workload that records two timed paths (e.g.
+``baseline``/``planned``), the check recomputes
+
+    median_speedup = median_s(baseline path) / median_s(new path)
+
+from both files and flags ``fresh < committed * (1 - threshold)``
+(default threshold 25%).  The ``aggregate_speedup`` scalar each gated
+benchmark stamps into its ``metrics`` is compared the same way.
+
+Files whose ``mode`` differs between baseline and fresh (quick vs
+full) are skipped with a warning — quick and full parameters measure
+different ratios, so comparing them would flag phantom regressions.
+Two further guards against cross-machine flakes: workloads whose
+committed speedup is near parity (< 1.25x — kept in benchmarks for
+honesty, not as gates) are skipped outright, and multi-process
+benchmarks (whose ratios depend on the runner's core count) use a
+looser 60% threshold so only catastrophic regressions fail.
+
+The committed baselines live in ``benchmarks/baselines/`` (quick
+mode; ``results/`` itself is gitignored).  Usage — after running the
+gated benchmarks::
+
+    python tools/check_bench_trend.py
+
+``docs/performance.md`` documents the trajectory files themselves;
+``benchmarks/baselines/README.md`` says how to refresh the baselines
+when a PR intentionally shifts performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Benchmarks with a hard speedup gate; only these can fail the check.
+GATED_BENCHMARKS = ("engine", "sweep_throughput", "sweep_fabric", "instance_pipeline")
+
+#: Workload sub-dict names that denote the *slow* (reference) path.
+BASELINE_PATH_NAMES = frozenset({"baseline", "seed", "serial"})
+
+#: Benchmarks whose speedup depends on worker processes: their ratios
+#: vary with the runner's core count and process-spawn cost, not just
+#: the code, so only a catastrophic regression is actionable.
+MULTIPROCESS_BENCHMARKS = frozenset({"sweep_fabric"})
+MULTIPROCESS_THRESHOLD = 0.60
+
+#: Workloads whose committed speedup is near parity carry no headroom
+#: and no signal — they exist to keep the benchmark's aggregate honest,
+#: not to gate.  Anything below this baseline speedup is skipped.
+PARITY_FLOOR = 1.25
+
+
+def load_bench(directory: Path, name: str) -> dict | None:
+    path = directory / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"warning: cannot read {path}: {error}", file=sys.stderr)
+        return None
+
+
+def median_speedups(payload: dict) -> dict[str, float]:
+    """Per-workload median-based speedups, plus the aggregate metric."""
+    out: dict[str, float] = {}
+    for workload, stats in payload.get("workloads", {}).items():
+        if not isinstance(stats, dict):
+            continue
+        timed = {
+            key: value
+            for key, value in stats.items()
+            if isinstance(value, dict) and "median_s" in value
+        }
+        base = next((k for k in timed if k in BASELINE_PATH_NAMES), None)
+        if base is None or len(timed) != 2:
+            continue
+        fast = next(k for k in timed if k != base)
+        fast_median = timed[fast]["median_s"]
+        if fast_median > 0:
+            out[workload] = timed[base]["median_s"] / fast_median
+    aggregate = payload.get("metrics", {}).get("aggregate_speedup")
+    if isinstance(aggregate, (int, float)):
+        out["<aggregate>"] = float(aggregate)
+    return out
+
+
+def compare(
+    name: str, baseline: dict, fresh: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regression lines) for one benchmark."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    if baseline.get("mode") != fresh.get("mode"):
+        lines.append(
+            f"  {name}: skipped (baseline mode {baseline.get('mode')!r} != "
+            f"fresh mode {fresh.get('mode')!r})"
+        )
+        return lines, regressions
+    if name in MULTIPROCESS_BENCHMARKS:
+        threshold = max(threshold, MULTIPROCESS_THRESHOLD)
+    old = median_speedups(baseline)
+    new = median_speedups(fresh)
+    for key in sorted(old):
+        if key not in new:
+            lines.append(f"  {name} / {key}: missing from fresh results")
+            continue
+        if old[key] < PARITY_FLOOR:
+            lines.append(
+                f"  {name} / {key}: baseline {old[key]:.2f}x is near parity "
+                "— no headroom, skipped"
+            )
+            continue
+        floor = old[key] * (1.0 - threshold)
+        verdict = "ok" if new[key] >= floor else "REGRESSED"
+        lines.append(
+            f"  {name} / {key}: {old[key]:.2f}x -> {new[key]:.2f}x "
+            f"(floor {floor:.2f}x) {verdict}"
+        )
+        if new[key] < floor:
+            regressions.append(
+                f"{name} / {key}: median speedup fell {old[key]:.2f}x -> "
+                f"{new[key]:.2f}x (more than {threshold:.0%})"
+            )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_baseline = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+    parser.add_argument(
+        "--baseline", default=default_baseline, type=Path,
+        help="directory holding the committed BENCH_*.json baselines "
+             "(default: benchmarks/baselines/)",
+    )
+    parser.add_argument(
+        "--fresh", default="results", type=Path,
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", default=0.25, type=float,
+        help="maximum tolerated median-speedup regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.is_dir():
+        print(f"baseline directory {args.baseline} does not exist", file=sys.stderr)
+        return 2
+
+    all_regressions: list[str] = []
+    compared = 0
+    for name in GATED_BENCHMARKS:
+        baseline = load_bench(args.baseline, name)
+        fresh = load_bench(args.fresh, name)
+        if baseline is None or fresh is None:
+            side = "baseline" if baseline is None else "fresh"
+            print(f"  {name}: no {side} file — skipped")
+            continue
+        lines, regressions = compare(name, baseline, fresh, args.threshold)
+        print("\n".join(lines))
+        all_regressions.extend(regressions)
+        compared += 1
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} benchmark regression(s):", file=sys.stderr)
+        for regression in all_regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print(f"checked {compared} gated benchmark(s): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
