@@ -32,6 +32,7 @@ copy-pasteable examples.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -119,7 +120,11 @@ def _cmd_report(paths: list[str]) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.experiments.parallel import SweepSpec, run_sweep
+    from repro.runtime.lockstep import LOCKSTEP_ENV
 
+    if args.lockstep is not None:
+        # Exported (not passed) so fabric/pool workers inherit it.
+        os.environ[LOCKSTEP_ENV] = "1" if args.lockstep else "0"
     if args.stream and args.out:
         print(
             "sweep: --stream keeps only O(batch) records, so --out has "
@@ -254,6 +259,12 @@ def main(argv: list[str] | None = None) -> int:
         "--fabric", action=argparse.BooleanOptionalAction, default=None,
         help="--no-fabric forces the pre-fabric pool (per-call workers, "
              "object-pickled records); default: fabric when --workers > 1",
+    )
+    sweep_parser.add_argument(
+        "--lockstep", action=argparse.BooleanOptionalAction, default=None,
+        help="--no-lockstep forces every batch down the serial engine "
+             "(sets REPRO_LOCKSTEP for this run); default: lockstep on "
+             "for eligible algorithm × port-model batches",
     )
     sweep_parser.add_argument(
         "--profile-setup", action="store_true",

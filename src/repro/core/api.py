@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -173,6 +174,16 @@ def pick_adjacent_starts(
     # a random neighbor — this is uniform over ordered adjacent pairs.
     total = 2 * graph.edge_count
     pick = rng.randrange(total)
+    csr = graph.csr_adjacency()
+    if csr is not None:
+        # The CSR offsets are the cumulative degree sums, so the pick
+        # resolves with one bisection instead of a per-vertex scan —
+        # the draw and the selected pair are identical to the loop
+        # below (offsets[i] <= pick < offsets[i+1] names the vertex,
+        # indices[pick] its picked neighbor).
+        offsets, indices = csr
+        ids = graph.vertices
+        return ids[bisect_right(offsets, pick) - 1], ids[indices[pick]]
     for v in graph.vertices:
         d = graph.degree(v)
         if pick < d:

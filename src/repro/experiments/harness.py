@@ -38,6 +38,11 @@ from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling, PortModel
 from repro.graphs.validation import require_neighborhood_instance
 from repro.runtime.engine import Engine, ExecutionResult
+from repro.runtime.lockstep import (
+    lockstep_enabled,
+    lockstep_supported,
+    run_lockstep_batch,
+)
 from repro.runtime.plan import ExecutionPlan
 from repro.runtime.scheduler import SyncScheduler
 
@@ -172,10 +177,40 @@ def run_trials(
     validation, start selection, and result verification match
     :func:`run_trial` exactly, so the returned records are
     byte-identical to the serial path for any seed list.
+
+    Eligible batches (see
+    :func:`repro.runtime.lockstep.lockstep_supported`) first try the
+    lockstep executor — the same records from struct-of-arrays tapes
+    at a fraction of the cost; ``REPRO_LOCKSTEP=0`` opts out and any
+    non-vectorizable batch falls back here automatically
+    (``docs/performance.md`` § Lockstep execution).
     """
     seed_list = list(seeds)
+    if not seed_list:
+        return []
     if check_instance and start_a is not None and start_b is not None:
         require_neighborhood_instance(graph, start_a, start_b)
+
+    if lockstep_enabled() and lockstep_supported(algorithm, port_model):
+        results = run_lockstep_batch(
+            graph,
+            algorithm,
+            seed_list,
+            plan=plan,
+            constants=constants,
+            delta=delta,
+            start_a=start_a,
+            start_b=start_b,
+            max_rounds=max_rounds,
+            port_model=port_model,
+            labeling=labeling,
+        )
+        if results is not None:
+            records = []
+            for seed, result in zip(seed_list, results):
+                verify_result(graph, result, start_a=start_a, start_b=start_b)
+                records.append(_trial_record(graph, algorithm, seed, result))
+            return records
 
     engine: Engine | None = None
     records: list[TrialRecord] = []
@@ -250,7 +285,7 @@ def repeat_trials(
     )
     if count > 1 and len(seed_list) > 1:
         return parallel.map_trials(graph, algorithm, seed_list, count, **kwargs)
-    if batchable_kwargs(kwargs) and len(seed_list) > 1:
+    if batchable_kwargs(kwargs):
         return run_trials(graph, algorithm, seed_list, **kwargs)
     return [run_trial(graph, algorithm, seed, **kwargs) for seed in seed_list]
 

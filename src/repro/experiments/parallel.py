@@ -801,16 +801,10 @@ def _execute_chunk_task(task: _ChunkTask) -> tuple[tuple[int, ...], list[TrialRe
         while stop < len(trials) and trials[stop][1] == algorithm:
             stop += 1
         seeds = [trials[i][2] for i in range(start, stop)]
-        if len(seeds) > 1:
-            batch = run_trials(
-                graph, algorithm, seeds,
-                plan=plan, constants=constants, max_rounds=task.max_rounds,
-            )
-        else:
-            batch = [run_trial(
-                graph, algorithm, seeds[0],
-                plan=plan, constants=constants, max_rounds=task.max_rounds,
-            )]
+        batch = run_trials(
+            graph, algorithm, seeds,
+            plan=plan, constants=constants, max_rounds=task.max_rounds,
+        )
         indices.extend(trials[i][0] for i in range(start, stop))
         records.extend(batch)
         start = stop
@@ -821,7 +815,7 @@ def _execute_map_task(task: _MapTask) -> tuple[tuple[int, ...], list[TrialRecord
     """Run one ``map_trials`` seed batch (same routing as the serial path)."""
     seeds = list(task.seeds)
     kwargs = task.kwargs
-    if batchable_kwargs(kwargs) and len(seeds) > 1:
+    if batchable_kwargs(kwargs):
         records = run_trials(task.graph, task.algorithm, seeds, **kwargs)
     else:
         records = [
@@ -1349,7 +1343,7 @@ def _run_seed_batch(
     payload: tuple[StaticGraph, str, list[int], dict[str, Any]]
 ) -> list[TrialRecord]:
     graph, algorithm, seeds, kwargs = payload
-    if batchable_kwargs(kwargs) and len(seeds) > 1:
+    if batchable_kwargs(kwargs):
         # One plan compilation per worker batch instead of per trial.
         return run_trials(graph, algorithm, seeds, **kwargs)
     return [run_trial(graph, algorithm, seed, **kwargs) for seed in seeds]
@@ -1422,7 +1416,7 @@ def map_trials(
     caller_plan = kwargs.pop("plan", None)
 
     def serial() -> list[TrialRecord]:
-        if batchable_kwargs(kwargs) and len(seeds) > 1:
+        if batchable_kwargs(kwargs):
             return run_trials(graph, algorithm, seeds, plan=caller_plan, **kwargs)
         if caller_plan is not None:
             kwargs["plan"] = caller_plan

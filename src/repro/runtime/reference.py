@@ -41,6 +41,7 @@ __all__ = [
     "ReferenceSyncScheduler",
     "ReferenceMultiAgentScheduler",
     "reference_run_single_agent",
+    "reference_run_trials",
 ]
 
 
@@ -502,3 +503,78 @@ def _guess_id_space(source: Any, start: VertexId) -> int:
     neighbors = source.neighbors(start)
     top = max([start, *neighbors]) if neighbors else start
     return top + 1
+
+
+def reference_run_trials(graph, algorithm, seeds, **kwargs):
+    """The pre-lockstep batched executor, kept as an oracle.
+
+    A verbatim copy of ``repro.experiments.harness.run_trials`` as it
+    stood before the lockstep route (PR 3's engine-reset loop): one
+    compiled plan, one reused engine, every round through the full
+    interpreter loop.  ``tests/runtime/test_lockstep.py`` asserts the
+    lockstep executor's records are byte-identical to this second-tier
+    oracle, and ``benchmarks/bench_lockstep.py`` gates the lockstep
+    speedup against it.  Imports are function-local because the
+    experiments layer imports the runtime layer, not vice versa.
+    """
+    from repro.core.api import prepare_rendezvous
+    from repro.core.verification import verify_result
+    from repro.experiments.harness import _trial_record
+    from repro.graphs.validation import require_neighborhood_instance
+    from repro.runtime.scheduler import SyncScheduler
+
+    plan = kwargs.pop("plan", None)
+    constants = kwargs.pop("constants", None)
+    delta = kwargs.pop("delta", None)
+    start_a = kwargs.pop("start_a", None)
+    start_b = kwargs.pop("start_b", None)
+    max_rounds = kwargs.pop("max_rounds", None)
+    check_instance = kwargs.pop("check_instance", True)
+    port_model = kwargs.pop("port_model", PortModel.KT1)
+    labeling = kwargs.pop("labeling", None)
+    if kwargs:
+        raise TypeError(f"unexpected kwargs: {sorted(kwargs)}")
+
+    seed_list = list(seeds)
+    if check_instance and start_a is not None and start_b is not None:
+        require_neighborhood_instance(graph, start_a, start_b)
+
+    engine = None
+    records = []
+    for seed in seed_list:
+        spec, program_a, program_b, sa, sb, budget = prepare_rendezvous(
+            graph,
+            algorithm,
+            start_a=start_a,
+            start_b=start_b,
+            seed=seed,
+            delta=delta,
+            constants=constants,
+            max_rounds=max_rounds,
+        )
+        if engine is None:
+            scheduler = SyncScheduler(
+                graph,
+                program_a,
+                program_b,
+                sa,
+                sb,
+                seed=seed,
+                port_model=port_model,
+                labeling=labeling,
+                whiteboards=spec.uses_whiteboards,
+                max_rounds=budget,
+                plan=plan,
+            )
+            engine = scheduler.engine
+            result = scheduler.run()
+        else:
+            if sa == sb:  # SyncScheduler's pair invariant, re-checked per seed
+                raise SchedulerError("agents must start at two different vertices")
+            engine.reset(
+                (program_a, program_b), (sa, sb), seed=seed, max_rounds=budget
+            )
+            result = engine.run_pair()
+        verify_result(graph, result, start_a=start_a, start_b=start_b)
+        records.append(_trial_record(graph, algorithm, seed, result))
+    return records

@@ -255,3 +255,61 @@ class TestBatchedTrialsMatchSerial:
         ]
         batched = run_trials(graph, "theorem1", seeds, **kwargs)
         assert batched == serial
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_single_seed_batch_identical(self, algorithm):
+        """A batch of one equals the per-seed path (lockstep or serial)."""
+        from repro.experiments.harness import run_trial, run_trials
+
+        graph = random_graph_with_min_degree(64, 16, random.Random("eq-one"))
+        constants = Constants.testing()
+        assert run_trials(graph, algorithm, [9], constants=constants) == [
+            run_trial(graph, algorithm, 9, constants=constants)
+        ]
+
+    def test_duplicate_seed_batch_identical(self):
+        """Repeated seeds each re-run the identical trial."""
+        from repro.experiments.harness import run_trial, run_trials
+
+        graph = random_graph_with_min_degree(64, 16, random.Random("eq-dup"))
+        for algorithm in ("random-walk", "trivial", "explore"):
+            batched = run_trials(
+                graph, algorithm, [3, 3, 3], max_rounds=2_000
+            )
+            single = run_trial(graph, algorithm, 3, max_rounds=2_000)
+            assert batched == [single, single, single], algorithm
+
+    def test_mixed_vectorizable_and_fallback_sweep(self):
+        """One sweep mixing a lockstep-eligible and a fallback algorithm."""
+        from repro.experiments.harness import run_trial
+        from repro.experiments.parallel import (
+            CONSTANTS_PRESETS,
+            GRAPH_FAMILIES,
+            SweepSpec,
+            resolve_delta,
+            run_sweep,
+        )
+
+        spec = SweepSpec(
+            name="mixed",
+            families=("er-min-degree",),
+            ns=(40,),
+            deltas=("8",),
+            algorithms=("random-walk", "theorem1"),
+            seeds=tuple(range(3)),
+            max_rounds=50_000,
+        )
+        swept = run_sweep(spec, workers=1)
+        fresh = []
+        for point in spec.points():
+            delta = resolve_delta(point.delta_spec, point.n)
+            rng = random.Random(
+                f"sweep-graph:{point.family}:{point.n}:{point.delta_spec}"
+            )
+            graph = GRAPH_FAMILIES[point.family](point.n, delta, rng)
+            fresh.append(run_trial(
+                graph, point.algorithm, point.seed,
+                constants=CONSTANTS_PRESETS[spec.preset](),
+                max_rounds=spec.max_rounds,
+            ))
+        assert list(swept.records) == fresh

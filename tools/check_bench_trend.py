@@ -46,7 +46,13 @@ import sys
 from pathlib import Path
 
 #: Benchmarks with a hard speedup gate; only these can fail the check.
-GATED_BENCHMARKS = ("engine", "sweep_throughput", "sweep_fabric", "instance_pipeline")
+GATED_BENCHMARKS = (
+    "engine",
+    "sweep_throughput",
+    "sweep_fabric",
+    "instance_pipeline",
+    "lockstep",
+)
 
 #: Workload sub-dict names that denote the *slow* (reference) path.
 BASELINE_PATH_NAMES = frozenset({"baseline", "seed", "serial"})
