@@ -21,6 +21,7 @@ __all__ = [
     "trivial_bound",
     "exploration_bound",
     "anderson_weber_bound",
+    "meeting_probability_lower_bound",
     "sublinear_threshold_theorem1",
     "sublinear_threshold_theorem2",
     "crossover_delta",
@@ -72,6 +73,30 @@ def exploration_bound(n: float) -> float:
 def anderson_weber_bound(n: float) -> float:
     """Anderson-Weber on complete graphs: ``O(√n)`` expected rounds."""
     return math.sqrt(n)
+
+
+def meeting_probability_lower_bound(
+    met: int, trials: int, delta: float = 0.05
+) -> float:
+    """One-sided Hoeffding lower confidence bound on ``P(meet)``.
+
+    Given ``met`` successes out of ``trials`` independent runs, the
+    true meeting probability satisfies
+    ``p >= met/trials - sqrt(ln(1/delta) / (2 * trials))``
+    with probability at least ``1 - delta``.  Experiments that claim a
+    w.h.p. guarantee (e.g. the fault-tolerance workload) report this
+    bound and assert it clears their threshold; the clamp to ``[0, 1]``
+    keeps tiny samples from producing negative probabilities.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= met <= trials:
+        raise ValueError("met must lie in [0, trials]")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    estimate = met / trials
+    slack = math.sqrt(math.log(1.0 / delta) / (2.0 * trials))
+    return min(1.0, max(0.0, estimate - slack))
 
 
 def sublinear_threshold_theorem1(n: float) -> float:

@@ -12,8 +12,9 @@ Commands
 ``run-all [--full] [--save DIR]``
     Run the entire registry in order.
 ``sweep [grid options] [--workers N] [--resume] [--out FILE] [--stream]``
-    Fan a (family × n × δ × algorithm × seeds) trial grid out over
-    the persistent worker fabric (:mod:`repro.experiments.parallel`).
+    Fan a (family × n × δ × algorithm × scenario × seeds) trial grid
+    out over the persistent worker fabric
+    (:mod:`repro.experiments.parallel`).
     Results are byte-identical for every worker count; with
     ``--cache-dir`` the sweep streams into a content-addressed cache
     and ``--resume`` (the default) finishes interrupted runs instead
@@ -139,6 +140,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ns=tuple(args.n or [200, 400]),
             deltas=tuple(args.delta or ["n^0.75"]),
             algorithms=tuple(args.algorithm or ["trivial"]),
+            scenarios=tuple(args.scenario or ["none"]),
             seeds=tuple(range(args.seeds)),
             preset=args.preset,
             max_rounds=args.max_rounds,
@@ -224,6 +226,11 @@ def main(argv: list[str] | None = None) -> int:
     sweep_parser.add_argument(
         "--algorithm", action="append",
         help="algorithm axis, repeatable (default: trivial)",
+    )
+    sweep_parser.add_argument(
+        "--scenario", action="append",
+        help="scenario axis, repeatable: a registered scenario name such "
+             "as edge-churn or wb-corrupt (default: none)",
     )
     sweep_parser.add_argument(
         "--seeds", type=int, default=5, help="seeds 0..N-1 per grid point (default 5)"

@@ -81,3 +81,12 @@ class AdversaryError(ReproError):
     instance a round budget larger than ``n/32``) or when gluing fails
     to find a compatible pair ``(j, k)`` within its retry budget.
     """
+
+
+class ScenarioError(ReproError):
+    """A scenario specification is unknown or malformed.
+
+    Raised by :func:`repro.scenarios.resolve_scenario` for unregistered
+    names and by :class:`repro.scenarios.ScenarioSpec` validation for
+    out-of-range rates or unknown churn/respawn policies.
+    """

@@ -45,6 +45,7 @@ from repro.runtime.lockstep import (
 )
 from repro.runtime.plan import ExecutionPlan
 from repro.runtime.scheduler import SyncScheduler
+from repro.scenarios.spec import active_scenario
 
 __all__ = [
     "TrialRecord",
@@ -62,6 +63,7 @@ __all__ = [
 _BATCHABLE_KWARGS = frozenset({
     "plan", "constants", "delta", "start_a", "start_b",
     "max_rounds", "check_instance", "port_model", "labeling",
+    "scenario",
 })
 
 
@@ -86,6 +88,11 @@ class TrialRecord:
     total_moves: int
     whiteboard_writes: int
     reports: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Name of the *active* scenario the trial ran under, or ``None``
+    #: for the benign world (no-op scenarios normalize to ``None``, so
+    #: a zero-rate run's record is byte-identical to a scenario-free
+    #: one — including this field).
+    scenario: str | None = None
 
     @property
     def rounds_per_n(self) -> float:
@@ -94,7 +101,11 @@ class TrialRecord:
 
 
 def _trial_record(
-    graph: StaticGraph, algorithm: str, seed: int, result: ExecutionResult
+    graph: StaticGraph,
+    algorithm: str,
+    seed: int,
+    result: ExecutionResult,
+    scenario: str | None = None,
 ) -> TrialRecord:
     """Fold one execution result into the harness's record shape."""
     return TrialRecord(
@@ -110,6 +121,7 @@ def _trial_record(
         total_moves=result.total_moves,
         whiteboard_writes=result.whiteboard_writes,
         reports=result.reports,
+        scenario=scenario,
     )
 
 
@@ -123,6 +135,7 @@ def run_trial(
     start_b: VertexId | None = None,
     max_rounds: int | None = None,
     check_instance: bool = True,
+    scenario: Any = None,
     **scheduler_kwargs: Any,
 ) -> TrialRecord:
     """Run one seeded trial and wrap the result in a :class:`TrialRecord`.
@@ -132,9 +145,18 @@ def run_trial(
     neighborhood-rendezvous instance — except for experiments that
     intentionally violate it (distance-two lower bounds), which pass
     ``check_instance=False``.
+
+    ``scenario`` (a name, :class:`~repro.scenarios.ScenarioSpec`, or
+    ``None``) selects the per-round world-mutation axis.  Under an
+    *active* scenario the post-run static-world verification is
+    skipped — churned edges and crashed agents legitimately violate
+    its invariants — and the record carries the scenario's name.
     """
     if check_instance and start_a is not None and start_b is not None:
         require_neighborhood_instance(graph, start_a, start_b)
+    active = active_scenario(scenario)
+    if active is not None:
+        scheduler_kwargs["scenario"] = active
     result = rendezvous(
         graph,
         algorithm=algorithm,
@@ -146,8 +168,12 @@ def run_trial(
         max_rounds=max_rounds,
         **scheduler_kwargs,
     )
-    verify_result(graph, result, start_a=start_a, start_b=start_b)
-    return _trial_record(graph, algorithm, seed, result)
+    if active is None:
+        verify_result(graph, result, start_a=start_a, start_b=start_b)
+    return _trial_record(
+        graph, algorithm, seed, result,
+        scenario=active.name if active is not None else None,
+    )
 
 
 def run_trials(
@@ -164,6 +190,7 @@ def run_trials(
     check_instance: bool = True,
     port_model: PortModel = PortModel.KT1,
     labeling: PortLabeling | None = None,
+    scenario: Any = None,
 ) -> list[TrialRecord]:
     """Run one trial per seed against a single compiled plan.
 
@@ -184,14 +211,21 @@ def run_trials(
     at a fraction of the cost; ``REPRO_LOCKSTEP=0`` opts out and any
     non-vectorizable batch falls back here automatically
     (``docs/performance.md`` § Lockstep execution).
+
+    ``scenario`` selects the world-mutation axis exactly as in
+    :func:`run_trial`; a batch with an *active* scenario never routes
+    to lockstep (the kernels cannot mutate the world) and skips the
+    static-world result verification.
     """
     seed_list = list(seeds)
     if not seed_list:
         return []
     if check_instance and start_a is not None and start_b is not None:
         require_neighborhood_instance(graph, start_a, start_b)
+    active = active_scenario(scenario)
+    record_scenario = active.name if active is not None else None
 
-    if lockstep_enabled() and lockstep_supported(algorithm, port_model):
+    if lockstep_enabled() and lockstep_supported(algorithm, port_model, scenario=active):
         results = run_lockstep_batch(
             graph,
             algorithm,
@@ -238,6 +272,7 @@ def run_trials(
                 whiteboards=spec.uses_whiteboards,
                 max_rounds=budget,
                 plan=plan,
+                scenario=active,
             )
             engine = scheduler.engine
             result = scheduler.run()
@@ -248,8 +283,11 @@ def run_trials(
                 (program_a, program_b), (sa, sb), seed=seed, max_rounds=budget
             )
             result = engine.run_pair()
-        verify_result(graph, result, start_a=start_a, start_b=start_b)
-        records.append(_trial_record(graph, algorithm, seed, result))
+        if active is None:
+            verify_result(graph, result, start_a=start_a, start_b=start_b)
+        records.append(
+            _trial_record(graph, algorithm, seed, result, scenario=record_scenario)
+        )
     return records
 
 

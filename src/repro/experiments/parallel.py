@@ -5,8 +5,8 @@ at a time; this module scales the same trials across CPU cores while
 keeping the output *bit-for-bit deterministic*:
 
 * a :class:`SweepSpec` names a grid — graph family × n × δ rule ×
-  algorithm × seeds — and every grid point is enumerated in one fixed
-  order, independent of worker count;
+  algorithm × scenario × seeds — and every grid point is enumerated in
+  one fixed order, independent of worker count;
 * a **persistent worker pool** (created on first use, reused by every
   later :func:`run_sweep` / :func:`map_trials` call) pulls chunks
   from a dynamic work queue, so stragglers steal work instead of the
@@ -93,6 +93,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import StaticGraph
 from repro.graphs.ports import PortLabeling
+from repro.scenarios.spec import resolve_scenario
 from repro.runtime.plan import (
     ExecutionPlan,
     PlanShare,
@@ -340,6 +341,7 @@ class SweepPoint:
     delta_spec: str
     algorithm: str
     seed: int
+    scenario: str = "none"
 
     def graph_key(self) -> tuple[str, int, str]:
         """Points sharing this key run on the same instance."""
@@ -351,9 +353,9 @@ class SweepSpec:
     """A full factorial grid of seeded trials.
 
     Every axis is a tuple; the grid is the cross product in the fixed
-    order families × ns × deltas × algorithms × seeds.  The spec (not
-    the worker count) determines the result, which is why its hash
-    names the cache file.
+    order families × ns × deltas × algorithms × scenarios × seeds.
+    The spec (not the worker count) determines the result, which is
+    why its hash names the cache file.
     """
 
     name: str
@@ -364,6 +366,7 @@ class SweepSpec:
     seeds: tuple[int, ...] = tuple(range(5))
     preset: str = "tuned"
     max_rounds: int | None = None
+    scenarios: tuple[str, ...] = ("none",)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "families", tuple(self.families))
@@ -371,6 +374,7 @@ class SweepSpec:
         object.__setattr__(self, "deltas", tuple(str(d) for d in self.deltas))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "scenarios", tuple(str(s) for s in self.scenarios))
         for family in self.families:
             if family not in GRAPH_FAMILIES:
                 known = ", ".join(sorted(GRAPH_FAMILIES))
@@ -382,10 +386,12 @@ class SweepSpec:
         if self.preset not in CONSTANTS_PRESETS:
             known = ", ".join(sorted(CONSTANTS_PRESETS))
             raise ReproError(f"unknown constants preset {self.preset!r}; known: {known}")
+        for scenario in self.scenarios:
+            resolve_scenario(scenario)  # raises ScenarioError on unknown names
         for delta_spec, n in ((d, n) for d in self.deltas for n in self.ns):
             resolve_delta(delta_spec, n)  # raises on malformed rules
         if not (self.families and self.ns and self.deltas
-                and self.algorithms and self.seeds):
+                and self.algorithms and self.scenarios and self.seeds):
             raise ReproError("every sweep axis needs at least one value")
 
     def points(self) -> list[SweepPoint]:
@@ -395,20 +401,22 @@ class SweepSpec:
             for n in self.ns:
                 for delta_spec in self.deltas:
                     for algorithm in self.algorithms:
-                        for seed in self.seeds:
-                            out.append(SweepPoint(
-                                index=len(out),
-                                family=family,
-                                n=n,
-                                delta_spec=delta_spec,
-                                algorithm=algorithm,
-                                seed=seed,
-                            ))
+                        for scenario in self.scenarios:
+                            for seed in self.seeds:
+                                out.append(SweepPoint(
+                                    index=len(out),
+                                    family=family,
+                                    n=n,
+                                    delta_spec=delta_spec,
+                                    algorithm=algorithm,
+                                    seed=seed,
+                                    scenario=scenario,
+                                ))
         return out
 
     def describe(self) -> dict[str, Any]:
         """JSON-able description (cache manifest, spec hashing)."""
-        return {
+        out = {
             "version": CACHE_FORMAT_VERSION,
             "name": self.name,
             "families": list(self.families),
@@ -419,6 +427,11 @@ class SweepSpec:
             "preset": self.preset,
             "max_rounds": self.max_rounds,
         }
+        if self.scenarios != ("none",):
+            # Included only when the axis is used, so benign-world
+            # specs keep their historical hash (and their caches).
+            out["scenarios"] = list(self.scenarios)
+        return out
 
     def spec_hash(self) -> str:
         """Content hash naming this spec's cache file (16 hex chars)."""
@@ -426,7 +439,7 @@ class SweepSpec:
 
     def point_key(self, point: SweepPoint) -> str:
         """Content hash of one trial (what the cache is keyed by)."""
-        return content_hash({
+        payload = {
             "version": CACHE_FORMAT_VERSION,
             "family": point.family,
             "n": point.n,
@@ -435,7 +448,10 @@ class SweepSpec:
             "seed": point.seed,
             "preset": self.preset,
             "max_rounds": self.max_rounds,
-        })
+        }
+        if point.scenario != "none":
+            payload["scenario"] = point.scenario
+        return content_hash(payload)
 
 
 @dataclass(frozen=True)
@@ -453,12 +469,13 @@ class SweepResult:
         """Export the raw records (byte-identical across worker counts)."""
         return write_records_jsonl(self.records, path)
 
-    def grouped(self) -> dict[tuple[str, int, str, str], list[TrialRecord]]:
-        """Records grouped by (family, n, delta rule, algorithm)."""
+    def grouped(self) -> dict[tuple[str, int, str, str, str], list[TrialRecord]]:
+        """Records grouped by (family, n, delta rule, algorithm, scenario)."""
         points = self.spec.points()
-        groups: dict[tuple[str, int, str, str], list[TrialRecord]] = {}
+        groups: dict[tuple[str, int, str, str, str], list[TrialRecord]] = {}
         for point, record in zip(points, self.records):
-            key = (point.family, point.n, point.delta_spec, point.algorithm)
+            key = (point.family, point.n, point.delta_spec, point.algorithm,
+                   point.scenario)
             groups.setdefault(key, []).append(record)
         return groups
 
@@ -482,16 +499,16 @@ class SweepResult:
         table = Table(
             title=f"SWEEP {self.spec.name} — preset {self.spec.preset}",
             headers=[
-                "family", "n", "delta rule", "delta", "algorithm",
+                "family", "n", "delta rule", "delta", "algorithm", "scenario",
                 "met", "mean rounds", "median rounds",
             ],
         )
-        for (family, n, delta_spec, algorithm), records in self.grouped().items():
+        for (family, n, delta_spec, algorithm, scenario), records in self.grouped().items():
             met = [r for r in records if r.met]
             rounds = [r.rounds for r in met]
             summary = summarize(rounds) if rounds else None
             table.add_row(
-                family, n, delta_spec, records[0].delta, algorithm,
+                family, n, delta_spec, records[0].delta, algorithm, scenario,
                 f"{len(met)}/{len(records)}",
                 summary.mean if summary else float("nan"),
                 summary.median if summary else float("nan"),
@@ -527,7 +544,7 @@ class SweepStreamResult:
     """
 
     spec: SweepSpec
-    groups: dict[tuple[str, int, str, str], StreamSummary]
+    groups: dict[tuple[str, int, str, str, str], StreamSummary]
     executed: int
     cached: int
     workers: int
@@ -548,14 +565,14 @@ class SweepStreamResult:
         table = Table(
             title=f"SWEEP {self.spec.name} — preset {self.spec.preset}",
             headers=[
-                "family", "n", "delta rule", "delta", "algorithm",
+                "family", "n", "delta rule", "delta", "algorithm", "scenario",
                 "met", "mean rounds", "median rounds",
             ],
         )
-        for (family, n, delta_spec, algorithm), group in self.groups.items():
+        for (family, n, delta_spec, algorithm, scenario), group in self.groups.items():
             summary = group.summary()
             table.add_row(
-                family, n, delta_spec, group.delta, algorithm,
+                family, n, delta_spec, group.delta, algorithm, scenario,
                 f"{group.met}/{group.total}",
                 summary.mean if summary else float("nan"),
                 summary.median if summary else float("nan"),
@@ -589,7 +606,7 @@ class _GraphChunk:
     delta_spec: str
     preset: str
     max_rounds: int | None
-    trials: tuple[tuple[int, str, int], ...]  # (point index, algorithm, seed)
+    trials: tuple[tuple[int, str, str, int], ...]  # (point index, algorithm, scenario, seed)
 
 
 def _run_chunk(chunk: _GraphChunk) -> list[tuple[int, TrialRecord]]:
@@ -603,11 +620,11 @@ def _run_chunk(chunk: _GraphChunk) -> list[tuple[int, TrialRecord]]:
     graph, plan = _instance_for(chunk.family, chunk.n, chunk.delta_spec)
     constants = CONSTANTS_PRESETS[chunk.preset]()
     out: list[tuple[int, TrialRecord]] = []
-    for index, algorithm, seed in chunk.trials:
+    for index, algorithm, scenario, seed in chunk.trials:
         record = run_trial(
             graph, algorithm, seed,
             constants=constants, max_rounds=chunk.max_rounds,
-            plan=plan,
+            plan=plan, scenario=scenario,
         )
         out.append((index, record))
     return out
@@ -649,7 +666,9 @@ def _chunk_points(
                 delta_spec=delta_spec,
                 preset=spec.preset,
                 max_rounds=spec.max_rounds,
-                trials=tuple((p.index, p.algorithm, p.seed) for p in batch),
+                trials=tuple(
+                    (p.index, p.algorithm, p.scenario, p.seed) for p in batch
+                ),
             ))
     return chunks
 
@@ -731,7 +750,7 @@ class _ChunkTask:
     delta_spec: str
     preset: str
     max_rounds: int | None
-    trials: tuple[tuple[int, str, int], ...]  # (grid index, algorithm, seed)
+    trials: tuple[tuple[int, str, str, int], ...]  # (grid index, algorithm, scenario, seed)
     plan_handle: SharedPlanHandle | None  # None → regenerate from the tag
 
 
@@ -798,12 +817,18 @@ def _execute_chunk_task(task: _ChunkTask) -> tuple[tuple[int, ...], list[TrialRe
     while start < len(trials):
         stop = start
         algorithm = trials[start][1]
-        while stop < len(trials) and trials[stop][1] == algorithm:
+        scenario = trials[start][2]
+        while (
+            stop < len(trials)
+            and trials[stop][1] == algorithm
+            and trials[stop][2] == scenario
+        ):
             stop += 1
-        seeds = [trials[i][2] for i in range(start, stop)]
+        seeds = [trials[i][3] for i in range(start, stop)]
         batch = run_trials(
             graph, algorithm, seeds,
             plan=plan, constants=constants, max_rounds=task.max_rounds,
+            scenario=scenario,
         )
         indices.extend(trials[i][0] for i in range(start, stop))
         records.extend(batch)
@@ -1131,7 +1156,9 @@ def _run_fabric_locked(
                     delta_spec=delta_spec,
                     preset=spec.preset,
                     max_rounds=spec.max_rounds,
-                    trials=tuple((p.index, p.algorithm, p.seed) for p in batch),
+                    trials=tuple(
+                        (p.index, p.algorithm, p.scenario, p.seed) for p in batch
+                    ),
                     plan_handle=handle,
                 )
                 pool.submit(task)
@@ -1178,10 +1205,11 @@ class _StreamSink:
     """
 
     def __init__(self, points: Sequence[SweepPoint]) -> None:
-        self.groups: dict[tuple[str, int, str, str], StreamSummary] = {}
-        self._group_of: list[tuple[str, int, str, str]] = []
+        self.groups: dict[tuple[str, int, str, str, str], StreamSummary] = {}
+        self._group_of: list[tuple[str, int, str, str, str]] = []
         for point in points:
-            key = (point.family, point.n, point.delta_spec, point.algorithm)
+            key = (point.family, point.n, point.delta_spec, point.algorithm,
+                   point.scenario)
             self.groups.setdefault(key, StreamSummary())
             self._group_of.append(key)
         self._count = 0

@@ -51,7 +51,7 @@ __all__ = [
 
 _CSV_FIELDS = [
     "algorithm", "graph_name", "n", "id_space", "delta", "max_degree",
-    "seed", "met", "rounds", "total_moves", "whiteboard_writes",
+    "seed", "met", "rounds", "total_moves", "whiteboard_writes", "scenario",
 ]
 
 
@@ -117,7 +117,9 @@ def read_records_jsonl(path: str | Path) -> list[TrialRecord]:
 # ----------------------------------------------------------------------
 
 #: Magic + version prefix of a packed batch; bump on layout changes.
-_BATCH_MAGIC = b"TRB1"
+#: TRB2 added the per-record ``scenario`` entry to the JSON side
+#: channel (the scalar column layout is unchanged from TRB1).
+_BATCH_MAGIC = b"TRB2"
 
 #: The scalar int columns, in wire order (one ``array('q')`` each).
 _INT_COLUMNS = (
@@ -152,13 +154,14 @@ def pack_record_batch(records: Sequence[TrialRecord]) -> bytes:
 
     Layout (all little-endian)::
 
-        "TRB1" | uint32 count
+        "TRB2" | uint32 count
               | 8 x int64[count]   -- n, id_space, delta, max_degree,
               |                       seed, rounds, total_moves,
               |                       whiteboard_writes
               | uint8[count]       -- met flags
               | utf-8 JSON         -- {"algorithm": [...],
               |                        "graph_name": [...],
+              |                        "scenario": [...],
               |                        "reports": [...]} (to the end)
 
     Reports go through the same coercion as
@@ -176,6 +179,7 @@ def pack_record_batch(records: Sequence[TrialRecord]) -> bytes:
     side = {
         "algorithm": [r.algorithm for r in records],
         "graph_name": [r.graph_name for r in records],
+        "scenario": [r.scenario for r in records],
         "reports": [_jsonable(r.reports) for r in records],
     }
     parts.append(json.dumps(side, separators=(",", ":")).encode("utf-8"))
@@ -211,6 +215,7 @@ def unpack_record_batch(data: bytes) -> list[TrialRecord]:
             total_moves=columns["total_moves"][i],
             whiteboard_writes=columns["whiteboard_writes"][i],
             reports=side["reports"][i],
+            scenario=side["scenario"][i],
         )
         for i in range(count)
     ]

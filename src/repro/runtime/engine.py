@@ -231,7 +231,7 @@ class EngineView(AgentView):
     identifiers, disabled whiteboards raise) are enforced identically.
     """
 
-    __slots__ = ("_kt1", "_plan", "_ids", "_nbr_ids", "_degrees", "_kt0_ports", "_wb")
+    __slots__ = ("_kt1", "_plan", "_ids", "_nbr_ids", "_degrees", "_kt0_ports", "_wb", "_closed_of")
 
     def __init__(self, engine: "Engine", slot: AgentSlot) -> None:
         super().__init__(engine, slot)
@@ -239,10 +239,20 @@ class EngineView(AgentView):
         self._kt1 = engine.port_model is PortModel.KT1
         self._plan = plan
         self._ids = plan.ids
-        self._nbr_ids = plan.nbr_ids
         self._degrees = plan.degrees
         self._kt0_ports = plan.kt0_ports
         self._wb = engine.whiteboards
+        scenario = engine.scenario
+        overlay = scenario.overlay if scenario is not None else None
+        if overlay is not None:
+            # Churn scenario: neighbor rows and closed neighborhoods
+            # resolve through the copy-on-write overlay, never the
+            # (shared, immutable) plan.
+            self._nbr_ids = overlay.nbr_ids if overlay.nbr_ids is not None else plan.nbr_ids
+            self._closed_of = overlay.closed_set
+        else:
+            self._nbr_ids = plan.nbr_ids
+            self._closed_of = plan.closed_set
 
     @property
     def round(self) -> int:
@@ -278,7 +288,7 @@ class EngineView(AgentView):
         """``N⁺(v)`` of the current vertex as a frozenset (KT1 only)."""
         if not self._kt1:
             raise ProtocolError("neighbor identifiers are not accessible under KT0")
-        return self._plan.closed_set(self._driver.index)
+        return self._closed_of(self._driver.index)
 
     @property
     def whiteboard(self) -> Any:
@@ -357,6 +367,7 @@ class Engine:
         params: Sequence[dict[str, Any] | None] | None = None,
         multi_view: bool | None = None,
         plan: ExecutionPlan | None = None,
+        scenario: Any = None,
     ) -> None:
         if plan is None:
             plan = ExecutionPlan.compile(graph, labeling=labeling, port_model=port_model)
@@ -367,6 +378,19 @@ class Engine:
         self.port_model = port_model
         self._wb_enabled = whiteboards
         self.whiteboards = WhiteboardStore() if whiteboards else DisabledWhiteboards()
+        # ``scenario`` is a pre-normalized *active* ScenarioSpec (the
+        # façades run it through ``repro.scenarios.active_scenario``,
+        # so no-op configurations arrive here as None and take the
+        # exact pre-scenario code path).  Imported lazily: the benign
+        # engine never loads the scenarios package.
+        if scenario is None:
+            self.scenario = None
+        else:
+            from repro.scenarios.runtime import ScenarioRuntime
+
+            self.scenario = ScenarioRuntime(scenario, self)
+            self.scenario.arm(seed)
+            self.whiteboards = self.scenario.make_store(whiteboards)
         self.max_rounds = int(max_rounds)
         self.current_round = 0
         self.termination = termination
@@ -404,6 +428,16 @@ class Engine:
         """The execution's port labeling (lazy for default-KT1 plans)."""
         return self.plan.labeling
 
+    @property
+    def scenario_events(self) -> tuple:
+        """The active scenario's mutation event tape (empty when benign).
+
+        One tuple per injected mutation, in injection order — the
+        deterministic record the scenario fuzz suite digests across
+        process boundaries.
+        """
+        return tuple(self.scenario.events) if self.scenario is not None else ()
+
     def other_driver(self, slot: AgentSlot) -> AgentSlot:
         """The slot of the other agent (two-agent engines only)."""
         a, b = self.drivers
@@ -435,6 +469,9 @@ class Engine:
         self.whiteboards = (
             WhiteboardStore() if self._wb_enabled else DisabledWhiteboards()
         )
+        if self.scenario is not None:
+            self.scenario.arm(seed)
+            self.whiteboards = self.scenario.make_store(self._wb_enabled)
         self.current_round = 0
         self._trace.clear()
         index_of = self.plan.index_of
@@ -479,8 +516,12 @@ class Engine:
         if len(self.drivers) != 2:
             raise SchedulerError("run_pair requires exactly two agents")
         a, b = self.drivers
+        scenario = self.scenario
         a.gen = a.program.run(a.ctx)
         b.gen = b.program.run(b.ctx)
+        if scenario is not None:
+            a.gen = scenario.guard(a.gen, a.name)
+            b.gen = scenario.guard(b.gen, b.name)
 
         _MOVE, _STAY, _WAIT, _HALT, _KEEP = Move, Stay, WaitUntil, Halt, KEEP
         kt1 = self.port_model is PortModel.KT1
@@ -488,6 +529,18 @@ class Engine:
         ids = plan.ids
         nbr_index = plan.nbr_index
         kt0_rows = plan.kt0_rows
+        on_round = None
+        if scenario is not None:
+            on_round = scenario.on_round
+            overlay = scenario.overlay
+            if overlay is not None:
+                # Churn resolves moves through the overlay's rows; the
+                # overlay replaces entries inside these same outer
+                # lists, so the bindings stay current.
+                if overlay.nbr_index is not None:
+                    nbr_index = overlay.nbr_index
+                if overlay.kt0_rows is not None:
+                    kt0_rows = overlay.kt0_rows
         wb_write = self.whiteboards.write
         max_rounds = self.max_rounds
         record = self._record_trace
@@ -650,6 +703,13 @@ class Engine:
 
             if record and len(trace) < trace_limit:
                 trace_append((rnd, ids[a.index], ids[b.index]))
+            if on_round is not None:
+                # The scenario hook runs between rounds: after round
+                # ``rnd``'s movements, before round ``rnd + 1``'s
+                # observations.  A crash-restart replaces slot
+                # generators, so the hot-loop bindings are refreshed.
+                on_round(rnd)
+                gen_a, gen_b = a.gen, b.gen
             rnd += 1
             self.current_round = rnd
 
@@ -660,8 +720,10 @@ class Engine:
     def run_many(self) -> MultiExecutionResult:
         """Execute until the termination condition, mutual halt, or budget."""
         drivers = self.drivers
+        scenario = self.scenario
         for slot in drivers:
-            slot.gen = slot.program.run(slot.ctx)
+            gen = slot.program.run(slot.ctx)
+            slot.gen = scenario.guard(gen, slot.name) if scenario is not None else gen
 
         _MOVE, _STAY, _WAIT, _HALT, _KEEP = Move, Stay, WaitUntil, Halt, KEEP
         kt1 = self.port_model is PortModel.KT1
@@ -669,6 +731,15 @@ class Engine:
         ids = plan.ids
         nbr_index = plan.nbr_index
         kt0_rows = plan.kt0_rows
+        on_round = None
+        if scenario is not None:
+            on_round = scenario.on_round
+            overlay = scenario.overlay
+            if overlay is not None:
+                if overlay.nbr_index is not None:
+                    nbr_index = overlay.nbr_index
+                if overlay.kt0_rows is not None:
+                    kt0_rows = overlay.kt0_rows
         wb_write = self.whiteboards.write
         max_rounds = self.max_rounds
         pair_mode = self.termination == "pair"
@@ -780,6 +851,8 @@ class Engine:
                 else:
                     self._apply_slow(slot, act, rnd)
 
+            if on_round is not None:
+                on_round(rnd)
             rnd += 1
             self.current_round = rnd
 

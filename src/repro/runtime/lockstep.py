@@ -89,13 +89,25 @@ def lockstep_enabled() -> bool:
     }
 
 
-def lockstep_supported(algorithm: str, port_model: PortModel) -> bool:
+def lockstep_supported(
+    algorithm: str, port_model: PortModel, scenario: object = None
+) -> bool:
     """Whether ``algorithm`` under ``port_model`` has a lockstep executor.
 
     This is the *static* half of eligibility — the per-batch dynamic
     checks (program types, degree-0 vertices, self-loops) live in
     :func:`run_lockstep_batch`, which returns ``None`` when any fails.
+
+    ``scenario`` is the batch's *active* scenario (an already
+    normalized :class:`~repro.scenarios.ScenarioSpec`, or ``None``).
+    Any active scenario declines the batch unconditionally — the
+    lockstep kernels advance many seeds over one shared immutable
+    plan and know nothing about per-round mutation, so faulty and
+    dynamic batches always take the serial engine, even under
+    ``REPRO_LOCKSTEP=1``.
     """
+    if scenario is not None:
+        return False
     if algorithm == "random-walk":
         return True
     if algorithm == "trivial":

@@ -80,6 +80,13 @@ class SyncScheduler:
         (:func:`repro.experiments.harness.run_trials`).  Must have
         been compiled from this exact graph (and labeling, when one is
         passed); mismatches raise :class:`SchedulerError`.
+    scenario:
+        A scenario name, :class:`~repro.scenarios.ScenarioSpec`, or
+        ``None`` — the per-round world-mutation axis (edge churn,
+        whiteboard faults, agent crashes; see the "Scenarios" section
+        of ``docs/runtime.md``).  No-op configurations (``None``,
+        ``"none"``, any zero-rate spec) are normalized away and leave
+        the execution byte-identical to a scenario-free run.
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class SyncScheduler:
         params_a: dict[str, Any] | None = None,
         params_b: dict[str, Any] | None = None,
         plan: ExecutionPlan | None = None,
+        scenario: Any = None,
     ) -> None:
         if start_a not in graph or start_b not in graph:
             raise SchedulerError("start vertices must belong to the graph")
@@ -106,6 +114,12 @@ class SyncScheduler:
             raise SchedulerError("agents must start at two different vertices")
         if labeling is not None and labeling.graph is not graph:
             raise SchedulerError("labeling belongs to a different graph")
+        if scenario is None:
+            active = None
+        else:
+            from repro.scenarios.spec import active_scenario
+
+            active = active_scenario(scenario)
 
         self._engine = Engine(
             graph,
@@ -123,6 +137,7 @@ class SyncScheduler:
             params=(params_a, params_b),
             multi_view=False,
             plan=plan,
+            scenario=active,
         )
         self.graph = graph
         self.port_model = port_model

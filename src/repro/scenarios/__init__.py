@@ -1,0 +1,40 @@
+"""Faulty and dynamic world scenarios — a first-class, sweepable axis.
+
+Public surface:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` and the registered
+  :data:`~repro.scenarios.spec.SCENARIOS`, with
+  :func:`~repro.scenarios.spec.resolve_scenario` /
+  :func:`~repro.scenarios.spec.active_scenario` normalization;
+* :class:`~repro.scenarios.faults.FaultyWhiteboardStore` (and its
+  historical alias :class:`~repro.scenarios.faults.CorruptingWhiteboards`);
+* :class:`~repro.scenarios.runtime.ScenarioRuntime` /
+  :class:`~repro.scenarios.runtime.PlanOverlay`, the engine-side
+  machinery (most callers never touch these directly — pass a
+  ``scenario=`` to :class:`~repro.runtime.scheduler.SyncScheduler`,
+  :func:`~repro.experiments.harness.run_trial`, or a
+  :class:`~repro.experiments.parallel.SweepSpec` axis instead).
+
+See the "Scenarios" section of ``docs/runtime.md`` for hook ordering,
+determinism rules, and fallback semantics.
+"""
+
+from repro.scenarios.spec import (
+    SCENARIOS,
+    ScenarioSpec,
+    active_scenario,
+    resolve_scenario,
+)
+from repro.scenarios.faults import CorruptingWhiteboards, FaultyWhiteboardStore
+from repro.scenarios.runtime import PlanOverlay, ScenarioRuntime
+
+__all__ = [
+    "SCENARIOS",
+    "CorruptingWhiteboards",
+    "FaultyWhiteboardStore",
+    "PlanOverlay",
+    "ScenarioRuntime",
+    "ScenarioSpec",
+    "active_scenario",
+    "resolve_scenario",
+]

@@ -1,0 +1,100 @@
+"""Fault-injecting whiteboard stores.
+
+Promoted out of ``tests/integration/test_failure_injection.py`` (where
+:class:`CorruptingWhiteboards` started life as test scaffolding) into a
+library the engine can actually install: when a
+:class:`~repro.scenarios.spec.ScenarioSpec` with nonzero whiteboard
+rates is active, the engine's store *is* a
+:class:`FaultyWhiteboardStore`, so every hot-loop ``wb_write`` binding
+and every view's cached ``_wb`` reference goes through the faulty
+implementation — no monkey-patching after construction (which the old
+test did, and which silently never injected anything because the
+engine had already bound the pristine store's methods).
+
+Fault draws come from a dedicated RNG stream owned by the scenario
+runtime, never from the agents' RNGs, so a faulty run perturbs the
+world without perturbing the programs' random tapes.  Zero-rate stores
+draw nothing at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro._typing import VertexId
+from repro.runtime.whiteboard import WhiteboardStore
+from repro.scenarios.spec import DEFAULT_GARBAGE
+
+__all__ = ["CorruptingWhiteboards", "FaultyWhiteboardStore"]
+
+
+class FaultyWhiteboardStore(WhiteboardStore):
+    """A :class:`WhiteboardStore` with probabilistic read/write faults.
+
+    * With probability ``corruption_rate`` a read returns a value drawn
+      from ``garbage`` instead of the stored contents (the store itself
+      stays intact — only the observation is corrupted).
+    * With probability ``loss_rate`` a write is silently dropped.  The
+      write still *counts* (the agent performed it), matching the
+      paper's cost accounting.
+
+    ``on_event`` receives one tuple per injected fault —
+    ``("wb-corrupt", vertex)`` / ``("wb-lose", vertex)`` — and feeds
+    the scenario runtime's deterministic event tape.
+    """
+
+    __slots__ = ("_rng", "_corruption_rate", "_loss_rate", "_garbage", "_on_event")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        corruption_rate: float = 0.0,
+        loss_rate: float = 0.0,
+        garbage: tuple[Any, ...] = DEFAULT_GARBAGE,
+        on_event: Callable[[tuple], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self._rng = rng
+        self._corruption_rate = corruption_rate
+        self._loss_rate = loss_rate
+        self._garbage = tuple(garbage)
+        self._on_event = on_event
+
+    def read(self, vertex: VertexId) -> Any:
+        value = super().read(vertex)
+        rate = self._corruption_rate
+        if rate > 0.0 and self._rng.random() < rate:
+            value = self._garbage[self._rng.randrange(len(self._garbage))]
+            if self._on_event is not None:
+                self._on_event(("wb-corrupt", vertex))
+        return value
+
+    def write(self, vertex: VertexId, value: Any) -> None:
+        rate = self._loss_rate
+        if rate > 0.0 and self._rng.random() < rate:
+            self.writes += 1
+            if self._on_event is not None:
+                self._on_event(("wb-lose", vertex))
+            return
+        super().write(vertex, value)
+
+
+class CorruptingWhiteboards(FaultyWhiteboardStore):
+    """Read-corruption-only store, under its historical test name.
+
+    Kept as the stable public alias for the store that
+    ``tests/integration/test_failure_injection.py`` introduced; new
+    code should configure a :class:`~repro.scenarios.spec.ScenarioSpec`
+    with ``corruption_rate`` and let the engine install the store.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        rng: random.Random,
+        corruption_rate: float,
+        garbage: tuple[Any, ...] = DEFAULT_GARBAGE,
+    ) -> None:
+        super().__init__(rng, corruption_rate=corruption_rate, garbage=garbage)

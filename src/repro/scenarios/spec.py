@@ -1,0 +1,203 @@
+"""Scenario specifications — the sweepable "what goes wrong" axis.
+
+The paper's model (Section 2.1) is a static, synchronous, benign
+world: the graph never changes, whiteboards are reliable, agents never
+fail.  A :class:`ScenarioSpec` describes a controlled departure from
+that model as a bundle of *composable mutators*, each driven by its
+own deterministic RNG stream:
+
+* **edge churn** — per-round degree-preserving double edge swaps
+  (random, or adversarially biased toward the agents' positions in
+  the spirit of the Lemma 9 adaptive adversary,
+  :mod:`repro.lowerbound.adversary`);
+* **whiteboard faults** — reads corrupted with garbage values and/or
+  writes silently lost (:class:`repro.scenarios.faults.FaultyWhiteboardStore`);
+* **agent crashes** — an agent loses its execution state mid-run and
+  either halts for good or re-spawns at its current vertex after a
+  delay.
+
+A spec is *data only* — frozen, hashable, comparable — so it can ride
+in a :class:`~repro.experiments.parallel.SweepSpec` axis, a cache key,
+or a CLI flag.  The actual mutation machinery lives in
+:mod:`repro.scenarios.runtime` and is attached to the engine only when
+a scenario is *active*: :func:`active_scenario` normalizes the no-op
+configurations (``None``, ``"none"``, and every zero-rate spec) to
+``None``, which is what keeps the default execution path byte-identical
+to an engine that has never heard of scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ScenarioError
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioSpec",
+    "active_scenario",
+    "resolve_scenario",
+]
+
+#: Default garbage pool for corrupted whiteboard reads: a wrong type,
+#: an out-of-id-space integer, a malformed trail tuple, and a negative
+#: identifier — the shapes a defensive algorithm must survive.
+DEFAULT_GARBAGE: tuple[Any, ...] = ("junk", 10**9, ("trail", "not-a-path"), -1)
+
+_CHURN_MODES = ("random", "adversarial")
+_RESPAWN_POLICIES = ("restart", "halt")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named bundle of per-round world mutations.
+
+    All rates are per-round probabilities in ``[0, 1]``; a mutator
+    with rate ``0.0`` draws nothing from its RNG stream, so a spec
+    whose rates are all zero is exactly the benign world
+    (:attr:`is_noop`).
+    """
+
+    #: Registry / record / cache-key name of the scenario.
+    name: str
+    #: Probability per simulated round that a churn event fires.
+    churn_rate: float = 0.0
+    #: Degree-preserving double edge swaps applied per churn event.
+    churn_swaps: int = 1
+    #: ``"random"`` picks both edges uniformly; ``"adversarial"``
+    #: anchors the first edge at an agent's current vertex.
+    churn_mode: str = "random"
+    #: Probability that a whiteboard *read* returns garbage instead of
+    #: the stored value.
+    corruption_rate: float = 0.0
+    #: Probability that a whiteboard *write* is silently dropped.
+    loss_rate: float = 0.0
+    #: Pool of garbage values corrupted reads are drawn from.
+    garbage: tuple[Any, ...] = DEFAULT_GARBAGE
+    #: Probability per agent per round that the agent crashes.
+    crash_rate: float = 0.0
+    #: Rounds a crashed agent stays down before re-spawning
+    #: (``respawn="restart"`` only).
+    restart_delay: int = 8
+    #: ``"restart"`` re-spawns the crashed agent's program from scratch
+    #: at its current vertex; ``"halt"`` takes it down for good.
+    respawn: str = "restart"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("a scenario needs a non-empty name")
+        for rate_field in ("churn_rate", "corruption_rate", "loss_rate", "crash_rate"):
+            rate = getattr(self, rate_field)
+            if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: {rate_field} must be in [0, 1], got {rate!r}"
+                )
+        if self.churn_swaps < 1:
+            raise ScenarioError(
+                f"scenario {self.name!r}: churn_swaps must be >= 1, got {self.churn_swaps}"
+            )
+        if self.churn_mode not in _CHURN_MODES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: churn_mode must be one of {_CHURN_MODES}, "
+                f"got {self.churn_mode!r}"
+            )
+        if self.restart_delay < 0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: restart_delay must be >= 0, "
+                f"got {self.restart_delay}"
+            )
+        if self.respawn not in _RESPAWN_POLICIES:
+            raise ScenarioError(
+                f"scenario {self.name!r}: respawn must be one of {_RESPAWN_POLICIES}, "
+                f"got {self.respawn!r}"
+            )
+        if not isinstance(self.garbage, tuple) or not self.garbage:
+            raise ScenarioError(
+                f"scenario {self.name!r}: garbage must be a non-empty tuple"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this spec mutates nothing (all rates zero)."""
+        return (
+            self.churn_rate == 0.0
+            and self.corruption_rate == 0.0
+            and self.loss_rate == 0.0
+            and self.crash_rate == 0.0
+        )
+
+    @property
+    def wants_whiteboard_faults(self) -> bool:
+        """Whether the spec needs a fault-injecting whiteboard store."""
+        return self.corruption_rate > 0.0 or self.loss_rate > 0.0
+
+
+#: The registered scenarios — every name is a valid ``--scenario``
+#: value and a valid :class:`~repro.experiments.parallel.SweepSpec`
+#: axis entry.  ``none`` is the benign world; ``faults-zero`` and
+#: ``dyn-zero`` are *configured but zero-rate* variants whose runs are
+#: proven byte-identical to ``none`` by the fault-matrix suite.
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(name="none"),
+        ScenarioSpec(name="faults-zero", garbage=DEFAULT_GARBAGE),
+        ScenarioSpec(name="dyn-zero", churn_swaps=2),
+        ScenarioSpec(name="wb-corrupt", corruption_rate=0.1),
+        ScenarioSpec(name="wb-loss", loss_rate=0.1),
+        ScenarioSpec(name="crash-restart", crash_rate=0.002, restart_delay=16),
+        ScenarioSpec(name="crash-halt", crash_rate=0.0005, respawn="halt"),
+        ScenarioSpec(name="edge-churn", churn_rate=0.05, churn_swaps=2),
+        ScenarioSpec(
+            name="adversarial-churn",
+            churn_rate=0.05,
+            churn_swaps=2,
+            churn_mode="adversarial",
+        ),
+        ScenarioSpec(
+            name="chaos",
+            churn_rate=0.02,
+            churn_swaps=1,
+            corruption_rate=0.05,
+            loss_rate=0.05,
+            crash_rate=0.001,
+            restart_delay=8,
+        ),
+    )
+}
+
+
+def resolve_scenario(value: "str | ScenarioSpec | None") -> ScenarioSpec:
+    """Resolve a scenario name / spec / ``None`` to a :class:`ScenarioSpec`.
+
+    ``None`` means the benign world (``SCENARIOS["none"]``).  Unknown
+    names raise :class:`~repro.errors.ScenarioError` listing the
+    registered ones.
+    """
+    if value is None:
+        return SCENARIOS["none"]
+    if isinstance(value, ScenarioSpec):
+        return value
+    if isinstance(value, str):
+        try:
+            return SCENARIOS[value]
+        except KeyError:
+            known = ", ".join(sorted(SCENARIOS))
+            raise ScenarioError(
+                f"unknown scenario {value!r}; registered scenarios: {known}"
+            ) from None
+    raise ScenarioError(f"cannot interpret {value!r} as a scenario")
+
+
+def active_scenario(value: "str | ScenarioSpec | None") -> ScenarioSpec | None:
+    """Like :func:`resolve_scenario`, but no-op configurations become ``None``.
+
+    This is the normalization every execution layer applies before
+    touching the engine: a run whose scenario resolves to ``None``
+    takes the exact pre-scenario code path (same RNG draws, same
+    whiteboard store, same lockstep eligibility), which is what the
+    byte-identity guarantee in the fault-matrix suite rests on.
+    """
+    spec = resolve_scenario(value)
+    return None if spec.is_noop else spec

@@ -119,12 +119,12 @@ class TestInstanceMemoization:
         chunk = _GraphChunk(
             family="counting-test", n=20, delta_spec="8",
             preset="tuned", max_rounds=None,
-            trials=((0, "trivial", 0), (1, "trivial", 1)),
+            trials=((0, "trivial", "none", 0), (1, "trivial", "none", 1)),
         )
         again = _GraphChunk(
             family="counting-test", n=20, delta_spec="8",
             preset="tuned", max_rounds=None,
-            trials=((2, "trivial", 2),),
+            trials=((2, "trivial", "none", 2),),
         )
         records = dict(_run_chunk(chunk) + _run_chunk(again))
         assert sorted(records) == [0, 1, 2]
@@ -189,7 +189,7 @@ class TestRunSweepDeterminism:
     def test_merged_summary_equals_serial_path(self):
         spec = small_spec()
         result = run_sweep(spec, workers=2)
-        for (family, n, delta_spec, algorithm), records in result.grouped().items():
+        for (family, n, delta_spec, algorithm, _), records in result.grouped().items():
             graph = build_graph(family, n, delta_spec)
             serial = repeat_trials(graph, algorithm, spec.seeds)
             assert aggregate_rounds(records) == aggregate_rounds(serial)

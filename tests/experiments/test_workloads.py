@@ -26,6 +26,7 @@ class TestRegistryContract:
             "SAMPLE-ACC", "MAIN-RDV", "ESTIMATION", "LB-MINDEG", "LB-KT0",
             "LB-DIST2", "LB-DET", "COMPLETE-AW", "SHOOTOUT",
             "ORACLES", "EXT-GATHER", "EXT-DIST2", "PAR-SWEEP",
+            "FAULT-TOL", "DYN-CHURN",
             "ABL-CONSTANTS", "ABL-THRESHOLD", "ABL-DWELL",
         }
         assert keys == expected

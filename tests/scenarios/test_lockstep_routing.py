@@ -1,0 +1,119 @@
+"""Routing regression: active scenarios never reach the lockstep kernels.
+
+The lockstep executor replays pre-drawn tapes over a *static* world —
+its kernels cannot churn edges, corrupt whiteboards, or crash agents.
+:func:`lockstep_supported` therefore declines any batch carrying an
+active scenario (even under an explicit ``REPRO_LOCKSTEP=1``), while
+no-op scenarios are normalized away before the check and keep routing
+exactly as before the scenario axis existed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.harness import run_trial, run_trials
+from repro.graphs.generators import random_graph_with_min_degree
+from repro.graphs.ports import PortModel
+from repro.runtime.lockstep import LOCKSTEP_ENV, lockstep_supported
+from repro.scenarios import SCENARIOS, ScenarioSpec
+
+
+@pytest.fixture
+def graph():
+    return random_graph_with_min_degree(48, 9, random.Random("routing"))
+
+
+class _Spy:
+    """Wraps run_lockstep_batch, recording whether it was consulted."""
+
+    def __init__(self):
+        self.calls = 0
+        self._real = harness.run_lockstep_batch
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        return self._real(*args, **kwargs)
+
+
+@pytest.fixture
+def lockstep_spy(monkeypatch):
+    spy = _Spy()
+    monkeypatch.setattr(harness, "run_lockstep_batch", spy)
+    return spy
+
+
+class TestStaticEligibility:
+    def test_active_scenario_always_declines(self):
+        for name, spec in SCENARIOS.items():
+            if spec.is_noop:
+                continue
+            for port_model in (PortModel.KT1, PortModel.KT0):
+                assert not lockstep_supported("random-walk", port_model, spec), (
+                    f"{name} must not be lockstep-eligible"
+                )
+        custom = ScenarioSpec(name="tiny-churn", churn_rate=1e-6)
+        assert not lockstep_supported("random-walk", PortModel.KT1, custom)
+
+    def test_no_scenario_keeps_historical_eligibility(self):
+        assert lockstep_supported("random-walk", PortModel.KT1)
+        assert lockstep_supported("random-walk", PortModel.KT1, None)
+        assert lockstep_supported("trivial", PortModel.KT1, None)
+        assert not lockstep_supported("trivial", PortModel.KT0, None)
+        assert not lockstep_supported("theorem1", PortModel.KT1, None)
+
+
+class TestBatchRouting:
+    def test_noop_scenario_batches_still_route_to_lockstep(
+        self, graph, lockstep_spy, monkeypatch
+    ):
+        monkeypatch.setenv(LOCKSTEP_ENV, "1")
+        for scenario in (None, "none", "faults-zero", "dyn-zero"):
+            before = lockstep_spy.calls
+            run_trials(
+                graph, "random-walk", [0, 1], scenario=scenario, max_rounds=400
+            )
+            assert lockstep_spy.calls == before + 1, (
+                f"no-op scenario {scenario!r} should route to lockstep"
+            )
+
+    def test_active_scenario_batches_never_touch_lockstep(
+        self, graph, lockstep_spy, monkeypatch
+    ):
+        # An explicit REPRO_LOCKSTEP=1 must not force scenario batches
+        # through kernels that cannot mutate the world.
+        monkeypatch.setenv(LOCKSTEP_ENV, "1")
+        active = [n for n, s in SCENARIOS.items() if not s.is_noop]
+        assert active
+        for scenario in active:
+            run_trials(
+                graph, "random-walk", [0, 1], scenario=scenario, max_rounds=400
+            )
+        assert lockstep_spy.calls == 0
+
+    def test_serial_fallback_records_match_env_opt_out(
+        self, graph, monkeypatch
+    ):
+        """Scenario batches behave as if REPRO_LOCKSTEP were off."""
+        monkeypatch.setenv(LOCKSTEP_ENV, "1")
+        routed = run_trials(
+            graph, "random-walk", [0, 1, 2], scenario="edge-churn",
+            max_rounds=400,
+        )
+        monkeypatch.setenv(LOCKSTEP_ENV, "0")
+        serial = run_trials(
+            graph, "random-walk", [0, 1, 2], scenario="edge-churn",
+            max_rounds=400,
+        )
+        assert routed == serial
+
+    def test_single_trials_bypass_lockstep_entirely(
+        self, graph, lockstep_spy, monkeypatch
+    ):
+        monkeypatch.setenv(LOCKSTEP_ENV, "1")
+        run_trial(graph, "random-walk", 0, scenario="edge-churn", max_rounds=400)
+        run_trial(graph, "random-walk", 0, scenario=None, max_rounds=400)
+        assert lockstep_spy.calls == 0

@@ -1,0 +1,144 @@
+"""Scenario determinism: seeded mutation tapes replay everywhere.
+
+A seeded :class:`ScenarioSpec` must inject the exact same mutation
+sequence — same swaps, same crashes, same corrupted reads, in the same
+order — no matter where the trial runs: twice in one process, in a
+``fork`` child, in a ``spawn`` child, or spread across sweep workers.
+The currency is the SHA-256 digest of the engine's scenario event tape
+plus the trial outcome (the PR-6 lockstep tape-pinning idiom, pointed
+at the mutation stream instead of the agents' RNG draws).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import random
+
+from repro.core.api import prepare_rendezvous
+from repro.errors import ProtocolError
+from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.results_io import record_to_jsonable
+from repro.graphs.generators import random_graph_with_min_degree
+from repro.runtime.scheduler import SyncScheduler
+
+FUZZ_SCENARIOS = (
+    "edge-churn", "adversarial-churn", "crash-restart", "crash-halt",
+    "wb-corrupt", "chaos",
+)
+
+
+def _mutation_digest(scenario: str, seed: int) -> str:
+    """Outcome + event tape of one scenario trial, hashed."""
+    graph = random_graph_with_min_degree(
+        60, 12, random.Random(f"scen-fuzz:{scenario}")
+    )
+    spec, prog_a, prog_b, start_a, start_b, _ = prepare_rendezvous(
+        graph, "random-walk", seed=seed
+    )
+    scheduler = SyncScheduler(
+        graph, prog_a, prog_b, start_a, start_b, seed=seed,
+        whiteboards=spec.uses_whiteboards, max_rounds=4_000,
+        scenario=scenario,
+    )
+    try:
+        result = scheduler.run()
+        outcome = (result.met, result.rounds, result.total_moves)
+    except ProtocolError as error:
+        outcome = ("protocol-error", str(error))
+    tape = scheduler.engine.scenario_events
+    digest = hashlib.sha256()
+    digest.update(repr((scenario, seed, outcome, tape)).encode())
+    return digest.hexdigest()
+
+
+def _digest_child(queue, scenario, seed):
+    try:
+        queue.put(("ok", _mutation_digest(scenario, seed)))
+    except Exception as error:  # pragma: no cover - surfaced as test failure
+        queue.put(("error", repr(error)))
+
+
+def _digest_in_subprocess(method: str, scenario: str, seed: int) -> str:
+    context = multiprocessing.get_context(method)
+    queue = context.Queue()
+    process = context.Process(target=_digest_child, args=(queue, scenario, seed))
+    process.start()
+    try:
+        status, payload = queue.get(timeout=60)
+    finally:
+        process.join(timeout=10)
+    assert status == "ok", payload
+    return payload
+
+
+class TestTapeReplay:
+    def test_tapes_replay_in_process(self):
+        """Same spec + seed → identical tape, run after run."""
+        for scenario in FUZZ_SCENARIOS:
+            for seed in (0, 7):
+                assert _mutation_digest(scenario, seed) == _mutation_digest(
+                    scenario, seed
+                ), f"{scenario}:{seed} tape did not replay"
+
+    def test_tapes_are_nonempty_somewhere(self):
+        """The fuzz matrix actually exercises mutation, not just no-ops.
+
+        Short trials legitimately see zero 5%-per-round churn draws, so
+        sweep seeds until one run churns; every event must be a swap or
+        a recorded skip.
+        """
+        graph = random_graph_with_min_degree(
+            60, 12, random.Random("scen-fuzz:edge-churn")
+        )
+        churned = []
+        for seed in range(20):
+            spec, prog_a, prog_b, start_a, start_b, _ = prepare_rendezvous(
+                graph, "random-walk", seed=seed
+            )
+            scheduler = SyncScheduler(
+                graph, prog_a, prog_b, start_a, start_b, seed=seed,
+                whiteboards=spec.uses_whiteboards, max_rounds=4_000,
+                scenario="edge-churn",
+            )
+            scheduler.run()
+            churned.extend(scheduler.engine.scenario_events)
+        assert churned, "20 seeds of 5%/round edge churn left no events"
+        assert all(event[0] in ("swap", "churn-skip") for event in churned)
+
+    def test_distinct_seeds_produce_distinct_tapes(self):
+        digests = {_mutation_digest("chaos", seed) for seed in range(6)}
+        assert len(digests) == 6
+
+    def test_tapes_byte_identical_across_start_methods(self):
+        """fork and spawn children reproduce the parent's digests."""
+        cases = [("edge-churn", 3), ("crash-restart", 1), ("chaos", 5)]
+        expected = {case: _mutation_digest(*case) for case in cases}
+        for method in ("fork", "spawn"):
+            if method not in multiprocessing.get_all_start_methods():
+                continue
+            for case in cases:
+                assert _digest_in_subprocess(method, *case) == expected[case], (
+                    f"{case} tape diverged under {method}"
+                )
+
+
+class TestSweepWorkerInvariance:
+    def test_scenario_axis_identical_across_worker_counts(self):
+        """The fabric guarantee extends to the scenario axis."""
+        spec = SweepSpec(
+            name="scenario-fuzz",
+            families=("er-min-degree",),
+            ns=(60,),
+            deltas=("n^0.75",),
+            algorithms=("random-walk",),
+            scenarios=("none", "edge-churn", "crash-restart"),
+            seeds=tuple(range(3)),
+            max_rounds=4_000,
+        )
+        serial = run_sweep(spec, workers=1)
+        fanned = run_sweep(spec, workers=2)
+        assert serial.records == fanned.records
+        payloads = [record_to_jsonable(r) for r in serial.records]
+        by_scenario = {p["scenario"] for p in payloads}
+        assert by_scenario == {None, "edge-churn", "crash-restart"}
