@@ -20,6 +20,7 @@ __all__ = [
     "PartialSummary",
     "RunningSummary",
     "merge_partial_summaries",
+    "grouped_moments",
 ]
 
 #: Two-sided z-value for 95% confidence.
@@ -185,6 +186,46 @@ def merge_partial_summaries(parts: Sequence[PartialSummary]) -> PartialSummary:
     for part in parts[1:]:
         merged = merged.merge(part)
     return merged
+
+
+def grouped_moments(
+    source,
+    by: Sequence[str] = ("algorithm", "graph_name", "n", "delta"),
+    metric: str = "rounds",
+    met_only: bool = True,
+) -> dict[tuple, PartialSummary]:
+    """Per-group moment sketches of one metric, via one fused query.
+
+    ``source`` is anything the query layer can open: a warehouse
+    directory or JSONL export path, an in-memory record iterable, or
+    an already-built :class:`repro.experiments.query.LazyFrame`.  One
+    ``group_by(*by).agg(sketch(metric))`` plan computes every group's
+    :class:`PartialSummary` in a single pass — over a warehouse this
+    is the fused columnar kernel.  ``met_only`` (default) restricts
+    the sketch to successful trials, matching what sweep tables
+    report.  Groups with no selected values are omitted.
+    """
+    from pathlib import Path
+
+    from repro.experiments import query
+
+    if isinstance(source, query.LazyFrame):
+        plan = source
+    elif isinstance(source, (str, Path)):
+        plan = query.scan(source)
+    else:
+        plan = query.from_records(source)
+    where = query.col("met") if met_only else None
+    frame = (
+        plan.group_by(*by)
+        .agg(_sketch=query.sketch(metric, where=where))
+        .collect()
+    )
+    return {
+        tuple(row[name] for name in by): row["_sketch"]
+        for row in frame.iter_rows()
+        if row["_sketch"] is not None
+    }
 
 
 def wilson_interval(successes: int, trials: int, z: float = _Z95) -> tuple[float, float]:

@@ -20,10 +20,15 @@ Commands
     and ``--resume`` (the default) finishes interrupted runs instead
     of recomputing.  ``--stream`` folds records into summaries as
     they arrive (O(batch) memory, grids too large to hold);
+    ``--warehouse`` persists the cache as a columnar results
+    warehouse (:mod:`repro.experiments.warehouse`) instead of JSONL;
     ``--no-fabric`` forces the pre-fabric execution path.
-``report FILE [FILE ...]``
-    Summarize exported record files (JSON lines) as grouped tables,
-    streaming — arbitrarily large files are folded record by record.
+``report PATH [PATH ...]``
+    Summarize exported records as grouped tables.  JSON-lines files
+    are folded record by record (streaming, arbitrarily large);
+    warehouse directories are summarized by one fused columnar query
+    (:mod:`repro.experiments.query`) — same table, orders of
+    magnitude faster.
 
 Run ``python -m repro --help`` (or ``<command> --help``) for the full
 option reference; ``docs/cli.md`` documents every subcommand with
@@ -49,7 +54,8 @@ commands (run `<command> --help` for its options):
   run-all               run the whole registry in order
   sweep                 fan a trial grid out over the worker fabric,
                         with an optional resumable result cache
-  report FILE [...]     summarize exported record files (streaming)
+  report PATH [...]     summarize record exports: JSONL files (streaming)
+                        or columnar warehouse directories (fused query)
 
 examples:
   python -m repro list
@@ -103,14 +109,15 @@ def _cmd_run(keys: list[str], full: bool, save: str | None) -> int:
 
 
 def _cmd_report(paths: list[str]) -> int:
-    from repro.experiments.report import summarize_jsonl
+    from repro.errors import ReproError
+    from repro.experiments.report import summarize_path
 
     for path in paths:
         try:
-            table = summarize_jsonl(path)
-        except (OSError, ValueError, TypeError, KeyError) as error:
-            # OSError: unreadable file; the rest: malformed JSON lines
-            # or lines that are not TrialRecord payloads.
+            table = summarize_path(path)
+        except (OSError, ReproError) as error:
+            # OSError: unreadable path; ReproError (WarehouseError):
+            # missing/empty paths, non-record files, corrupt warehouses.
             print(f"cannot read {path}: {error}", file=sys.stderr)
             return 2
         print(table.render())
@@ -130,6 +137,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             "sweep: --stream keeps only O(batch) records, so --out has "
             "nothing to write; use --cache-dir to persist raw records",
+            file=sys.stderr,
+        )
+        return 2
+    if args.warehouse and not args.cache_dir:
+        print(
+            "sweep: --warehouse persists the result cache as a columnar "
+            "warehouse, so it needs --cache-dir",
             file=sys.stderr,
         )
         return 2
@@ -164,6 +178,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             stream=args.stream,
             fabric=args.fabric,
+            warehouse=args.warehouse,
         )
     except ReproError as error:
         # e.g. a family/parameter combination the generator rejects
@@ -251,6 +266,12 @@ def main(argv: list[str] | None = None) -> int:
         help="content-addressed result cache directory (enables resume)",
     )
     sweep_parser.add_argument(
+        "--warehouse", action="store_true",
+        help="persist the cache as a columnar results warehouse instead of "
+             "JSONL (requires --cache-dir); summarize it with "
+             "`repro report <cache-dir>/<hash>.wh`",
+    )
+    sweep_parser.add_argument(
         "--resume", action=argparse.BooleanOptionalAction, default=True,
         help="reuse cached trials of this spec (--no-resume recomputes)",
     )
@@ -281,10 +302,12 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     report_parser = sub.add_parser(
-        "report", help="summarize exported record files (streaming)"
+        "report", help="summarize record exports (JSONL files or warehouse dirs)"
     )
     report_parser.add_argument(
-        "files", nargs="+", help="JSON-lines record files (`sweep --out`)"
+        "files", nargs="+",
+        help="JSON-lines record files (`sweep --out`) or warehouse "
+             "directories (`sweep --warehouse`)",
     )
 
     args = parser.parse_args(argv)

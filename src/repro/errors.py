@@ -90,3 +90,24 @@ class ScenarioError(ReproError):
     names and by :class:`repro.scenarios.ScenarioSpec` validation for
     out-of-range rates or unknown churn/respawn policies.
     """
+
+
+class WarehouseError(ReproError):
+    """A results warehouse directory is missing, malformed, or corrupt.
+
+    Raised by :mod:`repro.experiments.warehouse` when a path is not a
+    warehouse (no readable manifest), when segment files are shorter
+    than the committed row count, or when the manifest schema does not
+    match the reader's format version.  ``repro report`` surfaces this
+    as a clean one-line message instead of a traceback.
+    """
+
+
+class QueryError(ReproError):
+    """A lazy query plan is malformed or references unknown columns.
+
+    Raised by :mod:`repro.experiments.query` when an expression names a
+    column the source does not provide, when an aggregation is applied
+    outside ``group_by``, or when a plan combines operations the fused
+    executor does not support.
+    """

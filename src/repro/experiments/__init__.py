@@ -8,7 +8,10 @@ registry.  ``EXPERIMENTS.md`` records one section per entry.
 Large grids run through the process-pool sweep engine
 (:mod:`repro.experiments.parallel`) with its content-addressed result
 cache (:mod:`repro.experiments.cache`); ``repro sweep`` on the command
-line is the front door.
+line is the front door.  Sweeps can alternatively persist to a columnar
+results warehouse (:mod:`repro.experiments.warehouse`) whose fused lazy
+query layer (:mod:`repro.experiments.query`) backs every aggregation —
+``repro report``, streaming sweep summaries, grouped moment sketches.
 """
 
 from repro.experiments.harness import (
@@ -27,7 +30,13 @@ from repro.experiments.parallel import (
     run_sweep,
     shutdown_fabric,
 )
-from repro.experiments.report import Table, summarize_jsonl, summarize_records
+from repro.experiments.report import (
+    Table,
+    summarize_jsonl,
+    summarize_path,
+    summarize_records,
+    summarize_warehouse,
+)
 from repro.experiments.results_io import (
     record_from_jsonable,
     record_to_jsonable,
@@ -37,6 +46,21 @@ from repro.experiments.results_io import (
     pack_record_batch,
     unpack_record_batch,
     write_records_csv,
+)
+from repro.experiments.warehouse import (
+    SweepWarehouse,
+    WarehouseCache,
+    WarehouseWriter,
+    is_warehouse,
+    write_records_warehouse,
+)
+from repro.experiments.query import (
+    LazyFrame,
+    Frame,
+    col,
+    lit,
+    scan,
+    from_records,
 )
 from repro.experiments.workloads import EXPERIMENTS, ExperimentSpec, run_experiment
 
@@ -49,6 +73,19 @@ __all__ = [
     "Table",
     "summarize_records",
     "summarize_jsonl",
+    "summarize_warehouse",
+    "summarize_path",
+    "SweepWarehouse",
+    "WarehouseCache",
+    "WarehouseWriter",
+    "is_warehouse",
+    "write_records_warehouse",
+    "LazyFrame",
+    "Frame",
+    "col",
+    "lit",
+    "scan",
+    "from_records",
     "SweepSpec",
     "SweepPoint",
     "SweepResult",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from pathlib import Path
 from typing import Any, IO, Iterable, Iterator
 
@@ -120,14 +121,19 @@ class ResultCache:
         The streaming twin of :meth:`load` for consumers that fold
         records and drop them (the sweep's ``stream=True`` resume):
         resident memory is one record plus the set of keys already
-        seen.  Corrupt lines are skipped exactly like :meth:`load`;
-        duplicate keys yield their *first* occurrence — for the
-        deterministic trials this cache stores, duplicates are
-        byte-identical re-runs, so first and last coincide.
+        seen.  Corrupt lines are skipped exactly like :meth:`load`,
+        but each skip also emits a :class:`UserWarning` naming the
+        file — a truncated tail after a crash is expected (the sweep
+        recomputes those keys), yet it should be *visible*, not
+        silent, when it happens mid-resume.  Duplicate keys yield
+        their *first* occurrence — for the deterministic trials this
+        cache stores, duplicates are byte-identical re-runs, so first
+        and last coincide.
         """
         if not self.path.exists():
             return
         seen: set[str] = set()
+        skipped = 0
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -138,11 +144,18 @@ class ResultCache:
                     key = payload["key"]
                     record = record_from_jsonable(payload["record"])
                 except (ValueError, KeyError, TypeError):
+                    skipped += 1
                     continue
                 if key in seen:
                     continue
                 seen.add(key)
                 yield key, record
+        if skipped:
+            warnings.warn(
+                f"{self.path}: skipped {skipped} corrupt line(s) "
+                "(interrupted writer); the sweep will recompute them",
+                stacklevel=2,
+            )
 
     def reset(self) -> None:
         """Discard the on-disk contents (``--no-resume`` semantics)."""

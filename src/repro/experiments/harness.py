@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from array import array
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro._typing import VertexId
 from repro.analysis.stats import PartialSummary, Summary, summarize
@@ -368,6 +368,32 @@ class StreamSummary:
             self._rounds.append(record.rounds)
             self.met += 1
         self.total += 1
+
+    @classmethod
+    def _from_parts(
+        cls,
+        total: int,
+        met: int,
+        delta: int | None,
+        orders: Iterable[int],
+        rounds: Iterable[int],
+    ) -> "StreamSummary":
+        """Rebuild an aggregate from already-folded parts.
+
+        The warehouse-backed streaming sweep computes these parts with
+        one fused query over the persisted columns instead of folding
+        record by record; the resulting object is indistinguishable
+        from one built through :meth:`add` in canonical order.
+        """
+        summary = cls()
+        summary.total = total
+        summary.met = met
+        summary.delta = delta
+        summary._orders = array("q", orders)
+        summary._rounds = array("q", rounds)
+        if len(summary._orders) != len(summary._rounds) or met != len(summary._rounds):
+            raise ValueError("orders/rounds must cover exactly the met trials")
+        return summary
 
     def _ordered_rounds(self) -> list[int]:
         """Successful-trial rounds, restored to canonical order."""

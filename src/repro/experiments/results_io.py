@@ -30,6 +30,7 @@ from __future__ import annotations
 import csv
 import json
 import struct
+import warnings
 from array import array
 from dataclasses import asdict
 from pathlib import Path
@@ -96,15 +97,36 @@ def iter_records_jsonl(path: str | Path) -> Iterator[TrialRecord]:
     The generator holds exactly one decoded record at a time, so
     consumers that fold records into summaries (``repro report``, the
     streaming sweep aggregation) stay O(1) in the file size.  Blank
-    lines are skipped; a torn final line (interrupted writer) raises
-    ``json.JSONDecodeError`` like :func:`read_records_jsonl` would.
+    lines are skipped.
+
+    A torn **final** line — the signature of a writer killed mid-append
+    — is skipped with a :class:`UserWarning` so crash-resume can read
+    everything that was durably written.  Corruption anywhere *before*
+    the final line is not a crash artifact (appends only tear the tail)
+    and still raises, exactly like :func:`read_records_jsonl`.
     """
-    with Path(path).open("r", encoding="utf-8") as handle:
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        pending: tuple[str, Exception] | None = None
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            yield record_from_jsonable(json.loads(line))
+            if pending is not None:
+                raise pending[1]
+            try:
+                record = record_from_jsonable(json.loads(line))
+            except (ValueError, TypeError, KeyError) as error:
+                # Defer: only a *trailing* bad line is tolerated.
+                pending = (line, error)
+                continue
+            yield record
+        if pending is not None:
+            warnings.warn(
+                f"{source}: skipped truncated final line "
+                f"({len(pending[0])} bytes) — interrupted writer",
+                stacklevel=2,
+            )
 
 
 def read_records_jsonl(path: str | Path) -> list[TrialRecord]:

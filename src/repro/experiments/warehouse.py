@@ -1,0 +1,865 @@
+"""Columnar results warehouse: per-column segment files under one directory.
+
+A *warehouse* persists a sweep's records the way the fabric already
+ships them — as typed columns, not JSON objects.  One directory holds:
+
+``<column>.seg``
+    One file per scalar column.  The eight int64 columns of the TRB2
+    codec (``n``, ``id_space``, ``delta``, ``max_degree``, ``seed``,
+    ``rounds``, ``total_moves``, ``whiteboard_writes``) are raw
+    little-endian ``array('q')`` bytes; ``met`` is one byte per row;
+    the three string columns (``algorithm``, ``graph_name``, and the
+    TRB2 ``scenario`` side channel) are dictionary-encoded codes whose
+    value tables live in the manifest (u8 codes, widened to u16/int64
+    if a sweep ever exceeds 256/65536 distinct values).  Sweeps written
+    through :class:`WarehouseCache` add a ``_point.seg`` int64 column
+    holding each row's grid index — the warehouse twin of the JSONL
+    cache's content-hash keys.
+
+``reports.seg``
+    Per-agent reports, one zlib-compressed JSON frame per appended
+    batch; the manifest records ``[first_row, rows, offset, nbytes]``
+    per frame so readers that never select ``reports`` never touch it.
+
+``fallback.jsonl``
+    The side channel for records the columns cannot hold exactly: a
+    scalar outside int64 stores the whole record here (as exact JSON,
+    or pickled when its reports are not JSON-native), and JSON-native
+    columns with non-native reports store just the pickled reports.
+    Rows present here are listed in the manifest; readers substitute
+    them during scans, so round-trips are object-exact.
+
+``manifest.json``
+    Schema, committed row count, dictionary tables, report-frame
+    table, fallback row map, and a chained content hash
+    (``sha256(prev_chain + sha256(batch payload))`` per append, so the
+    hash extends across crash-resumed runs).
+
+**Crash safety** mirrors :class:`~repro.experiments.cache.ResultCache`
+batch-append semantics: column bytes are appended and flushed first,
+then the manifest is atomically replaced (``os.replace``).  The
+manifest's row count is the commit point — a crash mid-batch leaves
+segment files longer than the manifest says, and reopening for append
+truncates them back, so at most the in-flight batch is recomputed.
+
+Reading is :class:`SweepWarehouse`: columns load lazily, one
+``mmap``-backed bulk ``array`` per column (O(columns) loads instead of
+O(records) JSON parses).  The fused query layer on top lives in
+:mod:`repro.experiments.query`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import mmap
+import os
+import pickle
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Any, IO, Iterable, Iterator, Sequence
+
+from repro.errors import WarehouseError
+from repro.experiments.harness import TrialRecord
+from repro.experiments.results_io import (
+    _INT_COLUMNS,
+    json_native,
+    record_from_jsonable,
+    record_to_jsonable,
+)
+
+__all__ = [
+    "WAREHOUSE_FORMAT",
+    "WAREHOUSE_VERSION",
+    "MANIFEST_NAME",
+    "WarehouseWriter",
+    "SweepWarehouse",
+    "WarehouseCache",
+    "write_records_warehouse",
+    "is_warehouse",
+]
+
+WAREHOUSE_FORMAT = "repro-warehouse"
+WAREHOUSE_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: Dictionary-encoded string columns (TRB2 side-channel fields).
+_DICT_COLUMNS = ("algorithm", "graph_name", "scenario")
+_POINT = "_point"
+_REPORTS_FILE = "reports.seg"
+_FALLBACK_FILE = "fallback.jsonl"
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+#: Code-width ladder for dictionary columns; widened on demand.
+_CODE_CAPACITY = {"B": 256, "H": 65536, "q": _INT64_MAX}
+_NEXT_CODE_TYPE = {"B": "H", "H": "q"}
+
+
+def _segment_file(name: str) -> str:
+    return f"{name}.seg"
+
+
+def _le(column: array) -> array:
+    """The column with little-endian byte order (no-op on LE hosts)."""
+    if sys.byteorder == "big":  # pragma: no cover - LE-only CI
+        column = array(column.typecode, column)
+        column.byteswap()
+    return column
+
+
+def _b64_pickle(value: Any) -> str:
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def _b64_unpickle(payload: str) -> Any:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+def _record_fallback(record: TrialRecord) -> tuple[str, Any]:
+    """Fallback (kind, payload) for a record whose scalars overflow int64."""
+    if json_native(record.reports):
+        # JSON integers are arbitrary precision, so this is exact.
+        return "record", record_to_jsonable(record)
+    return "pickled", _b64_pickle(record)
+
+
+def is_warehouse(path: str | Path) -> bool:
+    """Whether ``path`` is a results-warehouse directory (has a manifest)."""
+    target = Path(path)
+    return target.is_dir() and (target / MANIFEST_NAME).is_file()
+
+
+def _wipe(directory: Path) -> None:
+    """Remove every warehouse-owned file in ``directory`` (reset)."""
+    if not directory.is_dir():
+        return
+    for entry in directory.iterdir():
+        if entry.name in (MANIFEST_NAME, _FALLBACK_FILE):
+            entry.unlink()
+        elif entry.suffix == ".seg" or entry.suffix == ".tmp":
+            entry.unlink()
+
+
+class WarehouseWriter:
+    """Incremental batch writer for one warehouse directory.
+
+    Parameters
+    ----------
+    directory:
+        The warehouse directory; created on first append.
+    spec_payload:
+        Optional JSON-able sweep description embedded in the manifest.
+    with_point:
+        Store a ``_point`` int64 column of grid indices alongside the
+        record columns (what :class:`WarehouseCache` uses for resume).
+    resume:
+        Reopen an existing warehouse for append (truncating any
+        uncommitted tail) instead of discarding it.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        spec_payload: Any | None = None,
+        with_point: bool = False,
+        resume: bool = True,
+    ) -> None:
+        self._directory = Path(directory)
+        self._spec_payload = spec_payload
+        self._with_point = bool(with_point)
+        self._handles: dict[str, IO[bytes]] = {}
+        self._rows = 0
+        self._dict_values: dict[str, list[Any]] = {n: [] for n in _DICT_COLUMNS}
+        self._dict_index: dict[str, dict[Any, int]] = {n: {} for n in _DICT_COLUMNS}
+        self._dict_types: dict[str, str] = {n: "B" for n in _DICT_COLUMNS}
+        self._frames: list[list[int]] = []
+        self._fallback_kinds: dict[int, str] = {}
+        self._chain = hashlib.sha256(WAREHOUSE_FORMAT.encode("ascii")).hexdigest()
+        if (self._directory / MANIFEST_NAME).exists():
+            if resume:
+                self._recover()
+            else:
+                _wipe(self._directory)
+
+    @property
+    def rows(self) -> int:
+        """Committed row count (what the manifest promises readers)."""
+        return self._rows
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        manifest_path = self._directory / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise WarehouseError(
+                f"{manifest_path}: unreadable manifest: {error}"
+            ) from None
+        if manifest.get("format") != WAREHOUSE_FORMAT:
+            raise WarehouseError(f"{self._directory} is not a results warehouse")
+        if manifest.get("version", 0) > WAREHOUSE_VERSION:
+            raise WarehouseError(
+                f"{self._directory}: manifest version {manifest.get('version')} "
+                f"is newer than this reader (understands {WAREHOUSE_VERSION})"
+            )
+        if bool(manifest.get("has_point")) != self._with_point:
+            raise WarehouseError(
+                f"{self._directory}: existing warehouse "
+                f"{'has' if manifest.get('has_point') else 'lacks'} a _point "
+                "column; cannot reopen it in the other mode"
+            )
+        self._rows = int(manifest["rows"])
+        for name, meta in manifest.get("dict_columns", {}).items():
+            self._dict_values[name] = list(meta["values"])
+            self._dict_index[name] = {v: i for i, v in enumerate(meta["values"])}
+            self._dict_types[name] = meta["type"]
+        self._frames = [list(map(int, f)) for f in manifest.get("report_frames", [])]
+        self._fallback_kinds = {
+            int(row): kind for row, kind in manifest.get("fallback", {}).items()
+        }
+        self._chain = manifest.get("content_hash", self._chain)
+        if self._spec_payload is None:
+            self._spec_payload = manifest.get("spec")
+        self._truncate_to_manifest()
+
+    def _truncate_to_manifest(self) -> None:
+        """Drop any bytes past the committed row count (torn batch)."""
+        expected: dict[str, int] = {}
+        for name in _INT_COLUMNS:
+            expected[_segment_file(name)] = self._rows * 8
+        expected[_segment_file("met")] = self._rows
+        for name in _DICT_COLUMNS:
+            itemsize = array(self._dict_types[name]).itemsize
+            expected[_segment_file(name)] = self._rows * itemsize
+        if self._with_point:
+            expected[_segment_file(_POINT)] = self._rows * 8
+        if self._frames:
+            last = self._frames[-1]
+            expected[_REPORTS_FILE] = last[2] + last[3]
+        else:
+            expected[_REPORTS_FILE] = 0
+        for filename, size in expected.items():
+            path = self._directory / filename
+            if not path.exists():
+                if size:
+                    raise WarehouseError(
+                        f"{path}: segment missing but manifest commits "
+                        f"{self._rows} row(s)"
+                    )
+                continue
+            actual = path.stat().st_size
+            if actual < size:
+                raise WarehouseError(
+                    f"{path}: segment holds {actual} byte(s), manifest "
+                    f"commits {size} — corrupt warehouse"
+                )
+            if actual > size:
+                os.truncate(path, size)
+        self._filter_fallback_file()
+
+    def _filter_fallback_file(self) -> None:
+        """Drop fallback lines past the commit point (or torn lines)."""
+        path = self._directory / _FALLBACK_FILE
+        if not path.exists():
+            if self._fallback_kinds:
+                raise WarehouseError(
+                    f"{path}: fallback side channel missing but manifest "
+                    f"references {len(self._fallback_kinds)} row(s)"
+                )
+            return
+        kept: list[str] = []
+        changed = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                changed = True
+                continue
+            try:
+                entry = json.loads(line)
+                row = int(entry["row"])
+            except (ValueError, KeyError, TypeError):
+                changed = True
+                continue
+            if row >= self._rows:
+                changed = True
+                continue
+            kept.append(line)
+        if changed:
+            tmp = path.with_suffix(".jsonl.tmp")
+            tmp.write_text(
+                "".join(f"{line}\n" for line in kept), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+
+    # -- writing -------------------------------------------------------
+
+    def _handle_for(self, filename: str) -> IO[bytes]:
+        handle = self._handles.get(filename)
+        if handle is None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            handle = (self._directory / filename).open("ab")
+            self._handles[filename] = handle
+        return handle
+
+    def _escalate(self, name: str) -> None:
+        """Widen a dictionary column's code type, rewriting its segment."""
+        new_type = _NEXT_CODE_TYPE[self._dict_types[name]]
+        filename = _segment_file(name)
+        handle = self._handles.pop(filename, None)
+        if handle is not None:
+            handle.close()
+        path = self._directory / filename
+        narrow = array(self._dict_types[name])
+        if path.exists():
+            raw = path.read_bytes()
+            narrow.frombytes(raw[: self._rows * narrow.itemsize])
+            narrow = _le(narrow)
+        wide = _le(array(new_type, narrow))
+        if path.exists() or len(wide):
+            self._directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".seg.tmp")
+            tmp.write_bytes(wide.tobytes())
+            os.replace(tmp, path)
+        self._dict_types[name] = new_type
+
+    def append_batch(
+        self,
+        records: Sequence[TrialRecord],
+        points: Sequence[int] | None = None,
+    ) -> None:
+        """Append one batch: column bytes flushed, then manifest committed.
+
+        ``points`` (required iff the warehouse was opened with
+        ``with_point=True``) are the records' grid indices, stored as
+        the ``_point`` column.
+        """
+        records = list(records)
+        if self._with_point:
+            if points is None:
+                raise WarehouseError("this warehouse stores _point; pass points=")
+            points = list(points)
+            if len(points) != len(records):
+                raise WarehouseError(
+                    f"{len(points)} point(s) for {len(records)} record(s)"
+                )
+        elif points is not None:
+            raise WarehouseError("this warehouse has no _point column")
+        if not records:
+            return
+
+        ints = {name: array("q") for name in _INT_COLUMNS}
+        met = bytearray()
+        raw_strings: dict[str, list[Any]] = {n: [] for n in _DICT_COLUMNS}
+        reports_payload: list[Any] = []
+        fallback_entries: list[tuple[int, str, Any]] = []
+        for i, record in enumerate(records):
+            row = self._rows + i
+            scalars = [int(getattr(record, name)) for name in _INT_COLUMNS]
+            met.append(1 if record.met else 0)
+            for name in _DICT_COLUMNS:
+                raw_strings[name].append(getattr(record, name))
+            if not all(_INT64_MIN <= v <= _INT64_MAX for v in scalars):
+                kind, payload = _record_fallback(record)
+                fallback_entries.append((row, kind, payload))
+                for name in _INT_COLUMNS:
+                    ints[name].append(0)  # placeholder; readers use the fallback
+                reports_payload.append(None)
+                continue
+            for name, value in zip(_INT_COLUMNS, scalars):
+                ints[name].append(value)
+            if json_native(record.reports):
+                reports_payload.append(record.reports)
+            else:
+                fallback_entries.append((row, "reports", _b64_pickle(record.reports)))
+                reports_payload.append(None)
+
+        codes: dict[str, array] = {}
+        for name in _DICT_COLUMNS:
+            values = self._dict_values[name]
+            index = self._dict_index[name]
+            for value in raw_strings[name]:
+                if value not in index:
+                    index[value] = len(values)
+                    values.append(value)
+            while len(values) > _CODE_CAPACITY[self._dict_types[name]]:
+                self._escalate(name)
+            codes[name] = array(
+                self._dict_types[name], (index[v] for v in raw_strings[name])
+            )
+
+        frame = zlib.compress(
+            json.dumps(reports_payload, separators=(",", ":")).encode("utf-8"), 6
+        )
+        frame_offset = (
+            self._frames[-1][2] + self._frames[-1][3] if self._frames else 0
+        )
+
+        digest = hashlib.sha256()
+
+        def write(filename: str, data: bytes) -> None:
+            digest.update(f"{filename}:{len(data)}:".encode("ascii"))
+            digest.update(data)
+            self._handle_for(filename).write(data)
+
+        for name in _INT_COLUMNS:
+            write(_segment_file(name), _le(ints[name]).tobytes())
+        write(_segment_file("met"), bytes(met))
+        for name in _DICT_COLUMNS:
+            write(_segment_file(name), _le(codes[name]).tobytes())
+        if self._with_point:
+            write(_segment_file(_POINT), _le(array("q", points)).tobytes())
+        write(_REPORTS_FILE, frame)
+        if fallback_entries:
+            lines = "".join(
+                json.dumps(
+                    {"row": row, "kind": kind, "payload": payload}, sort_keys=True
+                ) + "\n"
+                for row, kind, payload in fallback_entries
+            ).encode("utf-8")
+            write(_FALLBACK_FILE, lines)
+        for handle in self._handles.values():
+            handle.flush()
+
+        self._frames.append([self._rows, len(records), frame_offset, len(frame)])
+        for row, kind, _payload in fallback_entries:
+            self._fallback_kinds[row] = kind
+        self._rows += len(records)
+        self._chain = hashlib.sha256(
+            (self._chain + digest.hexdigest()).encode("ascii")
+        ).hexdigest()
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        self._directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": WAREHOUSE_FORMAT,
+            "version": WAREHOUSE_VERSION,
+            "rows": self._rows,
+            "int_columns": list(_INT_COLUMNS),
+            "dict_columns": {
+                name: {
+                    "type": self._dict_types[name],
+                    "values": self._dict_values[name],
+                }
+                for name in _DICT_COLUMNS
+            },
+            "has_point": self._with_point,
+            "report_frames": self._frames,
+            "fallback": {
+                str(row): kind
+                for row, kind in sorted(self._fallback_kinds.items())
+            },
+            "content_hash": self._chain,
+            "spec": self._spec_payload,
+        }
+        path = self._directory / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, separators=(",", ":")) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def commit(self) -> None:
+        """Force a manifest write (used to materialize empty warehouses)."""
+        self._write_manifest()
+
+    def reset(self) -> None:
+        """Discard the on-disk contents (``--no-resume`` semantics)."""
+        self.close()
+        _wipe(self._directory)
+        self._rows = 0
+        self._dict_values = {n: [] for n in _DICT_COLUMNS}
+        self._dict_index = {n: {} for n in _DICT_COLUMNS}
+        self._dict_types = {n: "B" for n in _DICT_COLUMNS}
+        self._frames = []
+        self._fallback_kinds = {}
+        self._chain = hashlib.sha256(WAREHOUSE_FORMAT.encode("ascii")).hexdigest()
+
+    def close(self) -> None:
+        """Release file handles (safe to call repeatedly)."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles = {}
+
+    def __enter__(self) -> "WarehouseWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SweepWarehouse:
+    """Reader for one warehouse directory: lazy bulk column loads.
+
+    Columns load on first access — one ``mmap``-backed copy of exactly
+    the committed prefix per column — and are cached.  The reports
+    channel is only touched when asked for.  Raises
+    :class:`~repro.errors.WarehouseError` for paths that are not
+    warehouses or whose segments are shorter than the manifest commits.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        manifest_path = self._directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise WarehouseError(
+                f"{self._directory} is not a results warehouse "
+                f"(no {MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise WarehouseError(
+                f"{manifest_path}: unreadable manifest: {error}"
+            ) from None
+        if manifest.get("format") != WAREHOUSE_FORMAT:
+            raise WarehouseError(f"{self._directory} is not a results warehouse")
+        if manifest.get("version", 0) > WAREHOUSE_VERSION:
+            raise WarehouseError(
+                f"{self._directory}: manifest version {manifest.get('version')} "
+                f"is newer than this reader (understands {WAREHOUSE_VERSION})"
+            )
+        try:
+            self.rows = int(manifest["rows"])
+            self._dict_meta = dict(manifest["dict_columns"])
+            self._frames = [tuple(map(int, f)) for f in manifest["report_frames"]]
+            self._fallback_kinds = {
+                int(row): kind for row, kind in manifest["fallback"].items()
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            raise WarehouseError(
+                f"{manifest_path}: malformed manifest ({error!r})"
+            ) from None
+        self.has_point = bool(manifest.get("has_point"))
+        self.content_hash = manifest.get("content_hash")
+        self.spec = manifest.get("spec")
+        self._columns: dict[str, Any] = {}
+        self._fallback_cache: dict[int, TrialRecord] | None = None
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        names = _INT_COLUMNS + ("met",) + _DICT_COLUMNS + ("reports",)
+        return names + ((_POINT,) if self.has_point else ())
+
+    @property
+    def fallback_rows(self) -> tuple[int, ...]:
+        """Rows whose exact payload lives in the fallback side channel."""
+        return tuple(sorted(self._fallback_kinds))
+
+    def _load_segment(self, filename: str, expected: int) -> bytes:
+        path = self._directory / filename
+        if expected == 0:
+            return b""
+        if not path.exists():
+            raise WarehouseError(
+                f"{path}: segment missing but manifest commits {self.rows} row(s)"
+            )
+        with path.open("rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < expected:
+                raise WarehouseError(
+                    f"{path}: segment holds {size} byte(s), manifest "
+                    f"commits {expected} — corrupt warehouse"
+                )
+            with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as mm:
+                return mm[:expected]
+
+    def column(self, name: str) -> Any:
+        """The raw column: ``array`` for ints and codes, ``bytes`` for met.
+
+        Dictionary columns return *codes*; :meth:`dictionary` maps a
+        code to its value.  ``reports`` returns the decoded per-row
+        list (loads and decompresses every frame).
+        """
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        if name in _INT_COLUMNS or (name == _POINT and self.has_point):
+            column = array("q")
+            column.frombytes(self._load_segment(_segment_file(name), self.rows * 8))
+            column = _le(column)
+        elif name == "met":
+            column = self._load_segment(_segment_file(name), self.rows)
+        elif name in self._dict_meta:
+            typecode = self._dict_meta[name]["type"]
+            column = array(typecode)
+            column.frombytes(
+                self._load_segment(
+                    _segment_file(name), self.rows * column.itemsize
+                )
+            )
+            column = _le(column)
+        elif name == "reports":
+            column = self._load_reports()
+        else:
+            raise WarehouseError(f"{self._directory}: no such column {name!r}")
+        self._columns[name] = column
+        return column
+
+    def dictionary(self, name: str) -> list[Any]:
+        """The value table of a dictionary-encoded column."""
+        return self._dict_meta[name]["values"]
+
+    def _load_reports(self) -> list[Any]:
+        reports: list[Any] = []
+        for first_row, nrows, offset, nbytes in self._frames:
+            frame = self._read_frame(offset, nbytes)
+            if len(frame) != nrows or first_row != len(reports):
+                raise WarehouseError(
+                    f"{self._directory}: report frame at offset {offset} "
+                    "does not match its manifest entry"
+                )
+            reports.extend(frame)
+        if len(reports) != self.rows:
+            raise WarehouseError(
+                f"{self._directory}: {len(reports)} report row(s) for "
+                f"{self.rows} record(s)"
+            )
+        return reports
+
+    def _read_frame(self, offset: int, nbytes: int) -> list[Any]:
+        path = self._directory / _REPORTS_FILE
+        try:
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                blob = handle.read(nbytes)
+        except OSError as error:
+            raise WarehouseError(f"{path}: cannot read report frame: {error}")
+        if len(blob) != nbytes:
+            raise WarehouseError(
+                f"{path}: report frame at offset {offset} is truncated"
+            )
+        return json.loads(zlib.decompress(blob).decode("utf-8"))
+
+    def _fallback_payloads(self) -> dict[int, tuple[str, Any]]:
+        path = self._directory / _FALLBACK_FILE
+        if not self._fallback_kinds:
+            return {}
+        if not path.exists():
+            raise WarehouseError(
+                f"{path}: fallback side channel missing but manifest "
+                f"references {len(self._fallback_kinds)} row(s)"
+            )
+        payloads: dict[int, tuple[str, Any]] = {}
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                row = int(entry["row"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn tail past the commit point
+            if row in self._fallback_kinds:
+                payloads[row] = (entry["kind"], entry["payload"])
+        missing = set(self._fallback_kinds) - set(payloads)
+        if missing:
+            raise WarehouseError(
+                f"{path}: fallback payload missing for row(s) "
+                f"{sorted(missing)[:5]}"
+            )
+        return payloads
+
+    def fallback_records(self) -> dict[int, TrialRecord]:
+        """Exact records for every fallback row, keyed by row number."""
+        if self._fallback_cache is None:
+            out: dict[int, TrialRecord] = {}
+            for row, (kind, payload) in self._fallback_payloads().items():
+                if kind == "record":
+                    out[row] = record_from_jsonable(payload)
+                elif kind == "pickled":
+                    out[row] = _b64_unpickle(payload)
+                elif kind == "reports":
+                    out[row] = self._record_at(row, _b64_unpickle(payload))
+                else:
+                    raise WarehouseError(
+                        f"{self._directory}: unknown fallback kind {kind!r}"
+                    )
+            self._fallback_cache = out
+        return self._fallback_cache
+
+    def _record_at(self, row: int, reports: Any) -> TrialRecord:
+        """Materialize one row from the columns (reports supplied)."""
+        dicts = {
+            name: self.dictionary(name)[self.column(name)[row]]
+            for name in _DICT_COLUMNS
+        }
+        scalars = {name: self.column(name)[row] for name in _INT_COLUMNS}
+        return TrialRecord(
+            algorithm=dicts["algorithm"],
+            graph_name=dicts["graph_name"],
+            met=bool(self.column("met")[row]),
+            reports=reports,
+            scenario=dicts["scenario"],
+            **scalars,
+        )
+
+    def iter_records(self) -> Iterator[TrialRecord]:
+        """Stream the rows back as :class:`TrialRecord` objects in order.
+
+        Report frames decompress one at a time, so resident memory is
+        one batch of reports, not the whole channel.  Fallback rows
+        come back from the side channel, making the round trip exact
+        for every record the warehouse holds.
+        """
+        if self.rows == 0:
+            return
+        columns = {name: self.column(name) for name in _INT_COLUMNS}
+        met = self.column("met")
+        dict_cols = {
+            name: (self.column(name), self.dictionary(name))
+            for name in _DICT_COLUMNS
+        }
+        fallback = self.fallback_records() if self._fallback_kinds else {}
+        for first_row, nrows, offset, nbytes in self._frames:
+            frame = self._read_frame(offset, nbytes)
+            if len(frame) != nrows:
+                raise WarehouseError(
+                    f"{self._directory}: report frame at offset {offset} "
+                    "does not match its manifest entry"
+                )
+            for i, reports in enumerate(frame):
+                row = first_row + i
+                if row in fallback:
+                    yield fallback[row]
+                    continue
+                yield TrialRecord(
+                    algorithm=dict_cols["algorithm"][1][
+                        dict_cols["algorithm"][0][row]
+                    ],
+                    graph_name=dict_cols["graph_name"][1][
+                        dict_cols["graph_name"][0][row]
+                    ],
+                    met=bool(met[row]),
+                    reports=reports,
+                    scenario=dict_cols["scenario"][1][
+                        dict_cols["scenario"][0][row]
+                    ],
+                    **{name: columns[name][row] for name in _INT_COLUMNS},
+                )
+
+    def __len__(self) -> int:
+        return self.rows
+
+
+class WarehouseCache:
+    """Drop-in warehouse twin of :class:`~repro.experiments.cache.ResultCache`.
+
+    Stores a sweep's records under ``<dir>/<spec_hash>.wh/`` with a
+    ``_point`` column of grid indices instead of content-hash keys:
+    resume streams ``(grid index, record)`` pairs back and the sweep
+    recomputes only the missing indices, exactly like the JSONL cache
+    — same batched-append crash boundary, same ``reset`` semantics.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        spec_hash: str,
+        spec_payload: Any | None = None,
+    ) -> None:
+        self._path = Path(directory) / f"{spec_hash}.wh"
+        self._spec_payload = spec_payload
+        self._writer: WarehouseWriter | None = None
+
+    @property
+    def path(self) -> Path:
+        """The warehouse directory backing this cache."""
+        return self._path
+
+    def _open_writer(self) -> WarehouseWriter:
+        if self._writer is None:
+            self._writer = WarehouseWriter(
+                self._path,
+                spec_payload=self._spec_payload,
+                with_point=True,
+                resume=True,
+            )
+        return self._writer
+
+    def iter_indexed(self) -> Iterator[tuple[int, TrialRecord]]:
+        """Stream cached ``(grid index, record)`` pairs one at a time."""
+        if not is_warehouse(self._path):
+            return
+        warehouse = SweepWarehouse(self._path)
+        points = warehouse.column(_POINT)
+        seen: set[int] = set()
+        for point, record in zip(points, warehouse.iter_records()):
+            if point in seen:
+                continue
+            seen.add(point)
+            yield point, record
+
+    def append_indexed(self, pairs: Iterable[tuple[int, TrialRecord]]) -> None:
+        """Persist a batch of ``(grid index, record)`` pairs (one commit)."""
+        pairs = list(pairs)
+        if not pairs:
+            return
+        writer = self._open_writer()
+        writer.append_batch(
+            [record for _point, record in pairs],
+            points=[point for point, _record in pairs],
+        )
+
+    def reset(self) -> None:
+        """Discard the on-disk contents (``--no-resume`` semantics)."""
+        if self._writer is not None:
+            self._writer.reset()
+        else:
+            _wipe(self._path)
+
+    def close(self) -> None:
+        """Release file handles (safe to call repeatedly)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def __enter__(self) -> "WarehouseCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_records_warehouse(
+    records: Iterable[TrialRecord],
+    path: str | Path,
+    *,
+    spec_payload: Any | None = None,
+    batch_rows: int = 4096,
+) -> Path:
+    """Write records as a fresh warehouse directory; returns the path.
+
+    The columnar twin of
+    :func:`~repro.experiments.results_io.write_records_jsonl`: any
+    existing warehouse at ``path`` is replaced, records land in
+    iteration order, and the directory is immediately scannable by
+    :func:`repro.experiments.query.scan`.
+    """
+    writer = WarehouseWriter(
+        path, spec_payload=spec_payload, with_point=False, resume=False
+    )
+    with writer:
+        batch: list[TrialRecord] = []
+        for record in records:
+            batch.append(record)
+            if len(batch) >= batch_rows:
+                writer.append_batch(batch)
+                batch = []
+        if batch:
+            writer.append_batch(batch)
+        writer.commit()
+    return Path(path)

@@ -34,6 +34,7 @@ from repro.extensions.multihop import multihop_programs
 from repro.runtime.multi import MultiAgentScheduler
 from repro.core.sample import sample_run
 from repro.errors import ProtocolError, ReproError
+from repro.experiments import query
 from repro.experiments.harness import repeat_trials, run_trial
 from repro.experiments.parallel import SweepSpec, resolve_delta, run_sweep
 from repro.experiments.report import Table
@@ -1018,24 +1019,34 @@ def run_fault_tolerance(quick: bool = True) -> list[Table]:
         headers=["scenario", "met", "protocol errors", "mean rounds (met)",
                  "P(meet) LCB"],
     )
-    for name in ("none", "wb-corrupt", "wb-loss", "crash-restart", "chaos"):
-        met = 0
-        errors = 0
-        rounds: list[int] = []
+    scenarios = ("none", "wb-corrupt", "wb-loss", "crash-restart", "chaos")
+    records = []
+    errors: dict[str, int] = {name: 0 for name in scenarios}
+    for name in scenarios:
         for seed in range(trials):
             try:
-                record = run_trial(
+                records.append(run_trial(
                     graph, "theorem1", seed, scenario=name, max_rounds=200_000
-                )
+                ))
             except ProtocolError:
-                errors += 1
-                continue
-            if record.met:
-                met += 1
-                rounds.append(record.rounds)
+                errors[name] += 1
+    # One grouped fold over all scenarios at once; records store the
+    # benign scenario as None, so the "none" label maps to that key.
+    frame = (
+        query.from_records(records)
+        .group_by("scenario")
+        .agg(met=query.sum_("met"),
+             rounds=query.values("rounds", where=query.col("met")))
+        .collect()
+    )
+    by_scenario = {row["scenario"]: row for row in frame.iter_rows()}
+    for name in scenarios:
+        row = by_scenario.get(None if name == "none" else name)
+        met = row["met"] if row else 0
+        rounds = row["rounds"] if row else []
         lcb = bounds.meeting_probability_lower_bound(met, trials)
         mean = summarize(rounds).mean if rounds else float("nan")
-        table.add_row(name, f"{met}/{trials}", errors, mean, round(lcb, 3))
+        table.add_row(name, f"{met}/{trials}", errors[name], mean, round(lcb, 3))
         if name == "none" and lcb <= 0.5:  # the gate must survive -O
             raise ReproError(
                 f"benign baseline failed its w.h.p. gate: LCB {lcb:.3f} <= 0.5"
@@ -1081,25 +1092,41 @@ def run_dynamic_churn(quick: bool = True) -> list[Table]:
         headers=["algorithm", "scenario", "met", "protocol errors",
                  "mean rounds (met)"],
     )
-    for algorithm in ("random-walk", "trivial"):
-        for name in ("none", "edge-churn", "adversarial-churn"):
-            met = 0
-            errors = 0
-            rounds: list[int] = []
+    algorithms = ("random-walk", "trivial")
+    scenarios = ("none", "edge-churn", "adversarial-churn")
+    records = []
+    errors: dict[tuple[str, str], int] = {
+        (algorithm, name): 0 for algorithm in algorithms for name in scenarios
+    }
+    for algorithm in algorithms:
+        for name in scenarios:
             for seed in range(trials):
                 try:
-                    record = run_trial(
+                    records.append(run_trial(
                         graph, algorithm, seed, scenario=name,
                         max_rounds=100 * n,
-                    )
+                    ))
                 except ProtocolError:
-                    errors += 1
-                    continue
-                if record.met:
-                    met += 1
-                    rounds.append(record.rounds)
+                    errors[algorithm, name] += 1
+    frame = (
+        query.from_records(records)
+        .group_by("algorithm", "scenario")
+        .agg(met=query.sum_("met"),
+             rounds=query.values("rounds", where=query.col("met")))
+        .collect()
+    )
+    by_cell = {
+        (row["algorithm"], row["scenario"]): row for row in frame.iter_rows()
+    }
+    for algorithm in algorithms:
+        for name in scenarios:
+            row = by_cell.get((algorithm, None if name == "none" else name))
+            met = row["met"] if row else 0
+            rounds = row["rounds"] if row else []
             mean = summarize(rounds).mean if rounds else float("nan")
-            table.add_row(algorithm, name, f"{met}/{trials}", errors, mean)
+            table.add_row(
+                algorithm, name, f"{met}/{trials}", errors[algorithm, name], mean
+            )
             if name == "none" and met != trials:  # the gate must survive -O
                 raise ReproError(
                     f"benign {algorithm} baseline missed {trials - met} trials"

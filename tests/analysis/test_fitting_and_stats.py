@@ -160,3 +160,41 @@ class TestPartialSummary:
         assert merged.count == whole.count
         assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
         assert merged.stdev == pytest.approx(whole.stdev, rel=1e-9, abs=1e-6)
+
+
+class TestGroupedMoments:
+    def _records(self):
+        from repro.experiments.harness import repeat_trials
+        from repro.graphs.generators import complete_graph
+
+        records = []
+        for algorithm in ("trivial", "random-walk"):
+            records.extend(
+                repeat_trials(complete_graph(16), algorithm, range(3))
+            )
+        return records
+
+    def test_matches_manual_sketches(self):
+        from repro.analysis.stats import PartialSummary, grouped_moments
+
+        records = self._records()
+        moments = grouped_moments(records, by=("algorithm",))
+        assert set(moments) == {("trivial",), ("random-walk",)}
+        for (algorithm,), sketch in moments.items():
+            values = [r.rounds for r in records if r.algorithm == algorithm and r.met]
+            assert sketch == PartialSummary.of(values)
+
+    def test_warehouse_source_equals_records_source(self, tmp_path):
+        from repro.analysis.stats import grouped_moments
+        from repro.experiments.warehouse import write_records_warehouse
+
+        records = self._records()
+        path = write_records_warehouse(records, tmp_path / "wh")
+        assert grouped_moments(path) == grouped_moments(records)
+
+    def test_met_only_toggle(self):
+        from repro.analysis.stats import grouped_moments
+
+        records = self._records()
+        all_values = grouped_moments(records, by=("algorithm",), met_only=False)
+        assert all_values[("trivial",)].count == 3

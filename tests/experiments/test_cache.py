@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.experiments.cache import ResultCache, content_hash
 from repro.experiments.harness import run_trial
 from repro.graphs.generators import complete_graph
@@ -123,3 +125,29 @@ class TestIterRecords:
         with cache.path.open("a", encoding="utf-8") as handle:
             handle.write("{torn")
         assert list(ResultCache(tmp_path, "dirty").iter_records()) == [("k", record)]
+
+
+class TestCorruptLineWarning:
+    def test_iter_records_warns_on_skipped_lines(self, tmp_path):
+        record = one_record()
+        cache = ResultCache(tmp_path, "dirty")
+        cache.append("k", record)
+        cache.close()
+        with cache.path.open("a", encoding="utf-8") as handle:
+            handle.write("{torn")
+        with pytest.warns(UserWarning, match="skipped 1 corrupt line"):
+            assert list(ResultCache(tmp_path, "dirty").iter_records()) == [
+                ("k", record)
+            ]
+
+    def test_iter_records_clean_file_is_silent(self, tmp_path):
+        import warnings
+
+        record = one_record()
+        with ResultCache(tmp_path, "clean") as cache:
+            cache.append("k", record)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert list(ResultCache(tmp_path, "clean").iter_records()) == [
+                ("k", record)
+            ]

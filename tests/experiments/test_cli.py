@@ -152,3 +152,65 @@ class TestProfileSetupFlag:
             "--algorithm", "trivial", "--seeds", "2", "--workers", "1",
         ]) == 0
         assert "SETUP PROFILE" not in capsys.readouterr().out
+
+
+class TestWarehouseCli:
+    _grid = [
+        "sweep", "--name", "wh-test", "--family", "complete", "--n", "32",
+        "--algorithm", "trivial", "--seeds", "3", "--workers", "1",
+    ]
+
+    def _warehouse_dir(self, cache_dir):
+        dirs = [p for p in cache_dir.iterdir() if p.suffix == ".wh"]
+        assert len(dirs) == 1
+        return dirs[0]
+
+    def test_sweep_warehouse_requires_cache_dir(self, capsys):
+        assert main([*self._grid, "--warehouse"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_sweep_warehouse_then_report(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main([*self._grid, "--cache-dir", str(cache), "--warehouse"]) == 0
+        capsys.readouterr()
+        warehouse = self._warehouse_dir(cache)
+        assert main(["report", str(warehouse)]) == 0
+        out = capsys.readouterr().out
+        assert "trivial" in out
+        assert "3 records in 1 group(s)" in out
+
+    def test_warehouse_report_matches_jsonl_report(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        out_file = tmp_path / "records.jsonl"
+        assert main([
+            *self._grid, "--cache-dir", str(cache), "--warehouse",
+        ]) == 0
+        assert main([*self._grid, "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_file)]) == 0
+        jsonl_out = capsys.readouterr().out
+        assert main(["report", str(self._warehouse_dir(cache))]) == 0
+        warehouse_out = capsys.readouterr().out
+        # Same table modulo the title line, which names the source.
+        strip = lambda text: text.splitlines()[1:]
+        assert strip(jsonl_out) == strip(warehouse_out)
+
+    def test_sweep_warehouse_resume(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = [*self._grid, "--cache-dir", str(cache), "--warehouse"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "3 served from cache" in capsys.readouterr().out
+
+    def test_report_empty_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        assert main(["report", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "empty" in err
+
+    def test_report_non_warehouse_dir(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "manifest.json" in err

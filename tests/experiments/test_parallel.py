@@ -537,3 +537,59 @@ class TestProfileSetup:
         rendered = table.render()
         assert "generate" in rendered and "compile" in rendered
         assert "trial" in rendered
+
+
+class TestWarehouseSweep:
+    def test_requires_cache_dir(self):
+        from repro.errors import WarehouseError
+
+        with pytest.raises(WarehouseError):
+            run_sweep(small_spec(), workers=1, warehouse=True)
+
+    def test_records_identical_to_jsonl_cache(self, tmp_path):
+        spec = small_spec()
+        jsonl = run_sweep(spec, workers=1, cache_dir=tmp_path / "jsonl")
+        columnar = run_sweep(
+            spec, workers=1, cache_dir=tmp_path / "wh", warehouse=True
+        )
+        assert columnar.records == jsonl.records
+        assert (columnar.executed, columnar.cached) == (8, 0)
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = small_spec()
+        first = run_sweep(spec, workers=2, cache_dir=tmp_path, warehouse=True)
+        second = run_sweep(spec, workers=2, cache_dir=tmp_path, warehouse=True)
+        assert (second.executed, second.cached) == (0, 8)
+        assert second.records == first.records
+
+    def test_stream_summaries_identical_to_jsonl_path(self, tmp_path):
+        spec = small_spec()
+        jsonl = run_sweep(spec, workers=2, stream=True)
+        columnar = run_sweep(
+            spec, workers=2, cache_dir=tmp_path, warehouse=True, stream=True
+        )
+        assert (
+            columnar.summary_table().render() == jsonl.summary_table().render()
+        )
+
+    def test_stream_resume_from_warehouse(self, tmp_path):
+        spec = small_spec()
+        oracle = run_sweep(spec, workers=1, stream=True)
+        run_sweep(spec, workers=1, cache_dir=tmp_path, warehouse=True)
+        resumed = run_sweep(
+            spec, workers=1, cache_dir=tmp_path, warehouse=True, stream=True
+        )
+        assert resumed.cached == 8 and resumed.executed == 0
+        assert resumed.summary_table().rows == oracle.summary_table().rows
+
+    def test_warehouse_is_reportable(self, tmp_path):
+        from repro.experiments.report import summarize_jsonl, summarize_warehouse
+
+        spec = small_spec()
+        result = run_sweep(spec, workers=1, cache_dir=tmp_path, warehouse=True)
+        export = write_records_jsonl(result.records, tmp_path / "export.jsonl")
+        warehouse_dir = tmp_path / f"{spec.spec_hash()}.wh"
+        assert (
+            summarize_warehouse(warehouse_dir, title="X").render()
+            == summarize_jsonl(export, title="X").render()
+        )

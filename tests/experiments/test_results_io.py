@@ -205,3 +205,51 @@ class TestCsv:
     def test_directories_created(self, tmp_path):
         path = write_records_csv(sample_records(), tmp_path / "a" / "b" / "o.csv")
         assert path.exists()
+
+
+class TestTornTrailingLine:
+    """Crash-resume: a torn final line is a warning, not a crash."""
+
+    def _torn(self, tmp_path, tail: str):
+        records = sample_records()
+        path = write_records_jsonl(records, tmp_path / "out.jsonl")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(tail)
+        return records, path
+
+    def test_truncated_final_line_warns_and_yields_prefix(self, tmp_path):
+        records, path = self._torn(tmp_path, '{"algorithm": "triv')
+        with pytest.warns(UserWarning, match="truncated final line"):
+            assert list(iter_records_jsonl(path)) == records
+
+    def test_half_written_record_payload(self, tmp_path):
+        # A syntactically valid JSON line that is not a full record
+        # (interrupted mid-buffer flush) is also recoverable at EOF.
+        records, path = self._torn(tmp_path, '{"algorithm": "trivial"}\n')
+        with pytest.warns(UserWarning, match="truncated final line"):
+            assert list(iter_records_jsonl(path)) == records
+
+    def test_trailing_blank_lines_do_not_mask_recovery(self, tmp_path):
+        records, path = self._torn(tmp_path, '{"torn\n\n\n')
+        with pytest.warns(UserWarning):
+            assert list(iter_records_jsonl(path)) == records
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        records = sample_records()
+        path = write_records_jsonl(records[:2], tmp_path / "out.jsonl")
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn\n')
+        write_records_jsonl(records[2:], path.with_suffix(".rest"))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(path.with_suffix(".rest").read_text())
+        with pytest.raises(ValueError):
+            list(iter_records_jsonl(path))
+
+    def test_clean_file_does_not_warn(self, tmp_path):
+        import warnings
+
+        records = sample_records()
+        path = write_records_jsonl(records, tmp_path / "out.jsonl")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert list(iter_records_jsonl(path)) == records

@@ -1,0 +1,220 @@
+"""Tests for the columnar results warehouse (storage layer)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.experiments.harness import TrialRecord, repeat_trials, run_trial
+from repro.experiments.results_io import record_to_jsonable
+from repro.experiments.warehouse import (
+    MANIFEST_NAME,
+    SweepWarehouse,
+    WarehouseCache,
+    WarehouseWriter,
+    is_warehouse,
+    write_records_warehouse,
+)
+from repro.graphs.generators import complete_graph, random_graph_with_min_degree
+
+
+def sample_records():
+    return repeat_trials(complete_graph(20), "trivial", range(4))
+
+
+def scenario_records():
+    graph = random_graph_with_min_degree(40, 10, random.Random("wh"))
+    records = []
+    for name in ("none", "wb-corrupt", "crash-restart"):
+        for seed in range(2):
+            records.append(
+                run_trial(graph, "theorem1", seed, scenario=name, max_rounds=50_000)
+            )
+    return records
+
+
+def mutate(record: TrialRecord, **overrides) -> TrialRecord:
+    return TrialRecord(**{**record_to_jsonable(record), **overrides})
+
+
+class TestRoundTrip:
+    def test_exact_record_round_trip(self, tmp_path):
+        records = sample_records()
+        path = write_records_warehouse(records, tmp_path / "wh")
+        assert is_warehouse(path)
+        assert list(SweepWarehouse(path).iter_records()) == records
+
+    def test_scenario_side_channel_round_trips(self, tmp_path):
+        """Satellite: scenario present (str) and absent (None) both survive."""
+        records = scenario_records()
+        assert {r.scenario for r in records} == {None, "wb-corrupt", "crash-restart"}
+        path = write_records_warehouse(records, tmp_path / "wh")
+        restored = list(SweepWarehouse(path).iter_records())
+        assert [r.scenario for r in restored] == [r.scenario for r in records]
+        assert restored == records
+
+    def test_int64_overflow_falls_back_to_side_channel(self, tmp_path):
+        """Satellite: a record the columns cannot hold round-trips exactly."""
+        records = sample_records()
+        records[1] = mutate(records[1], total_moves=2 ** 70, met=True)
+        path = write_records_warehouse(records, tmp_path / "wh")
+        warehouse = SweepWarehouse(path)
+        assert warehouse.fallback_rows == (1,)
+        restored = list(warehouse.iter_records())
+        assert restored == records
+        assert restored[1].total_moves == 2 ** 70
+
+    def test_non_json_native_reports_fall_back(self, tmp_path):
+        """Satellite: tuple-valued reports survive via the pickle channel."""
+        records = sample_records()
+        records[2] = mutate(records[2], reports={"a": {"pair": (1, 2)}})
+        path = write_records_warehouse(records, tmp_path / "wh")
+        restored = list(SweepWarehouse(path).iter_records())
+        assert restored == records
+        assert restored[2].reports["a"]["pair"] == (1, 2)  # tuple, not list
+
+    def test_pack_persist_scan_object_identity(self, tmp_path):
+        """Satellite: pack → persist → scan returns equal record objects."""
+        from repro.experiments.results_io import (
+            pack_record_batch,
+            unpack_record_batch,
+        )
+
+        records = scenario_records()
+        shipped = unpack_record_batch(pack_record_batch(records))
+        path = write_records_warehouse(shipped, tmp_path / "wh")
+        assert list(SweepWarehouse(path).iter_records()) == records
+
+    def test_column_access(self, tmp_path):
+        records = sample_records()
+        path = write_records_warehouse(records, tmp_path / "wh")
+        warehouse = SweepWarehouse(path)
+        assert len(warehouse) == len(records)
+        assert list(warehouse.column("rounds")) == [r.rounds for r in records]
+        assert bytes(warehouse.column("met")) == bytes(
+            1 if r.met else 0 for r in records
+        )
+        algs = warehouse.dictionary("algorithm")
+        assert [algs[c] for c in warehouse.column("algorithm")] == [
+            r.algorithm for r in records
+        ]
+
+    def test_spec_payload_persisted(self, tmp_path):
+        payload = {"name": "spec", "ns": [40]}
+        path = write_records_warehouse(
+            sample_records(), tmp_path / "wh", spec_payload=payload
+        )
+        assert SweepWarehouse(path).spec == payload
+
+
+class TestDictionaryEscalation:
+    def test_more_than_256_values_round_trip(self, tmp_path):
+        base = sample_records()[0]
+        records = [mutate(base, graph_name=f"g{i:04d}", seed=i) for i in range(300)]
+        with WarehouseWriter(tmp_path / "wh") as writer:
+            writer.append_batch(records[:100])
+            writer.append_batch(records[100:])
+            writer.commit()
+        assert list(SweepWarehouse(tmp_path / "wh").iter_records()) == records
+
+
+class TestCrashRecovery:
+    def test_truncates_uncommitted_tail(self, tmp_path):
+        records = sample_records()
+        path = write_records_warehouse(records[:3], tmp_path / "wh")
+        # Simulate a crash mid-append: bytes past the manifest's commit
+        # point land in some segments but the manifest was never updated.
+        for name in ("rounds.seg", "met.seg"):
+            with open(path / name, "ab") as handle:
+                handle.write(b"\xff" * 11)
+        with open(path / "fallback.jsonl", "ab") as handle:
+            handle.write(b'{"torn')
+        with WarehouseWriter(path) as writer:
+            assert writer.rows == 3
+            writer.append_batch(records[3:])
+            writer.commit()
+        assert list(SweepWarehouse(path).iter_records()) == records
+
+    def test_shrunk_segment_is_an_error(self, tmp_path):
+        path = write_records_warehouse(sample_records(), tmp_path / "wh")
+        with open(path / "rounds.seg", "r+b") as handle:
+            handle.truncate(8)
+        with pytest.raises(WarehouseError):
+            WarehouseWriter(path)
+
+    def test_resume_false_wipes(self, tmp_path):
+        records = sample_records()
+        path = write_records_warehouse(records, tmp_path / "wh")
+        with WarehouseWriter(path, resume=False) as writer:
+            assert writer.rows == 0
+            writer.append_batch(records[:2])
+            writer.commit()
+        assert list(SweepWarehouse(path).iter_records()) == records[:2]
+
+    def test_content_hash_tracks_data(self, tmp_path):
+        records = sample_records()
+        a = SweepWarehouse(write_records_warehouse(records, tmp_path / "a"))
+        b = SweepWarehouse(write_records_warehouse(records, tmp_path / "b"))
+        c = SweepWarehouse(write_records_warehouse(records[:3], tmp_path / "c"))
+        assert a.content_hash == b.content_hash
+        assert a.content_hash != c.content_hash
+
+
+class TestValidation:
+    def test_not_a_warehouse(self, tmp_path):
+        with pytest.raises(WarehouseError):
+            SweepWarehouse(tmp_path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = write_records_warehouse(sample_records(), tmp_path / "wh")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["version"] = 99
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(WarehouseError, match="newer"):
+            SweepWarehouse(path)
+        with pytest.raises(WarehouseError, match="newer"):
+            WarehouseWriter(path)
+
+    def test_malformed_manifest_rejected(self, tmp_path):
+        target = tmp_path / "wh"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(WarehouseError):
+            SweepWarehouse(target)
+
+    def test_is_warehouse(self, tmp_path):
+        assert not is_warehouse(tmp_path)
+        assert not is_warehouse(tmp_path / "missing")
+        path = write_records_warehouse(sample_records(), tmp_path / "wh")
+        assert is_warehouse(path)
+
+
+class TestWarehouseCache:
+    def test_append_and_iter_indexed(self, tmp_path):
+        records = sample_records()
+        cache = WarehouseCache(tmp_path, "deadbeef")
+        cache.append_indexed(list(enumerate(records)))
+        cache.close()
+        again = WarehouseCache(tmp_path, "deadbeef")
+        assert list(again.iter_indexed()) == list(enumerate(records))
+        again.close()
+
+    def test_duplicate_indices_first_wins(self, tmp_path):
+        records = sample_records()
+        cache = WarehouseCache(tmp_path, "deadbeef")
+        cache.append_indexed([(0, records[0]), (1, records[1])])
+        cache.append_indexed([(1, records[2])])
+        pairs = dict(cache.iter_indexed())
+        cache.close()
+        assert pairs[1] == records[1]
+
+    def test_reset(self, tmp_path):
+        records = sample_records()
+        cache = WarehouseCache(tmp_path, "deadbeef")
+        cache.append_indexed(list(enumerate(records)))
+        cache.reset()
+        assert list(cache.iter_indexed()) == []
+        cache.close()

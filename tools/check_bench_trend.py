@@ -52,6 +52,7 @@ GATED_BENCHMARKS = (
     "sweep_fabric",
     "instance_pipeline",
     "lockstep",
+    "warehouse",
 )
 
 #: Workload sub-dict names that denote the *slow* (reference) path.
