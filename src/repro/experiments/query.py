@@ -361,14 +361,17 @@ def _record_get(record: TrialRecord, point: int | None) -> Callable[[str], Any]:
     return get
 
 
-def scan(path: str | Path) -> "LazyFrame":
+def scan(path: str | Path | SweepWarehouse) -> "LazyFrame":
     """Lazily open a results warehouse directory or a JSONL export.
 
     Nothing is read until ``collect()``; the returned plan runs the
     fused columnar kernel for warehouses and the row-wise streaming
-    fold for JSONL files.  Raises
+    fold for JSONL files.  An already-open :class:`SweepWarehouse` is
+    accepted directly (no second manifest parse).  Raises
     :class:`~repro.errors.WarehouseError` for paths that are neither.
     """
+    if isinstance(path, SweepWarehouse):
+        return LazyFrame(_WarehouseSource(path))
     target = Path(path)
     if is_warehouse(target):
         return LazyFrame(_WarehouseSource(SweepWarehouse(target)))
@@ -907,6 +910,18 @@ def _collect_grouped_fused(
 def _collect_select_fused(
     warehouse: SweepWarehouse, projection: Sequence[Expr]
 ) -> Frame:
+    # Match the row-wise executor's errors (see _record_get) so the
+    # exception a caller sees does not depend on which executor runs.
+    available = set(warehouse.column_names)
+    for expr in projection:
+        name = expr.args[0]
+        if name in available:
+            continue
+        if name == "_point":
+            raise QueryError(
+                "_point is only available on warehouses written by a sweep"
+            )
+        raise QueryError(f"no such column {name!r}")
     columns: dict[str, list[Any]] = {}
     fallback = warehouse.fallback_records()
     for expr in projection:

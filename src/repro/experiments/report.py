@@ -182,7 +182,8 @@ def summarize_warehouse(path: str | Path, title: str | None = None) -> Table:
     target = Path(path)
     if title is None:
         title = f"RECORDS {target.name}"
-    has_point = SweepWarehouse(target).has_point
+    warehouse = SweepWarehouse(target)
+    has_point = warehouse.has_point
     aggs = dict(
         total=query.count(),
         met=query.sum_("met"),
@@ -191,7 +192,7 @@ def summarize_warehouse(path: str | Path, title: str | None = None) -> Table:
     if has_point:
         aggs["_ord"] = query.min_("_point")
     frame = (
-        query.scan(target)
+        query.scan(warehouse)
         .group_by("algorithm", "graph_name", "n", "delta")
         .agg(**aggs)
         .collect()

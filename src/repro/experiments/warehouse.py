@@ -3,18 +3,23 @@
 A *warehouse* persists a sweep's records the way the fabric already
 ships them — as typed columns, not JSON objects.  One directory holds:
 
-``<column>.seg``
+``<column>.seg`` / ``<column>.<code>.seg``
     One file per scalar column.  The eight int64 columns of the TRB2
     codec (``n``, ``id_space``, ``delta``, ``max_degree``, ``seed``,
     ``rounds``, ``total_moves``, ``whiteboard_writes``) are raw
     little-endian ``array('q')`` bytes; ``met`` is one byte per row;
     the three string columns (``algorithm``, ``graph_name``, and the
     TRB2 ``scenario`` side channel) are dictionary-encoded codes whose
-    value tables live in the manifest (u8 codes, widened to u16/int64
-    if a sweep ever exceeds 256/65536 distinct values).  Sweeps written
-    through :class:`WarehouseCache` add a ``_point.seg`` int64 column
-    holding each row's grid index — the warehouse twin of the JSONL
-    cache's content-hash keys.
+    value tables live in the manifest.  Their file names carry the
+    code width as the ``array`` typecode — ``algorithm.B.seg`` (u8),
+    widened to ``.H`` (u16) / ``.q`` (int64) if a sweep ever exceeds
+    256/65536 distinct values.  Widening writes the wider codes as a
+    *new* file and leaves the committed narrow segment untouched until
+    the next manifest commit flips the recorded type, so the manifest
+    always references an intact file.  Sweeps written through
+    :class:`WarehouseCache` add a ``_point.seg`` int64 column holding
+    each row's grid index — the warehouse twin of the JSONL cache's
+    content-hash keys.
 
 ``reports.seg``
     Per-agent reports, one zlib-compressed JSON frame per appended
@@ -39,8 +44,11 @@ ships them — as typed columns, not JSON objects.  One directory holds:
 batch-append semantics: column bytes are appended and flushed first,
 then the manifest is atomically replaced (``os.replace``).  The
 manifest's row count is the commit point — a crash mid-batch leaves
-segment files longer than the manifest says, and reopening for append
-truncates them back, so at most the in-flight batch is recomputed.
+segment files longer than the manifest says (plus, if the batch was
+widening a dictionary column, a half-written wider ``.H``/``.q`` file
+next to the committed one), and reopening for append truncates the
+live segments back and discards widths the manifest does not record,
+so at most the in-flight batch is recomputed.
 
 Reading is :class:`SweepWarehouse`: columns load lazily, one
 ``mmap``-backed bulk ``array`` per column (O(columns) loads instead of
@@ -100,6 +108,11 @@ _NEXT_CODE_TYPE = {"B": "H", "H": "q"}
 
 def _segment_file(name: str) -> str:
     return f"{name}.seg"
+
+
+def _dict_segment_file(name: str, typecode: str) -> str:
+    """Dict-column segment name; the typecode makes widening crash-safe."""
+    return f"{name}.{typecode}.seg"
 
 
 def _le(column: array) -> array:
@@ -239,7 +252,8 @@ class WarehouseWriter:
         expected[_segment_file("met")] = self._rows
         for name in _DICT_COLUMNS:
             itemsize = array(self._dict_types[name]).itemsize
-            expected[_segment_file(name)] = self._rows * itemsize
+            filename = _dict_segment_file(name, self._dict_types[name])
+            expected[filename] = self._rows * itemsize
         if self._with_point:
             expected[_segment_file(_POINT)] = self._rows * 8
         if self._frames:
@@ -264,10 +278,38 @@ class WarehouseWriter:
                 )
             if actual > size:
                 os.truncate(path, size)
+        self._drop_stale_dict_segments()
         self._filter_fallback_file()
 
+    def _drop_stale_dict_segments(self) -> None:
+        """Remove dict segments whose width is not the committed one.
+
+        A crash between :meth:`_escalate` and the manifest commit
+        leaves the half-written wider file next to the committed
+        narrow one; after a commit flips the type, the narrow file is
+        the stale leftover.  Either way only the manifest's recorded
+        width is live.
+        """
+        for name in _DICT_COLUMNS:
+            for typecode in _CODE_CAPACITY:
+                if typecode == self._dict_types[name]:
+                    continue
+                stale = self._directory / _dict_segment_file(name, typecode)
+                if stale.exists():
+                    handle = self._handles.pop(stale.name, None)
+                    if handle is not None:
+                        handle.close()
+                    stale.unlink()
+
     def _filter_fallback_file(self) -> None:
-        """Drop fallback lines past the commit point (or torn lines)."""
+        """Drop fallback lines past the commit point (the torn tail).
+
+        A crashed append can only damage the *end* of the file: whole
+        lines for rows the manifest never committed, plus at most one
+        partial final line.  Anything else — an unparsable line before
+        the tail, or a committed row whose payload is gone — is real
+        corruption and raises instead of being rewritten away.
+        """
         path = self._directory / _FALLBACK_FILE
         if not path.exists():
             if self._fallback_kinds:
@@ -276,23 +318,34 @@ class WarehouseWriter:
                     f"references {len(self._fallback_kinds)} row(s)"
                 )
             return
+        lines = path.read_text(encoding="utf-8").splitlines()
         kept: list[str] = []
+        kept_rows: set[int] = set()
         changed = False
-        for line in path.read_text(encoding="utf-8").splitlines():
+        for lineno, line in enumerate(lines):
             line = line.strip()
-            if not line:
-                changed = True
-                continue
             try:
                 entry = json.loads(line)
                 row = int(entry["row"])
             except (ValueError, KeyError, TypeError):
-                changed = True
-                continue
+                if lineno == len(lines) - 1:
+                    changed = True  # torn partial line from a crashed append
+                    continue
+                raise WarehouseError(
+                    f"{path}: unparsable fallback line {lineno + 1} before "
+                    "the file tail — corrupt side channel"
+                ) from None
             if row >= self._rows:
                 changed = True
                 continue
             kept.append(line)
+            kept_rows.add(row)
+        missing = set(self._fallback_kinds) - kept_rows
+        if missing:
+            raise WarehouseError(
+                f"{path}: fallback payload missing for committed row(s) "
+                f"{sorted(missing)[:5]}"
+            )
         if changed:
             tmp = path.with_suffix(".jsonl.tmp")
             tmp.write_text(
@@ -311,24 +364,34 @@ class WarehouseWriter:
         return handle
 
     def _escalate(self, name: str) -> None:
-        """Widen a dictionary column's code type, rewriting its segment."""
-        new_type = _NEXT_CODE_TYPE[self._dict_types[name]]
-        filename = _segment_file(name)
-        handle = self._handles.pop(filename, None)
+        """Widen a dictionary column's code type into a new segment file.
+
+        The widened codes land under the wider type's file name
+        (``name.H.seg`` next to ``name.B.seg``); the committed narrow
+        segment stays on disk untouched until :meth:`_write_manifest`
+        flips the recorded type, so a crash anywhere in between leaves
+        the manifest pointing at an intact file and recovery merely
+        discards the half-written wide one.
+        """
+        old_type = self._dict_types[name]
+        new_type = _NEXT_CODE_TYPE[old_type]
+        old_file = _dict_segment_file(name, old_type)
+        handle = self._handles.pop(old_file, None)
         if handle is not None:
             handle.close()
-        path = self._directory / filename
-        narrow = array(self._dict_types[name])
-        if path.exists():
-            raw = path.read_bytes()
+        old_path = self._directory / old_file
+        narrow = array(old_type)
+        if old_path.exists():
+            raw = old_path.read_bytes()
             narrow.frombytes(raw[: self._rows * narrow.itemsize])
             narrow = _le(narrow)
         wide = _le(array(new_type, narrow))
-        if path.exists() or len(wide):
+        if old_path.exists() or len(wide):
             self._directory.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".seg.tmp")
+            new_path = self._directory / _dict_segment_file(name, new_type)
+            tmp = new_path.with_suffix(".seg.tmp")
             tmp.write_bytes(wide.tobytes())
-            os.replace(tmp, path)
+            os.replace(tmp, new_path)
         self._dict_types[name] = new_type
 
     def append_batch(
@@ -414,7 +477,10 @@ class WarehouseWriter:
             write(_segment_file(name), _le(ints[name]).tobytes())
         write(_segment_file("met"), bytes(met))
         for name in _DICT_COLUMNS:
-            write(_segment_file(name), _le(codes[name]).tobytes())
+            write(
+                _dict_segment_file(name, self._dict_types[name]),
+                _le(codes[name]).tobytes(),
+            )
         if self._with_point:
             write(_segment_file(_POINT), _le(array("q", points)).tobytes())
         write(_REPORTS_FILE, frame)
@@ -467,6 +533,9 @@ class WarehouseWriter:
             json.dumps(payload, separators=(",", ":")) + "\n", encoding="utf-8"
         )
         os.replace(tmp, path)
+        # Only after the commit point moved may superseded narrow
+        # segments (and any crash leftovers) be discarded.
+        self._drop_stale_dict_segments()
 
     def commit(self) -> None:
         """Force a manifest write (used to materialize empty warehouses)."""
@@ -598,7 +667,7 @@ class SweepWarehouse:
             column = array(typecode)
             column.frombytes(
                 self._load_segment(
-                    _segment_file(name), self.rows * column.itemsize
+                    _dict_segment_file(name, typecode), self.rows * column.itemsize
                 )
             )
             column = _le(column)

@@ -195,6 +195,14 @@ class TestFusedKernel:
         assert list(frame.column("rounds")) == [r.rounds for r in records]
         assert list(frame.column("algorithm")) == [r.algorithm for r in records]
 
+    def test_select_unknown_column_matches_rowwise_error(self, warehouse):
+        # Same exception type as the row-wise executor (_record_get),
+        # so callers do not depend on which executor happens to run.
+        with pytest.raises(QueryError, match="no such column"):
+            scan(warehouse).select(col("nope")).collect()
+        with pytest.raises(QueryError, match="_point"):
+            scan(warehouse).select(col("_point")).collect()
+
 
 class TestScan:
     def test_scan_jsonl(self, records, tmp_path):
@@ -211,6 +219,17 @@ class TestScan:
     def test_scan_non_warehouse_dir(self, tmp_path):
         with pytest.raises(WarehouseError):
             scan(tmp_path)
+
+    def test_scan_accepts_open_warehouse(self, warehouse, records):
+        from repro.experiments.warehouse import SweepWarehouse
+
+        frame = (
+            scan(SweepWarehouse(warehouse))
+            .group_by("algorithm")
+            .agg(total=query.count())
+            .collect()
+        )
+        assert sum(row["total"] for row in frame.iter_rows()) == len(records)
 
 
 class TestFrame:

@@ -119,6 +119,41 @@ class TestDictionaryEscalation:
             writer.append_batch(records[100:])
             writer.commit()
         assert list(SweepWarehouse(tmp_path / "wh").iter_records()) == records
+        # The widened codes live under the u16 file name; the narrow
+        # segment is gone once the manifest committed the new width.
+        assert (tmp_path / "wh" / "graph_name.H.seg").exists()
+        assert not (tmp_path / "wh" / "graph_name.B.seg").exists()
+
+    def test_crash_during_escalation_preserves_committed_rows(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash between widening and the manifest commit loses only
+        the in-flight batch — never previously committed rows."""
+        base = sample_records()[0]
+        records = [mutate(base, graph_name=f"g{i:04d}", seed=i) for i in range(300)]
+        path = tmp_path / "wh"
+        with WarehouseWriter(path) as writer:
+            writer.append_batch(records[:200])
+
+        writer = WarehouseWriter(path)
+        monkeypatch.setattr(
+            writer,
+            "_write_manifest",
+            lambda: (_ for _ in ()).throw(RuntimeError("simulated crash")),
+        )
+        with pytest.raises(RuntimeError):
+            writer.append_batch(records[200:])  # escalates u8 -> u16
+        writer.close()
+
+        # Even before recovery runs, the manifest references the intact
+        # narrow segment, so readers see the committed rows unharmed.
+        assert list(SweepWarehouse(path).iter_records()) == records[:200]
+        with WarehouseWriter(path) as resumed:
+            assert resumed.rows == 200
+            # Recovery discarded the half-written wide file.
+            assert not (path / "graph_name.H.seg").exists()
+            resumed.append_batch(records[200:])
+        assert list(SweepWarehouse(path).iter_records()) == records
 
 
 class TestCrashRecovery:
@@ -137,6 +172,26 @@ class TestCrashRecovery:
             writer.append_batch(records[3:])
             writer.commit()
         assert list(SweepWarehouse(path).iter_records()) == records
+
+    def test_corrupt_fallback_midfile_is_an_error(self, tmp_path):
+        """Only the torn tail may be dropped; earlier damage raises."""
+        records = sample_records()
+        records[1] = mutate(records[1], total_moves=2 ** 70, met=True)
+        records[3] = mutate(records[3], total_moves=2 ** 71, met=True)
+        path = write_records_warehouse(records, tmp_path / "wh")
+        lines = (path / "fallback.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        (path / "fallback.jsonl").write_text(f"{{corrupt\n{lines[1]}\n")
+        with pytest.raises(WarehouseError, match="unparsable"):
+            WarehouseWriter(path)
+
+    def test_missing_committed_fallback_payload_is_an_error(self, tmp_path):
+        records = sample_records()
+        records[1] = mutate(records[1], total_moves=2 ** 70, met=True)
+        path = write_records_warehouse(records, tmp_path / "wh")
+        (path / "fallback.jsonl").write_text("")
+        with pytest.raises(WarehouseError, match="missing"):
+            WarehouseWriter(path)
 
     def test_shrunk_segment_is_an_error(self, tmp_path):
         path = write_records_warehouse(sample_records(), tmp_path / "wh")
