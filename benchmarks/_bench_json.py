@@ -21,12 +21,19 @@ Schema of the emitted file::
       "interpreter": {"implementation", "version", "platform"},
       "workloads": {"<workload>": {"median_s", "p90_s", "min_s",
                                     "max_s", "samples", ...}},
+      "topology": {"service_hosts": N, "workers_per_host": K, ...},
       "metrics": {..., "peak_rss_self_bytes", "peak_rss_children_bytes"}
     }                           # benchmark-specific scalars (gates,
                                 # speedups, trial counts) — peak RSS of
                                 # this process and of reaped children is
                                 # stamped in automatically where the
                                 # platform exposes it
+
+The optional ``topology`` block records the process layout a
+distributed benchmark ran with (``service_hosts`` worker hosts times
+``workers_per_host`` fabric workers for the sweep service); timings
+from different topologies are not comparable, so the layout must
+travel with the numbers.
 
 ``docs/performance.md`` documents how to run the benchmarks and read
 these files.
@@ -111,15 +118,18 @@ def write_bench_json(
     quick: bool,
     workloads: dict[str, dict[str, Any]],
     metrics: dict[str, Any] | None = None,
+    topology: dict[str, Any] | None = None,
 ) -> Path:
     """Write ``results/BENCH_<name>.json`` and return its path.
 
     ``workloads`` maps workload name to a JSON-able stats dict —
     typically built around :func:`summarize_samples` — and ``metrics``
     carries benchmark-level scalars (aggregate speedups, gate values,
-    trial counts).  Peak-RSS readings (:func:`peak_rss`) are merged
-    into the metrics automatically unless the caller already provided
-    them.
+    trial counts).  ``topology`` records the process layout of a
+    distributed benchmark (``service_hosts``/``workers_per_host``) so
+    readers never compare timings across different fleets.  Peak-RSS
+    readings (:func:`peak_rss`) are merged into the metrics
+    automatically unless the caller already provided them.
     """
     payload: dict[str, Any] = {
         "bench": name,
@@ -127,6 +137,8 @@ def write_bench_json(
         "interpreter": interpreter_info(),
         "workloads": workloads,
     }
+    if topology:
+        payload["topology"] = dict(topology)
     merged_metrics = dict(metrics or {})
     for key, value in peak_rss().items():
         merged_metrics.setdefault(key, value)

@@ -29,6 +29,20 @@ Commands
     warehouse directories are summarized by one fused columnar query
     (:mod:`repro.experiments.query`) — same table, orders of
     magnitude faster.
+``serve [--port P] [--cache-dir DIR] [--local-workers N]``
+    Run a sweep-service broker (:mod:`repro.service`): shard
+    submitted grids into content-addressed work units, lease them to
+    worker hosts over sockets, merge results into the shared cache.
+    ``--local-workers`` also spawns worker-host processes on this
+    machine, so one command is a self-contained fleet.
+``work --connect HOST:PORT [--workers N]``
+    Join a fleet as one worker host; ``--workers`` fans each unit out
+    over a warm local fabric.
+``submit --connect HOST:PORT [grid options] [--out FILE]``
+    Queue a sweep on a running broker, stream progress, and print the
+    merged summary — the socket twin of ``sweep``, byte-identical
+    records, with the broker's cache giving "served from cache"
+    semantics across clients and restarts.
 
 Run ``python -m repro --help`` (or ``<command> --help``) for the full
 option reference; ``docs/cli.md`` documents every subcommand with
@@ -56,6 +70,12 @@ commands (run `<command> --help` for its options):
                         with an optional resumable result cache
   report PATH [...]     summarize record exports: JSONL files (streaming)
                         or columnar warehouse directories (fused query)
+  serve                 run a sweep-service broker (optionally with
+                        local worker hosts) that many clients can
+                        queue sweeps against
+  work                  join a running broker as one worker host
+  submit                queue a sweep on a broker and wait for the
+                        merged, byte-identical records
 
 examples:
   python -m repro list
@@ -63,6 +83,9 @@ examples:
   python -m repro sweep --family er-min-degree --n 200 --n 400 \\
       --algorithm trivial --seeds 10 --workers 0 --out sweep.jsonl
   python -m repro report sweep.jsonl
+  python -m repro serve --port 7641 --cache-dir .svc --local-workers 2
+  python -m repro submit --connect 127.0.0.1:7641 \\
+      --family complete --n 64 --seeds 8 --out fleet.jsonl
 
 full reference with copy-pasteable examples: docs/cli.md
 """
@@ -125,9 +148,36 @@ def _cmd_report(paths: list[str]) -> int:
     return 0
 
 
+def _spec_from_args(args: argparse.Namespace):
+    """Build the SweepSpec shared by ``sweep`` and ``submit`` grids.
+
+    Returns the spec, or ``None`` after printing the validation error
+    (the caller exits 2) — both commands must reject a bad grid the
+    same way.
+    """
+    from repro.errors import ReproError
+    from repro.experiments.parallel import SweepSpec
+
+    try:
+        return SweepSpec(
+            name=args.name,
+            families=tuple(args.family or ["er-min-degree"]),
+            ns=tuple(args.n or [200, 400]),
+            deltas=tuple(args.delta or ["n^0.75"]),
+            algorithms=tuple(args.algorithm or ["trivial"]),
+            scenarios=tuple(args.scenario or ["none"]),
+            seeds=tuple(range(args.seeds)),
+            preset=args.preset,
+            max_rounds=args.max_rounds,
+        )
+    except ReproError as error:
+        print(f"bad sweep spec: {error}", file=sys.stderr)
+        return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
-    from repro.experiments.parallel import SweepSpec, run_sweep
+    from repro.experiments.parallel import run_sweep
     from repro.runtime.lockstep import LOCKSTEP_ENV
 
     if args.lockstep is not None:
@@ -147,20 +197,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    try:
-        spec = SweepSpec(
-            name=args.name,
-            families=tuple(args.family or ["er-min-degree"]),
-            ns=tuple(args.n or [200, 400]),
-            deltas=tuple(args.delta or ["n^0.75"]),
-            algorithms=tuple(args.algorithm or ["trivial"]),
-            scenarios=tuple(args.scenario or ["none"]),
-            seeds=tuple(range(args.seeds)),
-            preset=args.preset,
-            max_rounds=args.max_rounds,
-        )
-    except ReproError as error:
-        print(f"bad sweep spec: {error}", file=sys.stderr)
+    spec = _spec_from_args(args)
+    if spec is None:
         return 2
 
     def progress(completed: int, total: int) -> None:
@@ -199,6 +237,140 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import multiprocessing
+
+    from repro.errors import ReproError
+    from repro.service import Broker, format_address, run_worker
+
+    tuning = {
+        key: value
+        for key, value in (
+            ("unit_size", args.unit_size),
+            ("lease_timeout", args.lease_timeout),
+        )
+        if value is not None
+    }
+    try:
+        broker = Broker(
+            args.cache_dir,
+            host=args.host,
+            port=args.port,
+            warehouse=args.warehouse,
+            **tuning,
+        )
+        broker.start()
+    except (OSError, ReproError) as error:
+        print(f"serve: cannot start broker: {error}", file=sys.stderr)
+        return 1
+    hosts: list[multiprocessing.Process] = []
+    try:
+        print(
+            f"[broker] listening on {format_address(broker.address)} "
+            f"(cache: {args.cache_dir}"
+            + (", warehouse" if args.warehouse else "")
+            + ")",
+            file=sys.stderr,
+        )
+        for index in range(args.local_workers):
+            # Worker hosts must NOT be daemons: with --workers-per-host
+            # above 1 each host runs its own fabric pool, and daemonic
+            # processes cannot have children.
+            host = multiprocessing.Process(
+                target=run_worker,
+                args=(broker.address,),
+                kwargs={"workers": args.workers_per_host},
+                name=f"repro-worker-host-{index}",
+            )
+            host.start()
+            hosts.append(host)
+        if hosts:
+            print(
+                f"[broker] {len(hosts)} local worker host(s) x "
+                f"{args.workers_per_host} worker(s)",
+                file=sys.stderr,
+            )
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[broker] shutting down", file=sys.stderr)
+    finally:
+        broker.stop()
+        for host in hosts:
+            host.terminate()
+        for host in hosts:
+            host.join(timeout=5.0)
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import parse_address, run_worker
+
+    try:
+        address = parse_address(args.connect)
+    except ServiceError as error:
+        print(f"work: {error}", file=sys.stderr)
+        return 2
+
+    def on_unit(unit_id: str, n_trials: int) -> None:
+        print(f"[worker] unit {unit_id}: {n_trials} trial(s)", file=sys.stderr)
+
+    try:
+        units = run_worker(
+            address,
+            workers=args.workers,
+            max_units=args.max_units,
+            reconnect=args.reconnect,
+            on_unit=on_unit,
+        )
+    except ServiceError as error:
+        print(f"work: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\n[worker] interrupted", file=sys.stderr)
+        return 0
+    print(f"[worker] done: {units} unit(s) completed", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import parse_address, submit_sweep
+
+    spec = _spec_from_args(args)
+    if spec is None:
+        return 2
+    try:
+        address = parse_address(args.connect)
+    except ReproError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        print(
+            f"\r[{spec.name}] {done}/{total} trials",
+            end="", file=sys.stderr, flush=True,
+        )
+
+    try:
+        result = submit_sweep(
+            address, spec,
+            progress=progress, retry=args.retry, timeout=args.timeout,
+        )
+    except ReproError as error:
+        # ServiceError (failed job, dead broker) and WireError (framing)
+        # both land here; either way the sweep did not merge.
+        print(file=sys.stderr)
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 1
+    print(file=sys.stderr)
+    print(result.summary_table().render())
+    if args.out:
+        target = result.write_jsonl(args.out)
+        print(f"[{len(result.records)} records written to {target}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -222,41 +394,49 @@ def main(argv: list[str] | None = None) -> int:
     all_parser.add_argument("--full", action="store_true")
     all_parser.add_argument("--save", default=None)
 
+    def add_grid_arguments(grid_parser: argparse.ArgumentParser) -> None:
+        # The (family × n × δ × algorithm × scenario × seeds) grid axes,
+        # identical for `sweep` (local) and `submit` (via a broker).
+        grid_parser.add_argument(
+            "--name", default="cli", help="sweep name for reports"
+        )
+        grid_parser.add_argument(
+            "--family", action="append",
+            help="graph family axis, repeatable (default: er-min-degree)",
+        )
+        grid_parser.add_argument(
+            "--n", action="append", type=int,
+            help="instance size axis, repeatable (default: 200 400)",
+        )
+        grid_parser.add_argument(
+            "--delta", action="append",
+            help="min-degree rule axis: an integer or 'n^<exp>' (default: n^0.75)",
+        )
+        grid_parser.add_argument(
+            "--algorithm", action="append",
+            help="algorithm axis, repeatable (default: trivial)",
+        )
+        grid_parser.add_argument(
+            "--scenario", action="append",
+            help="scenario axis, repeatable: a registered scenario name such "
+                 "as edge-churn or wb-corrupt (default: none)",
+        )
+        grid_parser.add_argument(
+            "--seeds", type=int, default=5,
+            help="seeds 0..N-1 per grid point (default 5)",
+        )
+        grid_parser.add_argument(
+            "--preset", default="tuned",
+            help="constants preset: paper|tuned|testing|aggressive (default tuned)",
+        )
+        grid_parser.add_argument(
+            "--max-rounds", type=int, default=None, help="round budget override"
+        )
+
     sweep_parser = sub.add_parser(
         "sweep", help="run a parallel trial grid (see --help epilog)"
     )
-    sweep_parser.add_argument("--name", default="cli", help="sweep name for reports")
-    sweep_parser.add_argument(
-        "--family", action="append",
-        help="graph family axis, repeatable (default: er-min-degree)",
-    )
-    sweep_parser.add_argument(
-        "--n", action="append", type=int,
-        help="instance size axis, repeatable (default: 200 400)",
-    )
-    sweep_parser.add_argument(
-        "--delta", action="append",
-        help="min-degree rule axis: an integer or 'n^<exp>' (default: n^0.75)",
-    )
-    sweep_parser.add_argument(
-        "--algorithm", action="append",
-        help="algorithm axis, repeatable (default: trivial)",
-    )
-    sweep_parser.add_argument(
-        "--scenario", action="append",
-        help="scenario axis, repeatable: a registered scenario name such "
-             "as edge-churn or wb-corrupt (default: none)",
-    )
-    sweep_parser.add_argument(
-        "--seeds", type=int, default=5, help="seeds 0..N-1 per grid point (default 5)"
-    )
-    sweep_parser.add_argument(
-        "--preset", default="tuned",
-        help="constants preset: paper|tuned|testing|aggressive (default tuned)",
-    )
-    sweep_parser.add_argument(
-        "--max-rounds", type=int, default=None, help="round budget override"
-    )
+    add_grid_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--workers", type=int, default=0,
         help="worker processes; 0 = one per core, 1 = inline (default 0)",
@@ -310,6 +490,89 @@ def main(argv: list[str] | None = None) -> int:
              "directories (`sweep --warehouse`)",
     )
 
+    serve_parser = sub.add_parser(
+        "serve", help="run a sweep-service broker (optionally with local hosts)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to listen on (default 127.0.0.1; 0.0.0.0 for a LAN fleet)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=7641,
+        help="port to listen on; 0 picks a free one (default 7641)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=".service-cache",
+        help="durable result cache shared by every job; a restarted broker "
+             "resumes from it (default .service-cache)",
+    )
+    serve_parser.add_argument(
+        "--warehouse", action="store_true",
+        help="persist the cache as a columnar results warehouse instead of JSONL",
+    )
+    serve_parser.add_argument(
+        "--unit-size", type=int, default=None,
+        help="trials per work unit (default 16); smaller units re-queue "
+             "less work after a crash, larger ones amortize framing",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout", type=float, default=None,
+        help="seconds before a silent worker's unit is re-queued (default 60)",
+    )
+    serve_parser.add_argument(
+        "--local-workers", type=int, default=0,
+        help="also spawn N worker-host processes against this broker "
+             "(a self-contained fleet in one command; default 0)",
+    )
+    serve_parser.add_argument(
+        "--workers-per-host", type=int, default=1,
+        help="fabric width inside each local worker host (default 1)",
+    )
+
+    work_parser = sub.add_parser(
+        "work", help="join a running broker as one worker host"
+    )
+    work_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the broker's address",
+    )
+    work_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan each unit out over a warm local fabric of N processes "
+             "(default 1: run units inline)",
+    )
+    work_parser.add_argument(
+        "--max-units", type=int, default=None,
+        help="exit after completing N units (default: serve forever)",
+    )
+    work_parser.add_argument(
+        "--reconnect", type=float, default=10.0,
+        help="seconds to keep redialing a lost broker before giving up "
+             "(default 10)",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="queue a sweep on a broker and wait for the merge"
+    )
+    submit_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the broker's address",
+    )
+    add_grid_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--out", default=None,
+        help="write the merged records as JSON lines to this file",
+    )
+    submit_parser.add_argument(
+        "--retry", type=float, default=10.0,
+        help="seconds to keep dialing the broker before giving up (default 10)",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="fail if the broker stays silent this long mid-sweep "
+             "(default: wait forever; progress heartbeats arrive every ~2s)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -321,6 +584,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args.files)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "work":
+        return _cmd_work(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     return _cmd_run(list(EXPERIMENTS), args.full, args.save)
 
 

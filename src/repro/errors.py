@@ -103,6 +103,27 @@ class WarehouseError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The distributed sweep service failed or was misused.
+
+    Raised by :mod:`repro.service` when a broker rejects a submission,
+    a job fails on every retry, a peer cannot be reached within the
+    connection retry budget, or a worker reports a trial error the
+    broker cannot recover by re-queuing.
+    """
+
+
+class WireError(ServiceError):
+    """A service socket carried a malformed or truncated frame.
+
+    Raised by :mod:`repro.service.protocol` for bad magic, garbage or
+    non-object headers, length prefixes beyond the documented caps,
+    and connections that close mid-frame.  Broker and worker loops
+    treat it as "this peer is gone": the connection is dropped and any
+    leased work units are re-queued — never half-merged.
+    """
+
+
 class QueryError(ReproError):
     """A lazy query plan is malformed or references unknown columns.
 

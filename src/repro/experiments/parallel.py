@@ -438,6 +438,43 @@ class SweepSpec:
         """Content hash naming this spec's cache file (16 hex chars)."""
         return content_hash(self.describe())[:16]
 
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from its :meth:`describe` payload.
+
+        The inverse the sweep *service* transports specs with: a
+        submitting client sends ``spec.describe()`` over the wire and
+        broker and workers reconstruct the identical spec — same
+        axes, same :meth:`spec_hash`, so content-addressed dedupe
+        works across processes and hosts.  Raises
+        :class:`ReproError` for unknown versions or malformed
+        payloads (axis validation runs in ``__post_init__`` as
+        usual).
+        """
+        if not isinstance(payload, dict):
+            raise ReproError("sweep spec payload must be a JSON object")
+        version = payload.get("version")
+        if version != CACHE_FORMAT_VERSION:
+            raise ReproError(
+                f"sweep spec payload version {version!r} does not match "
+                f"this build's format version {CACHE_FORMAT_VERSION}"
+            )
+        try:
+            max_rounds = payload.get("max_rounds")
+            return cls(
+                name=str(payload["name"]),
+                families=tuple(payload["families"]),
+                ns=tuple(payload["ns"]),
+                deltas=tuple(payload["deltas"]),
+                algorithms=tuple(payload["algorithms"]),
+                seeds=tuple(payload["seeds"]),
+                preset=str(payload["preset"]),
+                max_rounds=None if max_rounds is None else int(max_rounds),
+                scenarios=tuple(payload.get("scenarios", ("none",))),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(f"malformed sweep spec payload: {error}") from None
+
     def point_key(self, point: SweepPoint) -> str:
         """Content hash of one trial (what the cache is keyed by)."""
         payload = {

@@ -1,0 +1,50 @@
+"""Distributed sweep service: broker-sharded grids over sockets.
+
+The scale-out layer above the in-process sweep fabric
+(:mod:`repro.experiments.parallel`): a :class:`Broker` shards
+:class:`~repro.experiments.parallel.SweepSpec` grids into
+content-addressed work units and leases them to worker hosts
+(:func:`run_worker`) over a framed socket protocol
+(:mod:`repro.service.protocol`), merging completed columnar batches
+into the shared result cache through a single-writer loop.  Worker
+loss re-queues, broker restarts resume from the cache commit point,
+and the merged records are byte-identical to a serial
+:func:`~repro.experiments.parallel.run_sweep`.
+
+CLI: ``repro serve`` (broker + optional local hosts), ``repro work
+--connect`` (join a fleet), ``repro submit`` (queue a grid and wait).
+``docs/performance.md`` § "The sweep service" documents the unit
+lifecycle, lease rules, and wire framing.
+"""
+
+from repro.service.broker import (
+    Broker,
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_UNIT_SIZE,
+    WorkUnit,
+    unit_id_for,
+)
+from repro.service.client import broker_status, queue_sweep, submit_sweep
+from repro.service.protocol import (
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.service.worker import run_worker
+
+__all__ = [
+    "Broker",
+    "WorkUnit",
+    "DEFAULT_UNIT_SIZE",
+    "DEFAULT_LEASE_TIMEOUT",
+    "unit_id_for",
+    "run_worker",
+    "submit_sweep",
+    "queue_sweep",
+    "broker_status",
+    "parse_address",
+    "format_address",
+    "send_frame",
+    "recv_frame",
+]

@@ -1,0 +1,256 @@
+"""Framed wire protocol of the distributed sweep service.
+
+Every message between a broker, a worker host, and a submitting
+client is one **frame** on a stream socket::
+
+    "RSV1" | u32 header_len | u64 payload_len | header | payload
+
+* the 4-byte magic names the protocol (and version — bump on layout
+  changes);
+* the **header** is a compact JSON object; its ``"type"`` key selects
+  the message (``submit``, ``lease``, ``unit``, ``result`` …) and the
+  remaining keys are small scalars and lists;
+* the **payload** is raw bytes for the messages that carry bulk data
+  — completed trial records travel as the *same* columnar batch blob
+  the in-process fabric uses
+  (:func:`repro.experiments.results_io.pack_record_batch`), with the
+  identical pickle fallback for records the codec cannot represent
+  losslessly, so the wire format is the shm transport's batch format
+  with a length prefix in front.
+
+Both length prefixes are capped (:data:`MAX_HEADER_BYTES`,
+:data:`MAX_PAYLOAD_BYTES`): a corrupt or hostile prefix raises
+:class:`~repro.errors.WireError` *before* any allocation, and a
+connection that closes mid-frame raises the same typed error instead
+of returning a half-read message.  Receivers treat ``WireError`` as
+"this peer is gone" — the broker re-queues the peer's leased units,
+a worker reconnects — so a torn frame can never half-merge a batch.
+
+A frame round-trips over any stream socket pair:
+
+>>> import socket
+>>> a, b = socket.socketpair()
+>>> send_frame(a, {"type": "lease"})
+>>> header, payload = recv_frame(b)
+>>> (header["type"], payload)
+('lease', b'')
+>>> a.close(); b.close()
+
+The service trusts its transport exactly like
+:mod:`multiprocessing` does: record batches that cannot take the
+columnar codec travel pickled, so brokers and workers must only be
+pointed at hosts you control.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.errors import WireError
+from repro.experiments.harness import TrialRecord
+from repro.experiments.results_io import (
+    json_native,
+    pack_record_batch,
+    unpack_record_batch,
+)
+
+__all__ = [
+    "MAGIC",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "send_frame",
+    "recv_frame",
+    "send_message",
+    "recv_message",
+    "encode_records",
+    "decode_records",
+    "parse_address",
+    "format_address",
+]
+
+#: Protocol magic + version; a peer speaking anything else is rejected.
+MAGIC = b"RSV1"
+
+#: Fixed-size frame prologue: magic, header length, payload length.
+_PROLOGUE = struct.Struct("<4sIQ")
+
+#: Headers are small JSON objects; anything bigger is a corrupt or
+#: hostile length prefix, refused before allocation.
+MAX_HEADER_BYTES = 1 << 20  # 1 MiB
+
+#: Payloads are record batches; one unit is at most a few thousand
+#: records, so this cap is generous while still rejecting garbage
+#: prefixes (which tend to decode as astronomical lengths).
+MAX_PAYLOAD_BYTES = 1 << 30  # 1 GiB
+
+
+def _recv_exact(sock: socket.socket, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`WireError`.
+
+    A clean EOF at a frame boundary (``count`` requested, zero bytes
+    ever received, ``what`` is the prologue) is still a ``WireError``
+    — callers that want to treat idle disconnects gracefully catch it
+    and inspect :attr:`WireError.clean_eof`.
+    """
+    chunks: list[bytes] = []
+    received = 0
+    while received < count:
+        try:
+            chunk = sock.recv(min(65536, count - received))
+        except OSError as error:
+            raise WireError(f"connection lost while reading {what}: {error}") from None
+        if not chunk:
+            error = WireError(
+                f"connection closed mid-frame while reading {what} "
+                f"({received} of {count} bytes)"
+            )
+            error.clean_eof = received == 0 and what == "frame prologue"
+            raise error
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(
+    sock: socket.socket, header: dict[str, Any], payload: bytes = b""
+) -> None:
+    """Write one frame (header JSON + optional binary payload)."""
+    raw_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw_header) > MAX_HEADER_BYTES:
+        raise WireError(f"header of {len(raw_header)} bytes exceeds the cap")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise WireError(f"payload of {len(payload)} bytes exceeds the cap")
+    prologue = _PROLOGUE.pack(MAGIC, len(raw_header), len(payload))
+    try:
+        sock.sendall(prologue + raw_header + payload)
+    except OSError as error:
+        raise WireError(f"connection lost while sending a frame: {error}") from None
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict[str, Any], bytes]:
+    """Read one frame; returns ``(header, payload)``.
+
+    Raises :class:`WireError` — never hangs on a malformed stream and
+    never returns partial data — for bad magic, oversized length
+    prefixes, truncation anywhere inside the frame, and headers that
+    are not a JSON object with a string ``"type"``.
+    """
+    prologue = _recv_exact(sock, _PROLOGUE.size, "frame prologue")
+    magic, header_len, payload_len = _PROLOGUE.unpack(prologue)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (want {MAGIC!r})")
+    if header_len > MAX_HEADER_BYTES:
+        raise WireError(
+            f"header length prefix {header_len} exceeds the "
+            f"{MAX_HEADER_BYTES}-byte cap"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise WireError(
+            f"payload length prefix {payload_len} exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte cap"
+        )
+    raw_header = _recv_exact(sock, header_len, "frame header")
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise WireError(f"garbage frame header: {error}") from None
+    if not isinstance(header, dict) or not isinstance(header.get("type"), str):
+        raise WireError(
+            "frame header must be a JSON object with a string 'type' key"
+        )
+    payload = _recv_exact(sock, payload_len, "frame payload") if payload_len else b""
+    return header, payload
+
+
+def send_message(
+    sock: socket.socket, type_: str, payload: bytes = b"", **fields: Any
+) -> None:
+    """Convenience wrapper: ``send_frame`` with ``type`` spliced in."""
+    send_frame(sock, {"type": type_, **fields}, payload)
+
+
+def recv_message(
+    sock: socket.socket, *expect: str
+) -> tuple[dict[str, Any], bytes]:
+    """``recv_frame`` that checks the message type against ``expect``.
+
+    An ``error`` frame from the peer is surfaced as a
+    :class:`WireError` carrying the peer's message, so every
+    request/response call site propagates broker-side failures as one
+    typed error.
+    """
+    header, payload = recv_frame(sock)
+    if header["type"] == "error" and "error" not in expect:
+        raise WireError(f"peer reported: {header.get('message', 'unknown error')}")
+    if expect and header["type"] not in expect:
+        raise WireError(
+            f"expected {' or '.join(expect)!r} frame, got {header['type']!r}"
+        )
+    return header, payload
+
+
+# ----------------------------------------------------------------------
+# Record transport: the fabric's batch codec as the wire codec
+# ----------------------------------------------------------------------
+
+
+def encode_records(records: list[TrialRecord]) -> tuple[str, bytes]:
+    """Encode a completed batch as ``(codec, payload)``.
+
+    The columnar batch codec is exact on the JSON export surface; a
+    record it would coerce (int64 overflow, non-JSON report values)
+    sends the whole batch down the pickled object channel instead —
+    the same two-tier transport the in-process fabric uses, so a
+    record crosses the network byte-identical to how it crosses a
+    pipe.
+    """
+    try:
+        if not all(json_native(record.reports) for record in records):
+            raise ValueError("reports would not survive JSON exactly")
+        return "batch", pack_record_batch(records)
+    except (OverflowError, ValueError):
+        return "pickle", pickle.dumps(records)
+
+
+def decode_records(codec: str, payload: bytes) -> list[TrialRecord]:
+    """Inverse of :func:`encode_records`; :class:`WireError` on junk."""
+    try:
+        if codec == "batch":
+            return unpack_record_batch(payload)
+        if codec == "pickle":
+            records = pickle.loads(payload)
+            if not isinstance(records, list) or not all(
+                isinstance(r, TrialRecord) for r in records
+            ):
+                raise ValueError("pickled payload is not a list of TrialRecords")
+            return records
+    except WireError:
+        raise
+    except Exception as error:
+        raise WireError(f"undecodable {codec!r} record payload: {error}") from None
+    raise WireError(f"unknown record codec {codec!r}")
+
+
+# ----------------------------------------------------------------------
+# Address helpers
+# ----------------------------------------------------------------------
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (the ``--connect`` argument) into a tuple."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise WireError(f"bad address {text!r}: want HOST:PORT")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise WireError(f"bad port in address {text!r}") from None
+
+
+def format_address(address: tuple[str, int]) -> str:
+    """Inverse of :func:`parse_address`."""
+    return f"{address[0]}:{address[1]}"

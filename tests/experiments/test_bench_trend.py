@@ -94,6 +94,33 @@ class TestMainEndToEnd:
         assert code == 0
         assert "skipped" in capsys.readouterr().out
 
+    def test_threshold_override_loosens_one_benchmark(self, tmp_path, capsys):
+        # A 4.0x -> 2.5x drop fails the default 25% threshold (see
+        # test_regression_fails) but passes a 0.5 override for that one
+        # benchmark — without loosening any other gate.
+        write(tmp_path / "base", "engine", payload(4.0))
+        write(tmp_path / "fresh", "engine", payload(2.5))
+        args = ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh")]
+        assert trend.main(args) == 1
+        capsys.readouterr()
+        assert trend.main(args + ["--threshold-for", "engine=0.5"]) == 0
+        # An override for a *different* benchmark changes nothing.
+        capsys.readouterr()
+        assert trend.main(args + ["--threshold-for", "warehouse=0.5"]) == 1
+
+    def test_threshold_override_rejects_unknown_names(self, tmp_path, capsys):
+        import pytest
+
+        (tmp_path / "base").mkdir()
+        for bad in ("nope=0.5", "engine", "engine=lots"):
+            with pytest.raises(SystemExit) as excinfo:
+                trend.main([
+                    "--baseline", str(tmp_path / "base"),
+                    "--threshold-for", bad,
+                ])
+            assert excinfo.value.code == 2
+        capsys.readouterr()
+
 
 class TestFlakeGuards:
     def test_near_parity_workloads_are_skipped(self):

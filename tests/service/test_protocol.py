@@ -1,0 +1,220 @@
+"""Wire-protocol robustness: torn frames raise, they never hang or lie.
+
+Every malformed stream the sweep service can meet — truncated frame,
+oversized length prefix, garbage header, a peer that dies mid-frame —
+must surface as a typed :class:`~repro.errors.WireError` from
+``recv_frame``, because the broker's re-queue logic and the worker's
+reconnect loop both key off that one exception.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ReproError, ServiceError, WireError
+from repro.experiments.harness import repeat_trials
+from repro.graphs.generators import complete_graph
+from repro.service.protocol import (
+    MAGIC,
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    decode_records,
+    encode_records,
+    format_address,
+    parse_address,
+    recv_frame,
+    recv_message,
+    send_frame,
+    send_message,
+)
+
+_PROLOGUE = struct.Struct("<4sIQ")
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def sample_records():
+    return repeat_trials(complete_graph(16), "trivial", range(2))
+
+
+class TestFraming:
+    def test_round_trip_with_payload(self, pair):
+        a, b = pair
+        send_frame(a, {"type": "result", "unit": "u1"}, b"\x00\x01binary")
+        header, payload = recv_frame(b)
+        assert header == {"type": "result", "unit": "u1"}
+        assert payload == b"\x00\x01binary"
+
+    def test_empty_payload_default(self, pair):
+        a, b = pair
+        send_message(a, "lease", wait=0.5)
+        header, payload = recv_frame(b)
+        assert header["wait"] == 0.5
+        assert payload == b""
+
+    def test_bad_magic_rejected(self, pair):
+        a, b = pair
+        a.sendall(_PROLOGUE.pack(b"EVIL", 2, 0) + b"{}")
+        with pytest.raises(WireError, match="magic"):
+            recv_frame(b)
+
+    def test_oversized_header_prefix_rejected_before_allocation(self, pair):
+        a, b = pair
+        a.sendall(_PROLOGUE.pack(MAGIC, MAX_HEADER_BYTES + 1, 0))
+        with pytest.raises(WireError, match="header length prefix"):
+            recv_frame(b)
+
+    def test_oversized_payload_prefix_rejected_before_allocation(self, pair):
+        a, b = pair
+        # A garbage prefix decoding as ~2**63 bytes must not allocate.
+        a.sendall(_PROLOGUE.pack(MAGIC, 2, MAX_PAYLOAD_BYTES + 1) + b"{}")
+        with pytest.raises(WireError, match="payload length prefix"):
+            recv_frame(b)
+
+    def test_truncated_prologue_is_wire_error(self, pair):
+        a, b = pair
+        a.sendall(MAGIC + b"\x01")  # 5 of 16 prologue bytes, then EOF
+        a.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_truncated_header_is_wire_error(self, pair):
+        a, b = pair
+        a.sendall(_PROLOGUE.pack(MAGIC, 100, 0) + b'{"type"')
+        a.close()
+        with pytest.raises(WireError, match="frame header"):
+            recv_frame(b)
+
+    def test_truncated_payload_is_wire_error(self, pair):
+        a, b = pair
+        # Promise 1000 payload bytes, deliver 4, die: the exact shape of
+        # a worker SIGKILLed mid-report.
+        raw = b'{"type":"result"}'
+        a.sendall(_PROLOGUE.pack(MAGIC, len(raw), 1000) + raw + b"oops")
+        a.close()
+        with pytest.raises(WireError, match="frame payload"):
+            recv_frame(b)
+
+    def test_clean_eof_is_flagged(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(WireError) as excinfo:
+            recv_frame(b)
+        assert excinfo.value.clean_eof is True
+
+    def test_mid_frame_eof_is_not_clean(self, pair):
+        a, b = pair
+        a.sendall(MAGIC)
+        a.close()
+        with pytest.raises(WireError) as excinfo:
+            recv_frame(b)
+        assert excinfo.value.clean_eof is False
+
+    def test_garbage_header_is_wire_error(self, pair):
+        a, b = pair
+        raw = b"\xffnot json at all"
+        a.sendall(_PROLOGUE.pack(MAGIC, len(raw), 0) + raw)
+        with pytest.raises(WireError, match="garbage"):
+            recv_frame(b)
+
+    def test_header_must_be_object_with_type(self, pair):
+        a, b = pair
+        for raw in (b"[1,2]", b'{"no_type":1}', b'{"type":7}'):
+            a.sendall(_PROLOGUE.pack(MAGIC, len(raw), 0) + raw)
+            with pytest.raises(WireError, match="'type'"):
+                recv_frame(b)
+
+    def test_send_refuses_oversized_header(self, pair):
+        a, _b = pair
+        with pytest.raises(WireError, match="exceeds the cap"):
+            send_frame(a, {"type": "x", "blob": "y" * (MAX_HEADER_BYTES + 1)})
+
+    def test_large_frame_survives_socket_chunking(self, pair):
+        a, b = pair
+        payload = bytes(range(256)) * 4096  # 1 MiB, > any socket buffer
+        received: list[bytes] = []
+        reader = threading.Thread(
+            target=lambda: received.append(recv_frame(b)[1])
+        )
+        reader.start()
+        send_frame(a, {"type": "result"}, payload)
+        reader.join(timeout=10.0)
+        assert received == [payload]
+
+
+class TestMessages:
+    def test_recv_message_checks_type(self, pair):
+        a, b = pair
+        send_message(a, "idle")
+        with pytest.raises(WireError, match="expected 'unit'"):
+            recv_message(b, "unit")
+
+    def test_error_frames_surface_as_wire_errors(self, pair):
+        a, b = pair
+        send_message(a, "error", message="job failed: boom")
+        with pytest.raises(WireError, match="job failed: boom"):
+            recv_message(b, "done")
+
+
+class TestRecordCodec:
+    def test_batch_codec_round_trip(self):
+        records = sample_records()
+        codec, payload = encode_records(records)
+        assert codec == "batch"
+        assert decode_records(codec, payload) == records
+
+    def test_pickle_fallback_round_trip(self):
+        # A tuple report value does not survive JSON exactly, so the
+        # batch must take the object channel — same rule as the fabric.
+        records = [
+            dataclasses.replace(
+                record, reports={"a": {"odd": (1, 2)}, "b": {}}
+            )
+            for record in sample_records()
+        ]
+        codec, payload = encode_records(records)
+        assert codec == "pickle"
+        assert decode_records(codec, payload) == records
+
+    def test_undecodable_payload_is_wire_error(self):
+        with pytest.raises(WireError, match="undecodable"):
+            decode_records("batch", b"this is not a batch")
+        with pytest.raises(WireError, match="undecodable"):
+            decode_records("pickle", b"\x80\x04junk")
+
+    def test_pickled_non_records_rejected(self):
+        import pickle
+
+        with pytest.raises(WireError, match="undecodable"):
+            decode_records("pickle", pickle.dumps(["not", "records"]))
+
+    def test_unknown_codec_is_wire_error(self):
+        with pytest.raises(WireError, match="unknown record codec"):
+            decode_records("msgpack", b"")
+
+
+class TestAddresses:
+    def test_round_trip(self):
+        assert parse_address("10.0.0.7:7641") == ("10.0.0.7", 7641)
+        assert format_address(("10.0.0.7", 7641)) == "10.0.0.7:7641"
+
+    def test_bad_addresses(self):
+        for text in ("nocolon", ":7641", "host:notaport"):
+            with pytest.raises(WireError):
+                parse_address(text)
+
+    def test_wire_error_is_typed(self):
+        # The CLI and callers catch the project-root error type.
+        assert issubclass(WireError, ServiceError)
+        assert issubclass(ServiceError, ReproError)
