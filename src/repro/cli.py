@@ -43,6 +43,16 @@ Commands
     merged summary — the socket twin of ``sweep``, byte-identical
     records, with the broker's cache giving "served from cache"
     semantics across clients and restarts.
+``status --connect HOST:PORT``
+    Print a running broker's job table; a dead or hung broker is a
+    one-line typed error and exit code 2, never a hang.
+``chaos-proxy --listen HOST:PORT --connect HOST:PORT --fault-schedule F``
+    Interpose a deterministic network-fault proxy
+    (:mod:`repro.service.chaos`) between real broker and worker
+    processes — delays, truncation, corruption, blackholes, and
+    healing partitions, all replayable from a seeded JSON schedule.
+    ``serve --fault-schedule`` instead faults the broker's own
+    accepted sockets in-process.
 
 Run ``python -m repro --help`` (or ``<command> --help``) for the full
 option reference; ``docs/cli.md`` documents every subcommand with
@@ -76,6 +86,11 @@ commands (run `<command> --help` for its options):
   work                  join a running broker as one worker host
   submit                queue a sweep on a broker and wait for the
                         merged, byte-identical records
+  status                print a broker's job table (exit 2 if the
+                        broker is dead or not answering)
+  chaos-proxy           fault broker<->worker traffic per a seeded,
+                        replayable JSON schedule (docs/performance.md
+                        section "Fault model and chaos testing")
 
 examples:
   python -m repro list
@@ -251,12 +266,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
+    schedule = None
+    if args.fault_schedule:
+        from repro.service.chaos import FaultSchedule
+
+        try:
+            schedule = FaultSchedule.from_file(args.fault_schedule)
+        except (OSError, ReproError) as error:
+            print(f"serve: bad fault schedule: {error}", file=sys.stderr)
+            return 2
     try:
         broker = Broker(
             args.cache_dir,
             host=args.host,
             port=args.port,
             warehouse=args.warehouse,
+            fault_schedule=schedule,
             **tuning,
         )
         broker.start()
@@ -272,6 +297,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             + ")",
             file=sys.stderr,
         )
+        if schedule is not None:
+            print(
+                f"[broker] fault schedule armed: {len(schedule.rules)} "
+                f"rule(s), seed {schedule.seed}",
+                file=sys.stderr,
+            )
         for index in range(args.local_workers):
             # Worker hosts must NOT be daemons: with --workers-per-host
             # above 1 each host runs its own fabric pool, and daemonic
@@ -355,7 +386,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     try:
         result = submit_sweep(
             address, spec,
-            progress=progress, retry=args.retry, timeout=args.timeout,
+            progress=progress, retry=args.retry,
+            timeout=args.timeout if args.timeout > 0 else None,
         )
     except ReproError as error:
         # ServiceError (failed job, dead broker) and WireError (framing)
@@ -368,6 +400,75 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.out:
         target = result.write_jsonl(args.out)
         print(f"[{len(result.records)} records written to {target}]")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import broker_status, parse_address
+
+    try:
+        address = parse_address(args.connect)
+        status = broker_status(
+            address, retry=args.retry, timeout=args.timeout
+        )
+    except ServiceError as error:
+        # Dead address, hung broker, torn reply: one typed line, exit 2.
+        print(f"status: {error}", file=sys.stderr)
+        return 2
+    jobs = status.get("jobs", {})
+    print(
+        f"broker {args.connect}: {len(jobs)} job(s)"
+        + (", warehouse cache" if status.get("warehouse") else "")
+        + f", unit size {status.get('unit_size', '?')}"
+    )
+    for spec_hash, job in jobs.items():
+        state = (
+            "failed" if job.get("failed")
+            else "finished" if job.get("finished")
+            else "running"
+        )
+        print(
+            f"  {job.get('name', '?')} [{spec_hash[:12]}]  {state}  "
+            f"done={job.get('done', '?')}/{job.get('total', '?')}  "
+            f"queued={job.get('queued', '?')} leased={job.get('leased', '?')} "
+            f"merged={job.get('merged', '?')}  "
+            f"workers={job.get('workers', '?')}"
+        )
+    return 0
+
+
+def _cmd_chaos_proxy(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import parse_address
+    from repro.service.chaos import ChaosProxy, FaultSchedule
+
+    try:
+        upstream = parse_address(args.connect)
+        listen = parse_address(args.listen)
+        schedule = FaultSchedule.from_file(args.fault_schedule)
+    except (OSError, ReproError) as error:
+        print(f"chaos-proxy: {error}", file=sys.stderr)
+        return 2
+    proxy = ChaosProxy(upstream, schedule, host=listen[0], port=listen[1])
+    try:
+        host, port = proxy.start()
+    except (OSError, ReproError) as error:
+        print(f"chaos-proxy: cannot listen: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"[chaos] proxying {host}:{port} -> {args.connect} "
+        f"({len(schedule.rules)} rule(s), seed {schedule.seed})",
+        file=sys.stderr,
+    )
+    try:
+        proxy.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+        for event in proxy.events():
+            print(f"[chaos] {event}", file=sys.stderr)
     return 0
 
 
@@ -528,6 +629,12 @@ def main(argv: list[str] | None = None) -> int:
         "--workers-per-host", type=int, default=1,
         help="fabric width inside each local worker host (default 1)",
     )
+    serve_parser.add_argument(
+        "--fault-schedule", default=None, metavar="FILE",
+        help="arm a seeded chaos schedule (JSON) against every accepted "
+             "connection — deterministic fault injection for soak tests; "
+             "see docs/performance.md 'Fault model and chaos testing'",
+    )
 
     work_parser = sub.add_parser(
         "work", help="join a running broker as one worker host"
@@ -568,9 +675,45 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to keep dialing the broker before giving up (default 10)",
     )
     submit_parser.add_argument(
-        "--timeout", type=float, default=None,
+        "--timeout", type=float, default=60.0,
         help="fail if the broker stays silent this long mid-sweep "
-             "(default: wait forever; progress heartbeats arrive every ~2s)",
+             "(default 60; progress heartbeats arrive every ~2s, so this "
+             "catches a blackholed broker; 0 waits forever)",
+    )
+
+    status_parser = sub.add_parser(
+        "status", help="print a running broker's job table"
+    )
+    status_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the broker's address",
+    )
+    status_parser.add_argument(
+        "--retry", type=float, default=5.0,
+        help="seconds to keep dialing before giving up (default 5)",
+    )
+    status_parser.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="seconds a connected broker may take to answer (default 10)",
+    )
+
+    chaos_parser = sub.add_parser(
+        "chaos-proxy",
+        help="fault broker<->worker traffic per a seeded JSON schedule",
+    )
+    chaos_parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to accept faulted peers on (default 127.0.0.1:0 — "
+             "a free port, printed at startup)",
+    )
+    chaos_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the real broker's address",
+    )
+    chaos_parser.add_argument(
+        "--fault-schedule", required=True, metavar="FILE",
+        help="seeded JSON fault schedule (taxonomy and format: "
+             "docs/performance.md 'Fault model and chaos testing')",
     )
 
     args = parser.parse_args(argv)
@@ -590,6 +733,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_work(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "chaos-proxy":
+        return _cmd_chaos_proxy(args)
     return _cmd_run(list(EXPERIMENTS), args.full, args.save)
 
 

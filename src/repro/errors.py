@@ -113,6 +113,20 @@ class ServiceError(ReproError):
     """
 
 
+class ChaosError(ServiceError):
+    """A fault schedule is malformed or the chaos layer was misused.
+
+    Raised by :mod:`repro.service.chaos` when a ``FaultSchedule``
+    payload fails validation (the message names the offending rule's
+    position in the schedule), when a schedule file cannot be read,
+    or when a :class:`~repro.service.chaos.ChaosProxy` is driven
+    through an invalid lifecycle.  Faults *injected* by the layer do
+    not raise this — they surface as the symptom they simulate
+    (a :class:`WireError` torn frame, a lease timeout, a refused
+    connection) exactly as real infrastructure failures would.
+    """
+
+
 class WireError(ServiceError):
     """A service socket carried a malformed or truncated frame.
 

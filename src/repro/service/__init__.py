@@ -14,15 +14,26 @@ and the merged records are byte-identical to a serial
 CLI: ``repro serve`` (broker + optional local hosts), ``repro work
 --connect`` (join a fleet), ``repro submit`` (queue a grid and wait).
 ``docs/performance.md`` § "The sweep service" documents the unit
-lifecycle, lease rules, and wire framing.
+lifecycle, lease rules, and wire framing; § "Fault model and chaos
+testing" covers the deterministic fault layer (:mod:`.chaos`) and the
+shared retry pacing (:mod:`.backoff`).
 """
 
+from repro.service.backoff import DEFAULT_POLICY, Backoff, BackoffPolicy
 from repro.service.broker import (
     Broker,
     DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_READ_DEADLINE,
     DEFAULT_UNIT_SIZE,
     WorkUnit,
     unit_id_for,
+)
+from repro.service.chaos import (
+    FAULT_KINDS,
+    ChaosProxy,
+    FaultRule,
+    FaultSchedule,
+    random_schedule,
 )
 from repro.service.client import broker_status, queue_sweep, submit_sweep
 from repro.service.protocol import (
@@ -31,13 +42,15 @@ from repro.service.protocol import (
     recv_frame,
     send_frame,
 )
-from repro.service.worker import run_worker
+from repro.service.worker import DEFAULT_OP_DEADLINE, run_worker
 
 __all__ = [
     "Broker",
     "WorkUnit",
     "DEFAULT_UNIT_SIZE",
     "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_READ_DEADLINE",
+    "DEFAULT_OP_DEADLINE",
     "unit_id_for",
     "run_worker",
     "submit_sweep",
@@ -47,4 +60,12 @@ __all__ = [
     "format_address",
     "send_frame",
     "recv_frame",
+    "BackoffPolicy",
+    "Backoff",
+    "DEFAULT_POLICY",
+    "FAULT_KINDS",
+    "FaultRule",
+    "FaultSchedule",
+    "ChaosProxy",
+    "random_schedule",
 ]

@@ -1,0 +1,164 @@
+"""One retry policy for every give-up path in the sweep service.
+
+Before this module the service had three ad-hoc retry loops — the
+worker's dial loop slept a fixed ~0.2 s, the handshake loop a fixed
+50 ms, and the client inherited whichever it touched first.  Fixed
+sleeps have two operational problems the chaos suite makes visible:
+
+* **thundering herd** — when a broker restarts, every worker host in
+  the fleet wakes on the same fixed beat and redials in lockstep,
+  hammering the fresh listener with synchronized SYN bursts;
+* **deadline drift** — each loop re-derived "am I out of budget?"
+  slightly differently, so the same outage produced three differently
+  worded (and differently timed) failures.
+
+:class:`BackoffPolicy` replaces all of them: jittered exponential
+delays (each delay is scaled by a uniform draw so no two hosts share
+a beat), bounded by a single monotonic deadline, with the clock, the
+sleep function, and the jitter RNG all injectable so tests can drive
+a retry session deterministically without real waiting.  When the
+deadline passes, :meth:`Backoff.give_up` raises a typed
+:class:`~repro.errors.ServiceError` naming the operation, the attempt
+count, the elapsed budget, and the last cause — never a bare
+``OSError`` and never a silent hang.
+
+>>> from repro.service.backoff import BackoffPolicy
+>>> policy = BackoffPolicy(initial=0.1, factor=2.0, cap=1.0, jitter=0.0)
+>>> [round(d, 3) for d in policy.preview(5)]
+[0.1, 0.2, 0.4, 0.8, 1.0]
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ServiceError
+
+__all__ = ["BackoffPolicy", "Backoff", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Jittered exponential backoff: ``initial * factor^n``, capped.
+
+    ``jitter`` is the fraction of each delay that is randomized: a
+    delay ``d`` becomes ``d * uniform(1 - jitter, 1)``, so ``0.0``
+    is fully deterministic and ``0.5`` (the default) spreads a fleet
+    of restarting workers across half of every beat.
+    """
+
+    initial: float = 0.05
+    factor: float = 2.0
+    cap: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0 or self.factor < 1.0 or self.cap < self.initial:
+            raise ServiceError(
+                f"malformed backoff policy: initial={self.initial} "
+                f"factor={self.factor} cap={self.cap}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ServiceError(f"backoff jitter must be in [0, 1): {self.jitter}")
+
+    def preview(self, count: int) -> list[float]:
+        """The first ``count`` un-jittered delays (docs and tests)."""
+        delays: list[float] = []
+        delay = self.initial
+        for _ in range(count):
+            delays.append(min(self.cap, delay))
+            delay *= self.factor
+        return delays
+
+    def session(
+        self,
+        budget: float,
+        what: str,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> "Backoff":
+        """Open one deadline-bounded retry session for ``what``."""
+        return Backoff(self, budget, what, clock=clock, sleep=sleep, rng=rng)
+
+
+#: The service-wide default: first retry after ~50 ms, doubling to a
+#: 1 s beat, half-jittered.  Fast enough that a worker catches a
+#: restarted broker quickly, spread enough that a fleet does not.
+DEFAULT_POLICY = BackoffPolicy()
+
+
+class Backoff:
+    """One retry session: ``wait()`` between attempts until the deadline.
+
+    The session owns a single monotonic deadline fixed at creation, so
+    however many attempts fit, the caller's total budget is honoured.
+    ``wait(cause)`` sleeps the next jittered delay (clipped to the
+    remaining budget) or — when the budget is spent — raises the
+    typed give-up error, so every retry loop in the service reads::
+
+        session = policy.session(budget, "dial broker at host:port")
+        while True:
+            try:
+                return attempt()
+            except OSError as error:
+                session.wait(error)   # raises ServiceError at the deadline
+    """
+
+    def __init__(
+        self,
+        policy: BackoffPolicy,
+        budget: float,
+        what: str,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.policy = policy
+        self.what = what
+        self.attempts = 0
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._started = clock()
+        self._deadline = self._started + max(0.0, budget)
+        self._delay = policy.initial
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self._deadline - self._clock())
+
+    def expired(self) -> bool:
+        return self._clock() >= self._deadline
+
+    def give_up(self, cause: object) -> "ServiceError":
+        """The typed terminal error for this session (returned, not raised)."""
+        elapsed = self._clock() - self._started
+        return ServiceError(
+            f"{self.what}: gave up after {self.attempts + 1} attempt(s) "
+            f"over {elapsed:.1f}s: {cause}"
+        )
+
+    def wait(self, cause: object) -> None:
+        """Record a failed attempt and sleep before the next one.
+
+        Raises the session's give-up :class:`ServiceError` (naming
+        ``what``, the attempt count, and ``cause``) when the budget is
+        exhausted instead of sleeping past the deadline.
+        """
+        remaining = self._deadline - self._clock()
+        if remaining <= 0:
+            error = self.give_up(cause)
+            self.attempts += 1
+            raise error
+        delay = self._delay
+        if self.policy.jitter:
+            delay *= 1.0 - self._rng.random() * self.policy.jitter
+        self._delay = min(self.policy.cap, self._delay * self.policy.factor)
+        self.attempts += 1
+        self._sleep(max(0.0, min(delay, remaining)))

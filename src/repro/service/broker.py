@@ -48,6 +48,7 @@ crash-looping fleet cannot spin forever.
 from __future__ import annotations
 
 import collections
+import logging
 import socket
 import threading
 import time
@@ -61,15 +62,31 @@ from repro.experiments.cache import ResultCache, content_hash
 from repro.experiments.harness import TrialRecord
 from repro.experiments.parallel import SweepPoint, SweepSpec
 from repro.experiments.warehouse import WarehouseCache
+from repro.service.chaos import FaultSchedule, arm, wrap_socket
 from repro.service.protocol import recv_frame, send_frame, decode_records
 
-__all__ = ["WorkUnit", "Broker", "DEFAULT_UNIT_SIZE", "DEFAULT_LEASE_TIMEOUT"]
+__all__ = [
+    "WorkUnit",
+    "Broker",
+    "DEFAULT_UNIT_SIZE",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_READ_DEADLINE",
+]
+
+logger = logging.getLogger("repro.service.broker")
 
 #: Trials per work unit (the lease/retry granularity).
 DEFAULT_UNIT_SIZE = 16
 
 #: Seconds a leased unit may stay unreported before it re-queues.
 DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: Seconds a peer may stall *mid-frame* (and a send may stall against
+#: a non-draining peer) before its connection is dropped.  Idle peers
+#: at a frame boundary are unbounded; this only bounds half-sent
+#: traffic, so a slow-dripping or wedged peer cannot pin a handler
+#: thread — its leases re-queue like any other disconnect.
+DEFAULT_READ_DEADLINE = 30.0
 
 #: Times a unit may be re-queued (disconnect or lease expiry) before
 #: its job fails — a guard against a crash-looping fleet, not a retry
@@ -159,6 +176,14 @@ class Broker:
     unit_size, lease_timeout, max_attempts:
         Sharding granularity and the re-queue policy (module
         constants document the defaults).
+    read_deadline:
+        Seconds a peer may stall mid-frame before its connection is
+        dropped and its leases re-queue (:data:`DEFAULT_READ_DEADLINE`).
+    fault_schedule:
+        Arm a :class:`~repro.service.chaos.FaultSchedule` on every
+        accepted connection (``repro serve --fault-schedule``) —
+        smoke-testing only; ``None`` (the default) takes the exact
+        pre-chaos code path.
     """
 
     def __init__(
@@ -171,12 +196,17 @@ class Broker:
         unit_size: int = DEFAULT_UNIT_SIZE,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        read_deadline: float = DEFAULT_READ_DEADLINE,
+        fault_schedule: FaultSchedule | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.warehouse = warehouse
         self.unit_size = max(1, int(unit_size))
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = max(1, int(max_attempts))
+        self.read_deadline = float(read_deadline)
+        self._chaos = arm(fault_schedule) if fault_schedule is not None else None
+        self._clean_shutdown = False
         self._bind = (host, port)
         self._listener: socket.socket | None = None
         self._lock = threading.RLock()
@@ -202,12 +232,25 @@ class Broker:
             raise ServiceError("broker is not running")
         return self._listener.getsockname()[:2]
 
+    @property
+    def is_clean_shutdown(self) -> bool:
+        """Whether the last :meth:`stop` joined every service thread.
+
+        ``False`` while running (or never stopped); after a ``stop``
+        it reports whether the accept, merge, and lease-monitor
+        threads all exited within the join timeout — a stuck thread
+        is also logged as a warning naming it.  Tests assert this to
+        prove a faulted broker still tears down completely.
+        """
+        return self._clean_shutdown
+
     def start(self) -> tuple[str, int]:
         """Bind, spawn the accept/merge/lease-monitor threads, return the address."""
         if self._running:
             raise ServiceError("broker already started")
         self._listener = socket.create_server(self._bind)
         self._running = True
+        self._clean_shutdown = False
         for name, target in (
             ("accept", self._accept_loop),
             ("merge", self._merge_loop),
@@ -235,6 +278,14 @@ class Broker:
             self._watch.notify_all()
             connections = list(self._connections)
         if self._listener is not None:
+            # shutdown() before close(): closing a listening socket does
+            # not interrupt a blocked accept() on Linux, so without it
+            # the accept thread only notices at its *next* connection
+            # and every stop eats the full join timeout.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:  # pragma: no cover - already closed
@@ -249,8 +300,16 @@ class Broker:
             except OSError:  # pragma: no cover - already closed
                 pass
         self._merge_queue.put(None)
+        stuck: list[str] = []
         for thread in self._threads:
             thread.join(timeout=5.0)
+            if thread.is_alive():
+                stuck.append(thread.name)
+                logger.warning(
+                    "broker thread %s did not stop within 5s; "
+                    "proceeding with a dirty shutdown", thread.name,
+                )
+        self._clean_shutdown = not stuck
         self._threads.clear()
         with self._lock:
             jobs, self._jobs = list(self._jobs.values()), {}
@@ -288,6 +347,11 @@ class Broker:
                 conn, _addr = self._listener.accept()
             except OSError:
                 break  # listener closed by stop()
+            if self._chaos is not None:
+                wrapped = wrap_socket(conn, self._chaos)
+                if wrapped is None:
+                    continue  # a partition rule refused this connection
+                conn = wrapped  # type: ignore[assignment]
             with self._lock:
                 if not self._running:
                     conn.close()
@@ -315,7 +379,9 @@ class Broker:
         try:
             while self._running:
                 try:
-                    header, payload = recv_frame(conn)
+                    header, payload = recv_frame(
+                        conn, frame_timeout=self.read_deadline
+                    )
                 except WireError:
                     break
                 try:
@@ -327,7 +393,7 @@ class Broker:
                     # the peer's problem, not the broker's: report and
                     # keep serving the connection.
                     try:
-                        send_frame(conn, {"type": "error", "message": str(error)})
+                        self._send(conn, {"type": "error", "message": str(error)})
                     except WireError:
                         break
         finally:
@@ -339,13 +405,20 @@ class Broker:
             except OSError:  # pragma: no cover - already closed
                 pass
 
+    def _send(
+        self, conn: socket.socket, header: dict[str, Any], payload: bytes = b""
+    ) -> None:
+        """Every broker-side send is bounded by the read deadline, so a
+        peer that stops draining its socket cannot wedge a handler."""
+        send_frame(conn, header, payload, timeout=self.read_deadline)
+
     def _dispatch(
         self, conn: socket.socket, conn_id: str,
         header: dict[str, Any], payload: bytes,
     ) -> None:
         kind = header["type"]
         if kind == "hello":
-            send_frame(conn, {"type": "welcome", "broker": "repro-service/1"})
+            self._send(conn, {"type": "welcome", "broker": "repro-service/1"})
         elif kind == "lease":
             self._handle_lease(conn, conn_id, header)
         elif kind == "result":
@@ -378,10 +451,10 @@ class Broker:
                     break
                 self._work.wait(remaining)
         if leased is None:
-            send_frame(conn, {"type": "idle"})
+            self._send(conn, {"type": "idle"})
             return
         job, unit = leased
-        send_frame(conn, {
+        self._send(conn, {
             "type": "unit",
             "job": job.spec_hash,
             "unit": unit.unit_id,
@@ -423,7 +496,7 @@ class Broker:
                 # Unknown job (broker restarted) or a re-queued unit
                 # that another worker already finished: the records
                 # are byte-identical re-runs, so dropping is safe.
-                send_frame(conn, {"type": "ack", "merged": False})
+                self._send(conn, {"type": "ack", "merged": False})
                 return
             if set(indices) != set(unit.indices):
                 raise WireError(
@@ -432,7 +505,7 @@ class Broker:
             unit.state = _MERGED
             unit.worker = conn_id
         self._merge_queue.put((job, unit.unit_id, indices, records))
-        send_frame(conn, {"type": "ack", "merged": True})
+        self._send(conn, {"type": "ack", "merged": True})
 
     def _handle_unit_failed(self, conn: socket.socket, header: dict[str, Any]) -> None:
         """A deterministic trial error: fail the job fast, keep the cache."""
@@ -441,7 +514,7 @@ class Broker:
             if job is not None and job.failed is None:
                 job.failed = str(header.get("message", "worker reported a failure"))
                 self._watch.notify_all()
-        send_frame(conn, {"type": "ack", "merged": False})
+        self._send(conn, {"type": "ack", "merged": False})
 
     def _requeue_leases_locked(self, conn_id: str) -> None:
         for job in self._jobs.values():
@@ -557,7 +630,7 @@ class Broker:
         with self._lock:
             job = self._register_job_locked(spec)
             already = len(job.records)
-        send_frame(conn, {
+        self._send(conn, {
             "type": "accepted",
             "job": job.spec_hash,
             "total": job.total,
@@ -584,19 +657,19 @@ class Broker:
                 workers = len(job.workers)
                 running = self._running
             if failed is not None:
-                send_frame(conn, {"type": "error", "message": failed})
+                self._send(conn, {"type": "error", "message": failed})
                 return
             if finished:
                 break
             if not running:
-                send_frame(conn, {"type": "error", "message": "broker shut down"})
+                self._send(conn, {"type": "error", "message": "broker shut down"})
                 return
             # Progress when something merged; otherwise a heartbeat, so
             # a watching client can distinguish "no workers yet" from a
             # dead broker with a plain socket timeout.
             reported = done
             last_beat = time.monotonic()
-            send_frame(conn, {"type": "progress", "done": done, "total": job.total})
+            self._send(conn, {"type": "progress", "done": done, "total": job.total})
         records = [job.records[i] for i in range(job.total)]
         done_header = {
             "type": "done",
@@ -612,9 +685,9 @@ class Broker:
 
             codec, payload = encode_records(records)
             done_header["codec"] = codec
-            send_frame(conn, done_header, payload)
+            self._send(conn, done_header, payload)
         else:
-            send_frame(conn, done_header)
+            self._send(conn, done_header)
 
     def _handle_status(self, conn: socket.socket) -> None:
         """One JSON snapshot of every job — tests and operators poll this."""
@@ -635,7 +708,7 @@ class Broker:
                     "attempts": sum(u.attempts for u in job.units.values()),
                     "workers": len(job.workers),
                 }
-        send_frame(conn, {
+        self._send(conn, {
             "type": "status-reply",
             "warehouse": self.warehouse,
             "unit_size": self.unit_size,

@@ -3,10 +3,14 @@
 Every message between a broker, a worker host, and a submitting
 client is one **frame** on a stream socket::
 
-    "RSV1" | u32 header_len | u64 payload_len | header | payload
+    "RSV2" | u32 header_len | u64 payload_len | u32 crc | header | payload
 
 * the 4-byte magic names the protocol (and version — bump on layout
-  changes);
+  changes; ``RSV2`` added the checksum);
+* the **crc** is the CRC-32 of header + payload, so a byte corrupted
+  anywhere in flight — including deep inside a record batch, where a
+  flipped float would otherwise merge silently — is a typed
+  :class:`~repro.errors.WireError` at the receiver, never wrong data;
 * the **header** is a compact JSON object; its ``"type"`` key selects
   the message (``submit``, ``lease``, ``unit``, ``result`` …) and the
   remaining keys are small scalars and lists;
@@ -48,6 +52,8 @@ import json
 import pickle
 import socket
 import struct
+import time
+import zlib
 from typing import Any
 
 from repro.errors import WireError
@@ -73,10 +79,11 @@ __all__ = [
 ]
 
 #: Protocol magic + version; a peer speaking anything else is rejected.
-MAGIC = b"RSV1"
+MAGIC = b"RSV2"
 
-#: Fixed-size frame prologue: magic, header length, payload length.
-_PROLOGUE = struct.Struct("<4sIQ")
+#: Fixed-size frame prologue: magic, header length, payload length,
+#: CRC-32 of header + payload.
+_PROLOGUE = struct.Struct("<4sIQI")
 
 #: Headers are small JSON objects; anything bigger is a corrupt or
 #: hostile length prefix, refused before allocation.
@@ -88,19 +95,47 @@ MAX_HEADER_BYTES = 1 << 20  # 1 MiB
 MAX_PAYLOAD_BYTES = 1 << 30  # 1 GiB
 
 
-def _recv_exact(sock: socket.socket, count: int, what: str) -> bytes:
+def _recv_exact(
+    sock: socket.socket,
+    count: int,
+    what: str,
+    deadline: float | None = None,
+) -> bytes:
     """Read exactly ``count`` bytes or raise :class:`WireError`.
 
     A clean EOF at a frame boundary (``count`` requested, zero bytes
     ever received, ``what`` is the prologue) is still a ``WireError``
     — callers that want to treat idle disconnects gracefully catch it
     and inspect :attr:`WireError.clean_eof`.
+
+    With a ``deadline`` (a :func:`time.monotonic` instant), the read
+    must finish by then: a peer that stalls or slow-drips raises a
+    ``WireError`` with ``timed_out`` set instead of wedging the
+    reader forever.
     """
     chunks: list[bytes] = []
     received = 0
     while received < count:
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                error = WireError(
+                    f"peer stalled mid-frame: read deadline expired while "
+                    f"reading {what} ({received} of {count} bytes)"
+                )
+                error.timed_out = True
+                raise error
         try:
+            if deadline is not None:
+                sock.settimeout(remaining)
             chunk = sock.recv(min(65536, count - received))
+        except TimeoutError:
+            error = WireError(
+                f"peer stalled: read deadline expired while reading "
+                f"{what} ({received} of {count} bytes)"
+            )
+            error.timed_out = True
+            raise error from None
         except OSError as error:
             raise WireError(f"connection lost while reading {what}: {error}") from None
         if not chunk:
@@ -116,54 +151,125 @@ def _recv_exact(sock: socket.socket, count: int, what: str) -> bytes:
 
 
 def send_frame(
-    sock: socket.socket, header: dict[str, Any], payload: bytes = b""
+    sock: socket.socket,
+    header: dict[str, Any],
+    payload: bytes = b"",
+    *,
+    timeout: float | None = None,
 ) -> None:
-    """Write one frame (header JSON + optional binary payload)."""
+    """Write one frame (header JSON + optional binary payload).
+
+    With ``timeout``, the whole send must finish within that many
+    seconds — a peer that accepts the connection but never drains its
+    receive buffer raises a :class:`WireError` instead of wedging the
+    sender (the broker bounds every per-connection send this way).
+    The socket's previous timeout is restored afterwards.
+    """
     raw_header = json.dumps(header, separators=(",", ":")).encode("utf-8")
     if len(raw_header) > MAX_HEADER_BYTES:
         raise WireError(f"header of {len(raw_header)} bytes exceeds the cap")
     if len(payload) > MAX_PAYLOAD_BYTES:
         raise WireError(f"payload of {len(payload)} bytes exceeds the cap")
-    prologue = _PROLOGUE.pack(MAGIC, len(raw_header), len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(raw_header))
+    prologue = _PROLOGUE.pack(MAGIC, len(raw_header), len(payload), crc)
+    previous = sock.gettimeout() if timeout is not None else None
     try:
+        if timeout is not None:
+            sock.settimeout(timeout)
         sock.sendall(prologue + raw_header + payload)
+    except TimeoutError:
+        error = WireError(
+            f"peer stalled: send deadline ({timeout:g}s) expired mid-frame"
+        )
+        error.timed_out = True
+        raise error from None
     except OSError as error:
         raise WireError(f"connection lost while sending a frame: {error}") from None
+    finally:
+        if timeout is not None:
+            try:
+                sock.settimeout(previous)
+            except OSError:  # pragma: no cover - socket already dead
+                pass
 
 
-def recv_frame(sock: socket.socket) -> tuple[dict[str, Any], bytes]:
+def recv_frame(
+    sock: socket.socket, *, frame_timeout: float | None = None
+) -> tuple[dict[str, Any], bytes]:
     """Read one frame; returns ``(header, payload)``.
 
     Raises :class:`WireError` — never hangs on a malformed stream and
     never returns partial data — for bad magic, oversized length
     prefixes, truncation anywhere inside the frame, and headers that
     are not a JSON object with a string ``"type"``.
+
+    ``frame_timeout`` adds a *mid-frame* read deadline: waiting at a
+    frame boundary is unbounded (an idle peer is fine), but once the
+    first byte of a frame arrives the rest must follow within
+    ``frame_timeout`` seconds.  A slow-dripping or stalled peer then
+    raises ``WireError`` (with ``timed_out`` set) instead of holding
+    the reader hostage — this is how the broker keeps one wedged
+    connection from pinning a handler thread forever.  The socket's
+    previous timeout is restored afterwards.
     """
-    prologue = _recv_exact(sock, _PROLOGUE.size, "frame prologue")
-    magic, header_len, payload_len = _PROLOGUE.unpack(prologue)
-    if magic != MAGIC:
-        raise WireError(f"bad frame magic {magic!r} (want {MAGIC!r})")
-    if header_len > MAX_HEADER_BYTES:
-        raise WireError(
-            f"header length prefix {header_len} exceeds the "
-            f"{MAX_HEADER_BYTES}-byte cap"
-        )
-    if payload_len > MAX_PAYLOAD_BYTES:
-        raise WireError(
-            f"payload length prefix {payload_len} exceeds the "
-            f"{MAX_PAYLOAD_BYTES}-byte cap"
-        )
-    raw_header = _recv_exact(sock, header_len, "frame header")
+    previous = sock.gettimeout() if frame_timeout is not None else None
     try:
-        header = json.loads(raw_header.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as error:
-        raise WireError(f"garbage frame header: {error}") from None
-    if not isinstance(header, dict) or not isinstance(header.get("type"), str):
-        raise WireError(
-            "frame header must be a JSON object with a string 'type' key"
+        if frame_timeout is None:
+            prologue = _recv_exact(sock, _PROLOGUE.size, "frame prologue")
+            deadline = None
+        else:
+            # Idle at the boundary is allowed: wait for the first byte
+            # without a deadline, then the clock starts.
+            try:
+                sock.settimeout(None)
+            except OSError as error:
+                raise WireError(
+                    f"connection lost before the frame prologue: {error}"
+                ) from None
+            first = _recv_exact(sock, 1, "frame prologue")
+            deadline = time.monotonic() + frame_timeout
+            prologue = first + _recv_exact(
+                sock, _PROLOGUE.size - 1, "frame prologue", deadline
+            )
+        magic, header_len, payload_len, crc = _PROLOGUE.unpack(prologue)
+        if magic != MAGIC:
+            raise WireError(f"bad frame magic {magic!r} (want {MAGIC!r})")
+        if header_len > MAX_HEADER_BYTES:
+            raise WireError(
+                f"header length prefix {header_len} exceeds the "
+                f"{MAX_HEADER_BYTES}-byte cap"
+            )
+        if payload_len > MAX_PAYLOAD_BYTES:
+            raise WireError(
+                f"payload length prefix {payload_len} exceeds the "
+                f"{MAX_PAYLOAD_BYTES}-byte cap"
+            )
+        raw_header = _recv_exact(sock, header_len, "frame header", deadline)
+        payload = (
+            _recv_exact(sock, payload_len, "frame payload", deadline)
+            if payload_len
+            else b""
         )
-    payload = _recv_exact(sock, payload_len, "frame payload") if payload_len else b""
-    return header, payload
+        if zlib.crc32(payload, zlib.crc32(raw_header)) != crc:
+            raise WireError(
+                "frame checksum mismatch — corrupted in flight, dropping "
+                "the connection instead of trusting its bytes"
+            )
+        try:
+            header = json.loads(raw_header.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise WireError(f"garbage frame header: {error}") from None
+        if not isinstance(header, dict) or not isinstance(header.get("type"), str):
+            raise WireError(
+                "frame header must be a JSON object with a string 'type' key"
+            )
+        return header, payload
+    finally:
+        if frame_timeout is not None:
+            try:
+                sock.settimeout(previous)
+            except OSError:  # pragma: no cover - socket already dead
+                pass
 
 
 def send_message(

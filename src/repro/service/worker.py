@@ -28,6 +28,7 @@ restart does not strand its fleet.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 import traceback
@@ -42,13 +43,14 @@ from repro.experiments.parallel import (
     _run_chunk,
     _run_fabric,
 )
+from repro.service.backoff import DEFAULT_POLICY, BackoffPolicy
 from repro.service.protocol import (
     encode_records,
     recv_message,
     send_message,
 )
 
-__all__ = ["connect_with_retry", "run_worker"]
+__all__ = ["connect_with_retry", "run_worker", "DEFAULT_OP_DEADLINE"]
 
 #: How long a unit lease request may block broker-side before an
 #: ``idle`` reply (the worker immediately asks again).
@@ -57,57 +59,88 @@ _LEASE_PATIENCE = 1.0
 #: Spec payloads memoized per job hash (a host rarely serves more).
 _SPEC_MEMO_CAP = 8
 
+#: Seconds a worker waits on any single broker reply before treating
+#: the connection as dead and redialing.  The broker answers a lease
+#: within ``_LEASE_PATIENCE`` and acks a result immediately, so a
+#: silence this long means the link is blackholed (a silently dropped
+#: route, a chaos ``drop`` rule) even though the socket looks open.
+DEFAULT_OP_DEADLINE = 30.0
+
 
 def connect_with_retry(
-    address: tuple[str, int], retry: float, what: str = "broker"
+    address: tuple[str, int],
+    retry: float,
+    what: str = "broker",
+    *,
+    policy: BackoffPolicy = DEFAULT_POLICY,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
 ) -> socket.socket:
     """Dial ``address``, retrying for up to ``retry`` seconds.
 
     Covers both a fleet booting in any order (workers before the
-    broker) and a broker restarting mid-job; raises
-    :class:`ServiceError` when the budget runs out.
+    broker) and a broker restarting mid-job.  Retries follow the
+    shared jittered-exponential :class:`BackoffPolicy` — a restarted
+    broker sees the fleet's redials spread out, not a synchronized
+    thundering herd on a fixed beat — and the give-up is a typed
+    :class:`ServiceError` naming the peer, the attempt count, and the
+    last cause.  ``clock``/``sleep``/``rng`` are injectable for
+    deterministic tests.
     """
-    deadline = time.monotonic() + max(0.0, retry)
+    session = policy.session(
+        retry,
+        f"cannot reach {what} at {address[0]}:{address[1]}",
+        clock=clock, sleep=sleep, rng=rng,
+    )
     while True:
         try:
             return socket.create_connection(address)
         except OSError as error:
-            if time.monotonic() >= deadline:
-                raise ServiceError(
-                    f"cannot reach {what} at {address[0]}:{address[1]}: {error}"
-                ) from None
-            time.sleep(min(0.2, max(0.05, retry / 50.0)))
+            session.wait(error)  # raises the typed give-up at the deadline
 
 
-def _dial(address: tuple[str, int], budget: float, workers: int) -> socket.socket:
+def _dial(
+    address: tuple[str, int],
+    budget: float,
+    workers: int,
+    *,
+    policy: BackoffPolicy = DEFAULT_POLICY,
+    op_deadline: float = DEFAULT_OP_DEADLINE,
+) -> socket.socket:
     """Connect *and* complete the hello/welcome handshake, retrying.
 
     A broker that accepts the TCP connection but resets before
     ``welcome`` (it was just stopped, the listener's backlog drained)
     counts as unreachable, not as a protocol error — so the whole
-    dial-plus-handshake retries under one deadline and the caller sees
-    a single :class:`ServiceError` when the budget runs out.
+    dial-plus-handshake retries under one deadline (one shared
+    :class:`BackoffPolicy` session) and the caller sees a single
+    :class:`ServiceError` when the budget runs out.  The returned
+    socket carries ``op_deadline`` as its timeout, so every later
+    exchange on it is bounded.
     """
     deadline = time.monotonic() + max(0.0, budget)
+    session = policy.session(
+        budget, f"broker at {address[0]}:{address[1]} dropped the handshake"
+    )
     while True:
         sock = connect_with_retry(
-            address, max(0.0, deadline - time.monotonic())
+            address, max(0.0, deadline - time.monotonic()), policy=policy
         )
         try:
+            # The handshake itself is bounded too: a broker that
+            # accepts but never answers must not hang the dial.
+            sock.settimeout(max(1.0, op_deadline))
             send_message(sock, "hello", workers=workers)
             recv_message(sock, "welcome")
+            sock.settimeout(op_deadline)
             return sock
         except WireError as error:
             try:
                 sock.close()
             except OSError:
                 pass
-            if time.monotonic() >= deadline:
-                raise ServiceError(
-                    f"broker at {address[0]}:{address[1]} dropped the "
-                    f"handshake: {error}"
-                ) from None
-            time.sleep(0.05)
+            session.wait(error)  # raises the typed give-up at the deadline
 
 
 class _SpecMemo:
@@ -121,7 +154,18 @@ class _SpecMemo:
     ) -> tuple[SweepSpec, list[SweepPoint]]:
         entry = self._entries.get(spec_hash)
         if entry is None:
-            spec = SweepSpec.from_payload(payload)
+            try:
+                spec = SweepSpec.from_payload(payload)
+            except ReproError as error:
+                raise WireError(f"unit carried a malformed spec: {error}") from None
+            if spec.spec_hash() != spec_hash:
+                # A corrupted-in-flight spec that still parses must not
+                # silently compute wrong records under the job's name:
+                # treat it like any other torn frame and redial.
+                raise WireError(
+                    f"unit spec hashes to {spec.spec_hash()[:12]}, "
+                    f"not the job's {spec_hash[:12]} — corrupted in flight"
+                )
             while len(self._entries) >= _SPEC_MEMO_CAP:
                 self._entries.pop(next(iter(self._entries)))
             entry = (spec, spec.points())
@@ -159,6 +203,8 @@ def run_worker(
     workers: int = 1,
     max_units: int | None = None,
     reconnect: float = 10.0,
+    op_deadline: float = DEFAULT_OP_DEADLINE,
+    backoff: BackoffPolicy = DEFAULT_POLICY,
     on_unit: Callable[[str, int], None] | None = None,
 ) -> int:
     """Serve one worker host until the broker goes away; returns units done.
@@ -175,6 +221,14 @@ def run_worker(
     reconnect:
         Seconds to keep redialing after a connection drops before
         giving up — also the initial connection budget.
+    op_deadline:
+        Seconds any single broker reply may take before the link
+        counts as dead and the reconnect loop takes over
+        (:data:`DEFAULT_OP_DEADLINE`) — a silently blackholed broker
+        can stall a unit, never wedge the host.
+    backoff:
+        The retry pacing for dials and redials
+        (:data:`~repro.service.backoff.DEFAULT_POLICY`).
     on_unit:
         Optional ``callback(unit_id, n_trials)`` after each report
         (the CLI's ticker).
@@ -188,7 +242,10 @@ def run_worker(
                 # The first dial propagates ServiceError — a broker that
                 # never existed is the caller's problem; later redials
                 # (below) give up gracefully with the completed count.
-                sock = _dial(address, reconnect, workers)
+                sock = _dial(
+                    address, reconnect, workers,
+                    policy=backoff, op_deadline=op_deadline,
+                )
             try:
                 send_message(sock, "lease", wait=_LEASE_PATIENCE)
                 header, _payload = recv_message(sock, "unit", "idle")
@@ -196,6 +253,12 @@ def run_worker(
                     continue
                 spec, points = memo.resolve(header["job"], header["spec"])
                 indices = [int(i) for i in header["indices"]]
+                if any(not 0 <= i < len(points) for i in indices):
+                    # Corrupted in flight; a redial re-leases it intact.
+                    raise WireError(
+                        f"unit {header['unit']} names indices outside the "
+                        f"{len(points)}-point grid"
+                    )
                 try:
                     records = _execute_unit(spec, points, indices, workers)
                 except ReproError as error:
@@ -236,7 +299,10 @@ def run_worker(
                     pass
                 sock = None
                 try:
-                    sock = _dial(address, reconnect, workers)
+                    sock = _dial(
+                        address, reconnect, workers,
+                        policy=backoff, op_deadline=op_deadline,
+                    )
                 except ServiceError:
                     break
     finally:

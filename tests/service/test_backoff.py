@@ -1,0 +1,134 @@
+"""The shared retry policy: deterministic pacing, typed give-ups.
+
+Everything runs against an injected fake clock/sleep, so these tests
+exercise real deadline arithmetic without real waiting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReproError, ServiceError
+from repro.service.backoff import DEFAULT_POLICY, BackoffPolicy
+
+
+class FakeTime:
+    """A monotonic clock whose sleep() advances it — no real waiting."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+        self.slept: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+class TestPolicy:
+    def test_preview_is_capped_exponential(self):
+        policy = BackoffPolicy(initial=0.1, factor=2.0, cap=1.0, jitter=0.0)
+        assert [round(d, 3) for d in policy.preview(6)] == [
+            0.1, 0.2, 0.4, 0.8, 1.0, 1.0,
+        ]
+
+    def test_malformed_policies_are_typed_errors(self):
+        with pytest.raises(ServiceError, match="malformed backoff policy"):
+            BackoffPolicy(initial=0.0)
+        with pytest.raises(ServiceError, match="malformed backoff policy"):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ServiceError, match="malformed backoff policy"):
+            BackoffPolicy(initial=2.0, cap=1.0)
+        with pytest.raises(ServiceError, match="jitter"):
+            BackoffPolicy(jitter=1.0)
+
+    def test_default_policy_spreads_a_fleet(self):
+        # Two sessions with different RNG seeds must not share a beat:
+        # that is the thundering-herd fix in one assertion.
+        fake_a, fake_b = FakeTime(), FakeTime()
+        for fake, seed in ((fake_a, 1), (fake_b, 2)):
+            session = DEFAULT_POLICY.session(
+                10.0, "dial", clock=fake.clock, sleep=fake.sleep,
+                rng=random.Random(seed),
+            )
+            for _ in range(4):
+                session.wait(OSError("refused"))
+        assert fake_a.slept != fake_b.slept
+
+
+class TestSession:
+    def test_unjittered_session_sleeps_the_preview(self):
+        policy = BackoffPolicy(initial=0.1, factor=2.0, cap=0.4, jitter=0.0)
+        fake = FakeTime()
+        session = policy.session(
+            60.0, "dial", clock=fake.clock, sleep=fake.sleep
+        )
+        for _ in range(5):
+            session.wait(OSError("refused"))
+        assert [round(s, 3) for s in fake.slept] == [0.1, 0.2, 0.4, 0.4, 0.4]
+        assert session.attempts == 5
+
+    def test_jitter_shrinks_but_never_stretches_delays(self):
+        policy = BackoffPolicy(initial=0.1, factor=2.0, cap=1.0, jitter=0.5)
+        fake = FakeTime()
+        session = policy.session(
+            60.0, "dial", clock=fake.clock, sleep=fake.sleep,
+            rng=random.Random(7),
+        )
+        for _ in range(6):
+            session.wait(OSError("refused"))
+        for slept, base in zip(fake.slept, policy.preview(6)):
+            assert base / 2 <= slept <= base
+
+    def test_final_sleep_is_clipped_to_the_deadline(self):
+        policy = BackoffPolicy(initial=0.4, factor=2.0, cap=5.0, jitter=0.0)
+        fake = FakeTime()
+        session = policy.session(
+            1.0, "dial", clock=fake.clock, sleep=fake.sleep
+        )
+        session.wait(OSError("refused"))
+        session.wait(OSError("refused"))
+        # 0.4, then 0.8 clipped to the remaining 0.6; the budget is now
+        # spent, so the next wait gives up instead of sleeping past it.
+        assert [round(s, 3) for s in fake.slept] == [0.4, 0.6]
+        with pytest.raises(ServiceError, match="gave up after 3 attempt"):
+            session.wait(OSError("refused"))
+
+    def test_give_up_is_a_typed_error_naming_everything(self):
+        fake = FakeTime()
+        session = BackoffPolicy(jitter=0.0).session(
+            0.5, "cannot reach broker at 10.0.0.1:7641",
+            clock=fake.clock, sleep=fake.sleep,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            while True:
+                session.wait(OSError("connection refused"))
+        message = str(excinfo.value)
+        assert "cannot reach broker at 10.0.0.1:7641" in message
+        assert "attempt(s)" in message
+        assert "connection refused" in message
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_zero_budget_gives_up_on_first_wait(self):
+        fake = FakeTime()
+        session = DEFAULT_POLICY.session(
+            0.0, "dial", clock=fake.clock, sleep=fake.sleep
+        )
+        with pytest.raises(ServiceError, match="gave up after 1 attempt"):
+            session.wait("boom")
+        assert fake.slept == []
+
+    def test_remaining_and_expired_track_the_clock(self):
+        fake = FakeTime()
+        session = DEFAULT_POLICY.session(
+            2.0, "dial", clock=fake.clock, sleep=fake.sleep
+        )
+        assert session.remaining() == pytest.approx(2.0)
+        assert not session.expired()
+        fake.now += 3.0
+        assert session.remaining() == 0.0
+        assert session.expired()

@@ -13,6 +13,8 @@ import dataclasses
 import socket
 import struct
 import threading
+import time
+import zlib
 
 import pytest
 
@@ -33,7 +35,13 @@ from repro.service.protocol import (
     send_message,
 )
 
-_PROLOGUE = struct.Struct("<4sIQ")
+_PROLOGUE = struct.Struct("<4sIQI")
+
+
+def prologue(magic: bytes, header_len: int, payload_len: int,
+             body: bytes = b"") -> bytes:
+    """Hand-build a prologue; ``body`` is whatever the CRC should cover."""
+    return _PROLOGUE.pack(magic, header_len, payload_len, zlib.crc32(body))
 
 
 @pytest.fixture()
@@ -65,33 +73,33 @@ class TestFraming:
 
     def test_bad_magic_rejected(self, pair):
         a, b = pair
-        a.sendall(_PROLOGUE.pack(b"EVIL", 2, 0) + b"{}")
+        a.sendall(prologue(b"EVIL", 2, 0, b"{}") + b"{}")
         with pytest.raises(WireError, match="magic"):
             recv_frame(b)
 
     def test_oversized_header_prefix_rejected_before_allocation(self, pair):
         a, b = pair
-        a.sendall(_PROLOGUE.pack(MAGIC, MAX_HEADER_BYTES + 1, 0))
+        a.sendall(prologue(MAGIC, MAX_HEADER_BYTES + 1, 0))
         with pytest.raises(WireError, match="header length prefix"):
             recv_frame(b)
 
     def test_oversized_payload_prefix_rejected_before_allocation(self, pair):
         a, b = pair
         # A garbage prefix decoding as ~2**63 bytes must not allocate.
-        a.sendall(_PROLOGUE.pack(MAGIC, 2, MAX_PAYLOAD_BYTES + 1) + b"{}")
+        a.sendall(prologue(MAGIC, 2, MAX_PAYLOAD_BYTES + 1, b"{}") + b"{}")
         with pytest.raises(WireError, match="payload length prefix"):
             recv_frame(b)
 
     def test_truncated_prologue_is_wire_error(self, pair):
         a, b = pair
-        a.sendall(MAGIC + b"\x01")  # 5 of 16 prologue bytes, then EOF
+        a.sendall(MAGIC + b"\x01")  # 5 of 20 prologue bytes, then EOF
         a.close()
         with pytest.raises(WireError, match="mid-frame"):
             recv_frame(b)
 
     def test_truncated_header_is_wire_error(self, pair):
         a, b = pair
-        a.sendall(_PROLOGUE.pack(MAGIC, 100, 0) + b'{"type"')
+        a.sendall(prologue(MAGIC, 100, 0) + b'{"type"')
         a.close()
         with pytest.raises(WireError, match="frame header"):
             recv_frame(b)
@@ -101,7 +109,7 @@ class TestFraming:
         # Promise 1000 payload bytes, deliver 4, die: the exact shape of
         # a worker SIGKILLed mid-report.
         raw = b'{"type":"result"}'
-        a.sendall(_PROLOGUE.pack(MAGIC, len(raw), 1000) + raw + b"oops")
+        a.sendall(prologue(MAGIC, len(raw), 1000) + raw + b"oops")
         a.close()
         with pytest.raises(WireError, match="frame payload"):
             recv_frame(b)
@@ -124,14 +132,14 @@ class TestFraming:
     def test_garbage_header_is_wire_error(self, pair):
         a, b = pair
         raw = b"\xffnot json at all"
-        a.sendall(_PROLOGUE.pack(MAGIC, len(raw), 0) + raw)
+        a.sendall(prologue(MAGIC, len(raw), 0, raw) + raw)
         with pytest.raises(WireError, match="garbage"):
             recv_frame(b)
 
     def test_header_must_be_object_with_type(self, pair):
         a, b = pair
         for raw in (b"[1,2]", b'{"no_type":1}', b'{"type":7}'):
-            a.sendall(_PROLOGUE.pack(MAGIC, len(raw), 0) + raw)
+            a.sendall(prologue(MAGIC, len(raw), 0, raw) + raw)
             with pytest.raises(WireError, match="'type'"):
                 recv_frame(b)
 
@@ -151,6 +159,95 @@ class TestFraming:
         send_frame(a, {"type": "result"}, payload)
         reader.join(timeout=10.0)
         assert received == [payload]
+
+
+class TestChecksum:
+    def corrupted_frame(self, at: int) -> bytes:
+        """A valid result frame with one byte XOR-flipped at offset ``at``."""
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "result", "unit": "u1"}, b"payload-bytes")
+            raw = bytearray(b.recv(65536))
+        finally:
+            a.close()
+            b.close()
+        raw[at] ^= 0x40
+        return bytes(raw)
+
+    def test_corrupt_payload_byte_is_caught(self, pair):
+        a, b = pair
+        # Flip the LAST byte — deep inside the payload, past everything
+        # the header checks could see.  Without the CRC this byte would
+        # merge silently as wrong record data.
+        frame = self.corrupted_frame(-1)
+        a.sendall(frame)
+        with pytest.raises(WireError, match="checksum mismatch"):
+            recv_frame(b)
+
+    def test_corrupt_header_byte_is_caught(self, pair):
+        a, b = pair
+        frame = self.corrupted_frame(_PROLOGUE.size + 2)
+        a.sendall(frame)
+        with pytest.raises(WireError, match="checksum mismatch"):
+            recv_frame(b)
+
+    def test_clean_frame_passes_the_checksum(self, pair):
+        a, b = pair
+        send_frame(a, {"type": "result"}, bytes(range(256)))
+        header, payload = recv_frame(b)
+        assert header["type"] == "result"
+        assert payload == bytes(range(256))
+
+
+class TestReadDeadlines:
+    def test_idle_peer_at_frame_boundary_is_not_timed_out(self, pair):
+        a, b = pair
+        # Nothing sent for longer than the frame deadline: the read
+        # must still complete once a whole frame finally arrives.
+        def late_send():
+            time.sleep(0.3)
+            send_frame(a, {"type": "lease"})
+        threading.Thread(target=late_send, daemon=True).start()
+        header, _payload = recv_frame(b, frame_timeout=0.15)
+        assert header["type"] == "lease"
+
+    def test_stalled_mid_frame_peer_times_out_typed(self, pair):
+        a, b = pair
+        a.sendall(MAGIC)  # first bytes arrive, then silence
+        with pytest.raises(WireError, match="stalled") as excinfo:
+            recv_frame(b, frame_timeout=0.15)
+        assert excinfo.value.timed_out is True
+
+    def test_slow_drip_past_the_deadline_times_out_typed(self, pair):
+        a, b = pair
+        frame = bytearray()
+        fake = socket.socketpair()
+        try:
+            send_frame(fake[0], {"type": "lease"})
+            frame += fake[1].recv(65536)
+        finally:
+            fake[0].close()
+            fake[1].close()
+
+        def drip():
+            try:
+                for offset in range(len(frame)):
+                    a.sendall(frame[offset:offset + 1])
+                    time.sleep(0.05)
+            except OSError:
+                pass
+
+        threading.Thread(target=drip, daemon=True).start()
+        with pytest.raises(WireError, match="stalled") as excinfo:
+            recv_frame(b, frame_timeout=0.2)
+        assert excinfo.value.timed_out is True
+
+    def test_previous_socket_timeout_is_restored(self, pair):
+        a, b = pair
+        b.settimeout(7.5)
+        send_frame(a, {"type": "lease"})
+        recv_frame(b, frame_timeout=5.0)
+        assert b.gettimeout() == 7.5
 
 
 class TestMessages:

@@ -209,7 +209,7 @@ class TestFaultPaths:
             unit, _ = recv_message(sock, "unit")
             from repro.service.protocol import _PROLOGUE, MAGIC
 
-            sock.sendall(_PROLOGUE.pack(MAGIC, 500, 10_000) + b'{"type":"result"')
+            sock.sendall(_PROLOGUE.pack(MAGIC, 500, 10_000, 0) + b'{"type":"result"')
             sock.close()
 
             def leased_count() -> int:
@@ -319,3 +319,58 @@ class TestFaultPaths:
         # and the first dial never succeeding is the caller's problem.
         with pytest.raises(ServiceError):
             run_worker(address, reconnect=0.2)
+
+
+class TestShutdownHygiene:
+    """Satellite: the broker knows (and says) whether it stopped cleanly."""
+
+    def test_is_clean_shutdown_lifecycle(self, tmp_path):
+        broker = Broker(tmp_path / "cache")
+        assert broker.is_clean_shutdown is False  # never started
+        broker.start()
+        assert broker.is_clean_shutdown is False  # still running
+        broker.stop()
+        assert broker.is_clean_shutdown is True
+
+    def test_stop_is_clean_with_an_idle_worker_attached(self, tmp_path):
+        # The accept thread is parked in accept() and a conn thread is
+        # parked waiting for the idle worker's next lease: both must be
+        # woken by stop(), not abandoned to the join timeout.
+        with Broker(tmp_path / "cache") as broker:
+            start_worker_thread(broker.address, reconnect=0.5)
+            spec = small_spec(seeds=(0, 1))
+            result = submit_sweep(broker.address, spec)
+        assert len(result.records) == 2
+        assert broker.is_clean_shutdown is True
+
+
+class TestStatusErrors:
+    """Satellite: broker_status against dead or hung peers is typed."""
+
+    def test_dead_address_is_a_typed_error_naming_the_peer(self, tmp_path):
+        with Broker(tmp_path / "cache") as broker:
+            host, port = broker.address
+        # Broker stopped: the port refuses connections.
+        with pytest.raises(ServiceError, match=f"{host}:{port}"):
+            broker_status((host, port), retry=0.2)
+
+    def test_hung_peer_is_a_typed_not_answering_error(self):
+        # A listener that accepts and then says nothing: the client's
+        # read deadline must turn the silence into a typed error, fast.
+        server = socket.create_server(("127.0.0.1", 0))
+        host, port = server.getsockname()[:2]
+        try:
+            with pytest.raises(ServiceError, match="not answering"):
+                broker_status((host, port), retry=0.5, timeout=0.3)
+        finally:
+            server.close()
+
+    def test_status_cli_exits_2_on_dead_broker(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with Broker(tmp_path / "cache") as broker:
+            host, port = broker.address
+        assert main([
+            "status", "--connect", f"{host}:{port}", "--retry", "0.2",
+        ]) == 2
+        assert f"{host}:{port}" in capsys.readouterr().err
